@@ -1,0 +1,47 @@
+//! # san-core — generative models for Social-Attribute Networks
+//!
+//! The primary contribution of *"Evolution of Social-Attribute Networks"*
+//! (Gong et al., IMC 2012) is a generative model that grows the **social and
+//! attribute structure jointly**, built from two attribute-augmented
+//! building blocks:
+//!
+//! 1. **Attribute-augmented preferential attachment** (§5.1): the LAPA and
+//!    PAPA families extend classical PA with the number of common
+//!    attributes `a(u, v)`; LAPA wins empirically and is linear in `a` —
+//!    see [`attach`].
+//! 2. **Attribute-augmented triangle closing** (§5.2): RR-SAN extends the
+//!    random-random walk closure with focal (shared-attribute) hops — see
+//!    [`closing`].
+//!
+//! [`model`] assembles them into the full stochastic process of
+//! Algorithm 1 — node arrival, lognormal attribute degrees, preferential
+//! attribute linking, LAPA first links, **truncated-normal lifetimes**
+//! (the lever that provably produces lognormal out-degrees, Theorem 1),
+//! sleep times with mean `m_s/d_out`, and RR-SAN wake-up links. Every
+//! lever is a parameter, so the ablations of Fig. 18 (PA instead of LAPA;
+//! RR instead of RR-SAN) and the baselines are presets:
+//!
+//! * [`zhel`] — the directed extension of Zheleva et al.'s co-evolution
+//!   model used as the paper's baseline (§6),
+//! * [`mag`] — a Kim–Leskovec multiplicative-attribute-graph style baseline
+//!   (related work §8),
+//! * [`params`] — guided greedy parameter search ("we run a guided greedy
+//!   search to estimate appropriate parameters", §6),
+//! * [`theory`] — Theorems 1 and 2 as checkable predictions.
+
+pub mod attach;
+pub mod closing;
+pub mod error;
+pub mod mag;
+pub mod model;
+pub mod params;
+pub mod theory;
+pub mod zhel;
+
+pub use attach::{AttachModel, LapaSampler};
+pub use closing::ClosingModel;
+pub use error::ModelError;
+pub use model::{
+    AttrAssign, FirstLink, LifetimeDist, SanModel, SanModelParams, SleepMode,
+};
+pub use theory::{predicted_attr_exponent, predicted_outdegree_lognormal};

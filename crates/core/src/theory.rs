@@ -1,0 +1,160 @@
+//! Theorems 1 and 2 (§5.4) as checkable predictions.
+//!
+//! **Theorem 1.** With sleep times of mean `m_s/d_out` and lifetimes from a
+//! normal `N(µ_l, σ_l²)` truncated at 0, the generated social out-degrees
+//! are lognormal with
+//!
+//! ```text
+//! µ_o = (µ_l + σ_l·g(γ_l)) / m_s        σ_o² = σ_l²·(1 − δ(γ_l)) / m_s²
+//! ```
+//!
+//! where `γ_l = −µ_l/σ_l`, `g(γ) = φ(γ)/(1 − Φ(γ))`, `δ(γ) = g(γ)(g(γ)−γ)`
+//! — i.e. `ln D_out ≈ lifetime / m_s` via the harmonic-sum argument.
+//!
+//! **Theorem 2.** With each attribute link attaching to a brand-new
+//! attribute node w.p. `p` and to an existing node ∝ social degree
+//! otherwise, the social degrees of attribute nodes follow a power law with
+//! exponent `(2 − p)/(1 − p)`.
+
+use crate::error::ModelError;
+use san_stats::dist::trunc_normal::{delta, mills_g};
+
+/// Theorem 1: predicted `(µ_o, σ_o)` of the lognormal out-degree
+/// distribution.
+pub fn predicted_outdegree_lognormal(
+    lifetime_mu: f64,
+    lifetime_sigma: f64,
+    mean_sleep: f64,
+) -> Result<(f64, f64), ModelError> {
+    if !(lifetime_sigma > 0.0) {
+        return Err(ModelError::InvalidParameter {
+            name: "lifetime_sigma",
+            value: lifetime_sigma,
+            constraint: "must be > 0",
+        });
+    }
+    if !(mean_sleep > 0.0) {
+        return Err(ModelError::InvalidParameter {
+            name: "mean_sleep",
+            value: mean_sleep,
+            constraint: "must be > 0",
+        });
+    }
+    let gamma = -lifetime_mu / lifetime_sigma;
+    let mu_o = (lifetime_mu + lifetime_sigma * mills_g(gamma)) / mean_sleep;
+    let var_o = lifetime_sigma * lifetime_sigma * (1.0 - delta(gamma))
+        / (mean_sleep * mean_sleep);
+    Ok((mu_o, var_o.sqrt()))
+}
+
+/// Theorem 2: predicted power-law exponent `(2 − p)/(1 − p)` of the social
+/// degree of attribute nodes.
+pub fn predicted_attr_exponent(p_new: f64) -> Result<f64, ModelError> {
+    if !(0.0..1.0).contains(&p_new) {
+        return Err(ModelError::InvalidParameter {
+            name: "p_new",
+            value: p_new,
+            constraint: "must be in [0, 1)",
+        });
+    }
+    Ok((2.0 - p_new) / (1.0 - p_new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttrAssign, SanModel, SanModelParams};
+    use san_stats::{DiscretePowerLaw, Lognormal};
+
+    #[test]
+    fn theorem1_formula_values() {
+        // Untruncated regime (mu >> 0): mu_o = mu_l/ms, sigma_o = sigma_l/ms.
+        let (mu_o, sigma_o) = predicted_outdegree_lognormal(100.0, 5.0, 10.0).unwrap();
+        assert!((mu_o - 10.0).abs() < 1e-3, "mu_o={mu_o}");
+        assert!((sigma_o - 0.5).abs() < 1e-3, "sigma_o={sigma_o}");
+        // Truncation shifts the mean up and shrinks the variance.
+        let (mu_t, sigma_t) = predicted_outdegree_lognormal(0.0, 5.0, 10.0).unwrap();
+        assert!(mu_t > 0.0);
+        assert!(sigma_t < 0.5);
+    }
+
+    #[test]
+    fn theorem1_rejects_bad_params() {
+        assert!(predicted_outdegree_lognormal(1.0, 0.0, 1.0).is_err());
+        assert!(predicted_outdegree_lognormal(1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn theorem2_formula_values() {
+        assert!((predicted_attr_exponent(0.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((predicted_attr_exponent(0.5).unwrap() - 3.0).abs() < 1e-12);
+        // The paper's measured alpha ~= 2.0-2.1 corresponds to p ~= 0-0.1.
+        assert!((predicted_attr_exponent(0.1).unwrap() - 19.0 / 9.0).abs() < 1e-12);
+        assert!(predicted_attr_exponent(1.0).is_err());
+        assert!(predicted_attr_exponent(-0.1).is_err());
+    }
+
+    #[test]
+    fn theorem1_matches_simulation() {
+        // Generate with known lifetime/sleep parameters and compare the
+        // fitted lognormal against the prediction.
+        let params = SanModelParams::paper_default(150, 30);
+        let (lt_mu, lt_sigma, ms) = (8.0, 6.0, 8.0); // paper_default values
+        let (mu_pred, _sigma_pred) =
+            predicted_outdegree_lognormal(lt_mu, lt_sigma, ms).unwrap();
+        let (_, san) = SanModel::new(params).unwrap().generate(21);
+        // Exclude seeds (inert) and the youngest cohort (their lifetimes
+        // have not elapsed, biasing degrees down).
+        let n = san.num_social_nodes();
+        let degrees: Vec<f64> = (5..n * 3 / 4)
+            .map(|i| san.out_degree(san_graph::SocialId(i as u32)) as f64)
+            .filter(|&d| d > 0.0)
+            .collect();
+        let fit = Lognormal::fit(&degrees).unwrap();
+        // Mean-field + censoring: generous tolerance, but the prediction
+        // must be in the right neighbourhood.
+        assert!(
+            (fit.mu - mu_pred).abs() < 0.75,
+            "fit.mu={} predicted={}",
+            fit.mu,
+            mu_pred
+        );
+    }
+
+    #[test]
+    fn theorem2_matches_simulation() {
+        // Sweep p_new and check the fitted attribute-degree exponent tracks
+        // (2-p)/(1-p). The mean-field exponent is approached from below at
+        // finite size (seed attributes get a head start), so the fit uses
+        // x_min = 3 to focus on the tail, and the exponent must also be
+        // monotone in p as the theorem predicts.
+        let mut fitted = Vec::new();
+        for &p_new in &[0.2, 1.0 / 3.0, 0.5] {
+            let mut params = SanModelParams::paper_default(100, 40);
+            params.attr_assign = AttrAssign::Lognormal {
+                mu: 1.0,
+                sigma: 0.8,
+                p_new,
+            };
+            let (_, san) = SanModel::new(params).unwrap().generate(33);
+            let degrees: Vec<u64> = san
+                .attr_nodes()
+                .map(|a| san.social_degree_of_attr(a) as u64)
+                .filter(|&d| d >= 1)
+                .collect();
+            assert!(degrees.len() > 100, "need attribute nodes to fit");
+            let fit = DiscretePowerLaw::fit(&degrees, 3).unwrap();
+            fitted.push(fit.alpha());
+            let predicted = predicted_attr_exponent(p_new).unwrap();
+            assert!(
+                (fit.alpha() - predicted).abs() < 0.45,
+                "p={p_new}: fitted={} predicted={predicted}",
+                fit.alpha()
+            );
+        }
+        assert!(
+            fitted[0] < fitted[1] && fitted[1] < fitted[2],
+            "exponent must grow with p: {fitted:?}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! The Zhel baseline: Zheleva et al.'s social/affiliation co-evolution
+//! model \[61\], extended to directed networks (§6 of the paper).
+//!
+//! The paper's evaluation needs a baseline that jointly generates social
+//! and attribute structure; the closest prior work is Zheleva, Sharara &
+//! Getoor (KDD 2009), whose model
+//!
+//! * grows the social graph with preferential attachment + triadic
+//!   (random-random) closing — **power-law** social degrees,
+//! * grows group (attribute) membership *from* the social structure: users
+//!   copy groups from their friends (social → attribute influence — the
+//!   reverse causality of the paper's model),
+//! * uses the exponential lifetime / power-law-with-cutoff sleep machinery
+//!   of Leskovec et al. for activity.
+//!
+//! The paper extends it to directed networks "straightforwardly": an
+//! undirected link becomes a directed outgoing link (§6, footnote 5).
+//!
+//! In this workspace the Zhel model is a **preset** of the shared
+//! generative engine ([`SanModelParams::zhel_baseline`]): exponential
+//! lifetimes (which provably flip the out-degree family from lognormal to
+//! power law — see [`crate::theory`]), PA first links (`β = 0`), RR closing
+//! (no focal hops), and friend-copy attribute assignment. This module adds
+//! the convenience constructor and the family-level checks used by the
+//! Fig. 16/17 comparisons.
+
+use crate::model::{SanModel, SanModelParams};
+use crate::error::ModelError;
+use san_graph::{San, SanTimeline};
+
+/// Builds the directed Zhel baseline model.
+pub fn zhel_model(days: u32, arrivals_per_day: u32) -> Result<SanModel, ModelError> {
+    SanModel::new(SanModelParams::zhel_baseline(days, arrivals_per_day))
+}
+
+/// Generates a Zhel SAN (convenience wrapper).
+pub fn generate_zhel(days: u32, arrivals_per_day: u32, seed: u64) -> (SanTimeline, San) {
+    zhel_model(days, arrivals_per_day)
+        .expect("zhel defaults are valid")
+        .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_stats::fit::{fit_degree_distribution, FitFamily};
+
+    #[test]
+    fn zhel_generates_and_is_consistent() {
+        let (tl, san) = generate_zhel(40, 10, 5);
+        assert!(san.num_social_nodes() > 400);
+        san.check_consistency().unwrap();
+        assert_eq!(tl.final_snapshot().num_social_links(), san.num_social_links());
+    }
+
+    #[test]
+    fn zhel_outdegree_powerlaw_indegree_less_lognormal_than_paper() {
+        // Fig. 16 e/f vs a/b. Out-degree: the Zhel baseline is a clean
+        // power law (exponential lifetimes; llr ~ 0, tiny power-law KS).
+        // In-degree: at laptop scale the directed extension's in-degree
+        // sits between families, so the reproducible claim is comparative —
+        // the paper model's in-degree is decisively more lognormal.
+        let (_, zhel) = generate_zhel(120, 25, 6);
+        let deg = |san: &san_graph::San, inward: bool| -> Vec<u64> {
+            san.social_nodes()
+                .skip(5)
+                .map(|u| if inward { san.in_degree(u) } else { san.out_degree(u) } as u64)
+                .collect()
+        };
+        let zhel_out = fit_degree_distribution(&deg(&zhel, false)).unwrap();
+        assert!(zhel_out.ks_powerlaw < 0.06, "{zhel_out:?}");
+        assert!(
+            zhel_out.llr_per_sample() < 0.02,
+            "zhel out-degree must not be clearly lognormal: {zhel_out:?}"
+        );
+
+        let paper = crate::model::SanModel::new(
+            crate::model::SanModelParams::paper_default(120, 25),
+        )
+        .unwrap()
+        .generate(6)
+        .1;
+        let paper_in = fit_degree_distribution(&deg(&paper, true)).unwrap();
+        let zhel_in = fit_degree_distribution(&deg(&zhel, true)).unwrap();
+        assert_eq!(paper_in.family, FitFamily::Lognormal);
+        assert!(
+            paper_in.ks_lognormal < zhel_in.ks_powerlaw,
+            "paper model should match its family better than zhel matches a power law: {} vs {}",
+            paper_in.ks_lognormal,
+            zhel_in.ks_powerlaw
+        );
+    }
+
+    #[test]
+    fn zhel_attr_degree_not_lognormal_shaped() {
+        // Fig. 16g: Zhel's attribute degrees are not lognormal; our
+        // friend-copy process produces a geometric-family (monotone
+        // decaying) distribution, so the mode is at the minimum degree.
+        let (_, zhel) = generate_zhel(80, 20, 7);
+        let attr_deg: Vec<u64> = zhel
+            .social_nodes()
+            .skip(5)
+            .map(|u| zhel.attr_degree(u) as u64)
+            .filter(|&d| d >= 1)
+            .collect();
+        assert!(!attr_deg.is_empty());
+        // Monotone head: P(1) >= P(2) >= P(3).
+        let pmf = san_stats::empirical_pmf(&attr_deg);
+        let p = |k: u64| {
+            pmf.iter()
+                .find(|(v, _)| *v == k)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0)
+        };
+        assert!(p(1) >= p(2) && p(2) >= p(3), "head not monotone: {pmf:?}");
+    }
+}

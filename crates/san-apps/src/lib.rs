@@ -1,0 +1,36 @@
+//! # san-apps — application fidelity benchmarks on SANs
+//!
+//! The paper validates its generative model not only on network metrics but
+//! on **applications** that consume the social structure (§6.2), plus two
+//! "implications" applications sketched in §4.4/§7. All four live here:
+//!
+//! * [`sybil`] — **SybilLimit** (Yu et al., Oakland 2008): how many Sybil
+//!   identities an adversary with `c` compromised nodes can insert, under
+//!   the paper's protocol settings (node degree bound 100, `w = 10`) —
+//!   Fig. 19a;
+//! * [`anonymity`] — **Drac-style anonymous communication** (Danezis et
+//!   al., PETS 2010): probability that a random-walk circuit over social
+//!   links has both its first and last hop compromised (end-to-end timing
+//!   analysis) — Fig. 19b;
+//! * [`mod@recommend`] — friend recommendation driven by common friends and
+//!   common attributes (the §7 implication that employer-sharing should
+//!   power recommenders);
+//! * [`reciprocity_predict`] — the §4.4 implication that "any reciprocity
+//!   predictor should incorporate node attributes", as a measurable
+//!   comparison between attribute-aware and structure-only predictors;
+//! * [`attr_infer`] — attribute inference from friends' profiles (the
+//!   companion task of the paper's SAN framework reference \[17\]).
+//!
+//! Everything operates on plain [`san_graph::San`] values, so the same code
+//! evaluates the real (simulated) Google+, the paper's model output, and
+//! the Zhel baseline — which is precisely the Fig. 19 comparison.
+
+pub mod anonymity;
+pub mod attr_infer;
+pub mod recommend;
+pub mod reciprocity_predict;
+pub mod sybil;
+
+pub use anonymity::{timing_analysis_probability, AnonymityConfig};
+pub use recommend::{recommend, RecommenderWeights};
+pub use sybil::{sybil_curve, sybil_identities, SybilLimitConfig, SybilResult};

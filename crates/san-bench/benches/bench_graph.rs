@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the SAN data-structure substrate: mutation
+//! throughput and the neighbourhood queries every metric sits on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use san_core::model::{SanModel, SanModelParams};
+use san_graph::{San, SocialId};
+use san_stats::SplitRng;
+
+fn build_random_san(n: u32, links_per_node: u32, seed: u64) -> San {
+    let mut rng = SplitRng::new(seed);
+    let mut san = San::new();
+    for _ in 0..n {
+        san.add_social_node();
+    }
+    for _ in 0..4 {
+        san.add_attr_node(san_graph::AttrType::Employer);
+    }
+    for u in 0..n {
+        for _ in 0..links_per_node {
+            let v = rng.below(u64::from(n)) as u32;
+            if v != u {
+                san.add_social_link(SocialId(u), SocialId(v));
+            }
+        }
+        if rng.chance(0.25) {
+            san.add_attr_link(SocialId(u), san_graph::AttrId(rng.below(4) as u32));
+        }
+    }
+    san
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/mutation");
+    for &n in &[1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("build_random_san", n), &n, |b, &n| {
+            b.iter(|| build_random_san(black_box(n), 8, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let san = build_random_san(10_000, 8, 2);
+    let mut rng = SplitRng::new(3);
+    let mut group = c.benchmark_group("graph/queries");
+    group.bench_function("has_social_link", |b| {
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            let v = SocialId(rng.below(10_000) as u32);
+            black_box(san.has_social_link(u, v))
+        });
+    });
+    group.bench_function("social_neighbors", |b| {
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            black_box(san.social_neighbors(u).len())
+        });
+    });
+    group.bench_function("common_social_neighbors", |b| {
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            let v = SocialId(rng.below(10_000) as u32);
+            black_box(san.common_social_neighbors(u, v))
+        });
+    });
+    group.bench_function("common_attrs", |b| {
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            let v = SocialId(rng.below(10_000) as u32);
+            black_box(san.common_attrs(u, v))
+        });
+    });
+    group.finish();
+}
+
+fn bench_timeline_replay(c: &mut Criterion) {
+    let (tl, _) = SanModel::new(SanModelParams::paper_default(60, 30))
+        .unwrap()
+        .generate(4);
+    let mut group = c.benchmark_group("graph/timeline");
+    group.bench_function("final_snapshot_replay", |b| {
+        b.iter(|| black_box(tl.final_snapshot().num_social_links()));
+    });
+    group.bench_function("day_counts", |b| {
+        b.iter(|| black_box(tl.day_counts().len()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mutation, bench_queries, bench_timeline_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id|all> [--scale N] [--seed N]
+//! ```
+//!
+//! `id` ∈ {fig2..fig19, closure, theory, alg2, coverage}. `--scale` is the
+//! Phase II daily arrival rate of the synthetic Google+ (default 40 ⇒
+//! ≈10 k users); `--seed` fixes all randomness (default 42).
+
+use san_bench::{exp, Ctx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale: u32 = 40;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid --scale value"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid --seed value"));
+            }
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment id given");
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = exp::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    // Validate before paying for dataset generation.
+    for id in &ids {
+        if !exp::ALL.contains(&id.as_str()) {
+            usage(&format!("unknown experiment '{id}'"));
+        }
+    }
+    eprintln!("generating synthetic Google+ (scale={scale}, seed={seed})…");
+    let ctx = Ctx::new(scale, seed);
+    eprintln!(
+        "dataset ready: {} users, {} social links, {} attributes, {} attribute links (crawled: {} users)",
+        ctx.data.truth.num_social_nodes(),
+        ctx.data.truth.num_social_links(),
+        ctx.data.truth.num_attr_nodes(),
+        ctx.data.truth.num_attr_links(),
+        ctx.crawl.san.num_social_nodes(),
+    );
+    for id in &ids {
+        assert!(exp::run(id, &ctx), "validated above");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: experiments <id|all> [--scale N] [--seed N]");
+    eprintln!("experiments: {}", exp::ALL.join(" "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

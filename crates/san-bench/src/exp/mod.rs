@@ -1,0 +1,56 @@
+//! Experiment implementations, one per table/figure of the paper.
+//!
+//! | Target | Paper artefact | Module |
+//! |--------|----------------|--------|
+//! | `fig2` `fig3` `coverage` | growth curves, crawl coverage (§2.2) | [`growth`] |
+//! | `fig4` `fig5` `fig6` `fig7` | social-structure metrics (§3) | [`social`] |
+//! | `fig8` `fig9` `fig10` `fig11` `fig12` | attribute structure (§4.1, §4.3) | [`attribute`] |
+//! | `fig13` `fig14` `closure` | attribute influence (§4.2, §5.2) | [`influence`] |
+//! | `fig15` `fig16` `fig17` `fig18` `theory` `alg2` | models (§5, §6.1, App. A) | [`modeling`] |
+//! | `fig19` | application fidelity (§6.2) | [`apps`] |
+
+pub mod apps;
+pub mod attribute;
+pub mod growth;
+pub mod influence;
+pub mod modeling;
+pub mod social;
+
+use crate::Ctx;
+
+/// Every experiment id, in paper order (what `all` runs).
+pub const ALL: &[&str] = &[
+    "fig2", "fig3", "coverage", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "closure", "fig16", "fig17", "fig18",
+    "fig19", "theory", "alg2",
+];
+
+/// Dispatches one experiment by id; returns false for unknown ids.
+pub fn run(id: &str, ctx: &Ctx) -> bool {
+    match id {
+        "fig2" => growth::fig2(ctx),
+        "fig3" => growth::fig3(ctx),
+        "coverage" => growth::coverage(ctx),
+        "fig4" => social::fig4(ctx),
+        "fig5" => social::fig5(ctx),
+        "fig6" => social::fig6(ctx),
+        "fig7" => social::fig7(ctx),
+        "fig8" => attribute::fig8(ctx),
+        "fig9" => attribute::fig9(ctx),
+        "fig10" => attribute::fig10(ctx),
+        "fig11" => attribute::fig11(ctx),
+        "fig12" => attribute::fig12(ctx),
+        "fig13" => influence::fig13(ctx),
+        "fig14" => influence::fig14(ctx),
+        "closure" => influence::closure(ctx),
+        "fig15" => modeling::fig15(ctx),
+        "fig16" => modeling::fig16(ctx),
+        "fig17" => modeling::fig17(ctx),
+        "fig18" => modeling::fig18(ctx),
+        "theory" => modeling::theory(ctx),
+        "alg2" => modeling::alg2(ctx),
+        "fig19" => apps::fig19(ctx),
+        _ => return false,
+    }
+    true
+}

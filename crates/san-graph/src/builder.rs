@@ -1,0 +1,182 @@
+//! Out-of-order batch construction of [`San`] structures.
+//!
+//! [`San`]'s mutation API requires endpoints to exist before links are added
+//! and assigns ids densely. When loading edge lists from disk (or writing
+//! tests by hand) it is more convenient to name nodes up front and add links
+//! in any order; [`SanBuilder`] buffers everything, validates, and produces
+//! the final structure.
+
+use crate::ids::{AttrId, AttrType, SocialId};
+use crate::san::San;
+use std::fmt;
+
+/// Errors reported by [`SanBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A social link references a node id that was never declared.
+    UnknownSocialNode(u32),
+    /// An attribute link references an attribute id that was never declared.
+    UnknownAttrNode(u32),
+    /// A social link is a self-loop.
+    SelfLoop(u32),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownSocialNode(id) => write!(f, "unknown social node u{id}"),
+            BuildError::UnknownAttrNode(id) => write!(f, "unknown attribute node a{id}"),
+            BuildError::SelfLoop(id) => write!(f, "self-loop at u{id}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Buffered SAN constructor.
+///
+/// Duplicate links are silently deduplicated (the multiset semantics of raw
+/// crawl data collapse to simple-graph semantics, as in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct SanBuilder {
+    num_social: u32,
+    attr_types: Vec<AttrType>,
+    social_links: Vec<(u32, u32)>,
+    attr_links: Vec<(u32, u32)>,
+}
+
+impl SanBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SanBuilder::default()
+    }
+
+    /// Declares `n` social nodes (ids `0..n`); returns the builder for
+    /// chaining. Calling repeatedly *extends* the node range.
+    pub fn social_nodes(&mut self, n: u32) -> &mut Self {
+        self.num_social += n;
+        self
+    }
+
+    /// Declares an attribute node and returns its id.
+    pub fn attr_node(&mut self, ty: AttrType) -> AttrId {
+        let id = AttrId(self.attr_types.len() as u32);
+        self.attr_types.push(ty);
+        id
+    }
+
+    /// Buffers a directed social link `src → dst`.
+    pub fn social_link(&mut self, src: u32, dst: u32) -> &mut Self {
+        self.social_links.push((src, dst));
+        self
+    }
+
+    /// Buffers an undirected attribute link.
+    pub fn attr_link(&mut self, user: u32, attr: u32) -> &mut Self {
+        self.attr_links.push((user, attr));
+        self
+    }
+
+    /// Validates and produces the [`San`].
+    pub fn build(&self) -> Result<San, BuildError> {
+        let mut san = San::with_capacity(self.num_social as usize, self.attr_types.len());
+        for _ in 0..self.num_social {
+            san.add_social_node();
+        }
+        for &ty in &self.attr_types {
+            san.add_attr_node(ty);
+        }
+        for &(src, dst) in &self.social_links {
+            if src >= self.num_social {
+                return Err(BuildError::UnknownSocialNode(src));
+            }
+            if dst >= self.num_social {
+                return Err(BuildError::UnknownSocialNode(dst));
+            }
+            if src == dst {
+                return Err(BuildError::SelfLoop(src));
+            }
+            san.add_social_link(SocialId(src), SocialId(dst));
+        }
+        for &(user, attr) in &self.attr_links {
+            if user >= self.num_social {
+                return Err(BuildError::UnknownSocialNode(user));
+            }
+            if attr as usize >= self.attr_types.len() {
+                return Err(BuildError::UnknownAttrNode(attr));
+            }
+            san.add_attr_link(SocialId(user), AttrId(attr));
+        }
+        Ok(san)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_small_network() {
+        let mut b = SanBuilder::new();
+        b.social_nodes(3);
+        let a0 = b.attr_node(AttrType::School);
+        b.social_link(0, 1).social_link(1, 2).attr_link(0, a0.0);
+        let san = b.build().unwrap();
+        assert_eq!(san.num_social_nodes(), 3);
+        assert_eq!(san.num_attr_nodes(), 1);
+        assert_eq!(san.num_social_links(), 2);
+        assert_eq!(san.num_attr_links(), 1);
+        san.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn deduplicates_links() {
+        let mut b = SanBuilder::new();
+        b.social_nodes(2);
+        b.social_link(0, 1).social_link(0, 1).social_link(0, 1);
+        let san = b.build().unwrap();
+        assert_eq!(san.num_social_links(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = SanBuilder::new();
+        b.social_nodes(2);
+        b.social_link(0, 5);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnknownSocialNode(5));
+
+        let mut b = SanBuilder::new();
+        b.social_nodes(2);
+        b.attr_link(0, 0);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnknownAttrNode(0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = SanBuilder::new();
+        b.social_nodes(2);
+        b.social_link(1, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::SelfLoop(1));
+    }
+
+    #[test]
+    fn social_nodes_extends() {
+        let mut b = SanBuilder::new();
+        b.social_nodes(2).social_nodes(3);
+        let san = b.build().unwrap();
+        assert_eq!(san.num_social_nodes(), 5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            BuildError::UnknownSocialNode(3).to_string(),
+            "unknown social node u3"
+        );
+        assert_eq!(BuildError::SelfLoop(1).to_string(), "self-loop at u1");
+        assert_eq!(
+            BuildError::UnknownAttrNode(2).to_string(),
+            "unknown attribute node a2"
+        );
+    }
+}

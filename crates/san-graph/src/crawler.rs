@@ -1,0 +1,280 @@
+//! The snapshot-expanding BFS crawler of §2.2.
+//!
+//! The paper crawled Google+ daily: the first snapshot by breadth-first
+//! search, each subsequent snapshot by *expanding the social structure from
+//! the previous snapshot*. Crucially, Google+ exposes **both** the outgoing
+//! ("in your circles") and incoming ("have you in circles") lists of every
+//! *public* profile, which is what made crawling the whole weakly connected
+//! component feasible.
+//!
+//! [`Crawler`] reproduces that process against a ground-truth [`San`]:
+//!
+//! * a **public** user exposes its out-list, in-list and attributes;
+//! * a **private** user is *discoverable* (it appears in public users'
+//!   lists) but exposes nothing — the two crawl biases acknowledged in §2.2
+//!   (private circles ⇒ underestimated degrees; undeclared attributes) fall
+//!   out of this rule;
+//! * crawl state persists across days, so day `t`'s crawl expands from the
+//!   users known at day `t − 1`.
+
+use crate::ids::{AttrId, SocialId};
+use crate::san::San;
+use std::collections::VecDeque;
+
+/// A crawled snapshot: the observed sub-SAN plus provenance and coverage.
+#[derive(Debug, Clone)]
+pub struct CrawlSnapshot {
+    /// The network as observed by the crawler (dense crawl-local ids).
+    pub san: San,
+    /// For each crawl-local social id (by index), the ground-truth id.
+    pub social_origin: Vec<SocialId>,
+    /// For each crawl-local attribute id (by index), the ground-truth id.
+    pub attr_origin: Vec<AttrId>,
+    /// Discovered users / ground-truth users.
+    pub node_coverage: f64,
+    /// Observed social links / ground-truth social links.
+    pub link_coverage: f64,
+}
+
+/// Stateful daily crawler over a growing ground truth.
+#[derive(Debug, Clone)]
+pub struct Crawler {
+    seeds: Vec<SocialId>,
+    /// Users discovered so far (ground-truth ids).
+    known: Vec<SocialId>,
+}
+
+impl Crawler {
+    /// Creates a crawler that starts from the given seed users.
+    pub fn new(seeds: Vec<SocialId>) -> Self {
+        Crawler {
+            known: Vec::new(),
+            seeds,
+        }
+    }
+
+    /// Users discovered so far.
+    pub fn known(&self) -> &[SocialId] {
+        &self.known
+    }
+
+    /// Crawls the current ground truth.
+    ///
+    /// `public[u]` says whether ground-truth user `u` exposes its lists.
+    /// The crawl BFS starts from all previously known users plus the seeds
+    /// and repeatedly fetches the lists of every reachable public user.
+    ///
+    /// # Panics
+    /// Panics when `public.len()` differs from the ground-truth node count
+    /// or a seed id is out of range.
+    pub fn crawl(&mut self, truth: &San, public: &[bool]) -> CrawlSnapshot {
+        let n = truth.num_social_nodes();
+        assert_eq!(public.len(), n, "visibility vector must cover all users");
+
+        let mut discovered = vec![false; n];
+        let mut queue: VecDeque<SocialId> = VecDeque::new();
+        for &u in self.known.iter().chain(self.seeds.iter()) {
+            assert!(u.index() < n, "seed/known user {u} outside ground truth");
+            if !discovered[u.index()] {
+                discovered[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            if !public[u.index()] {
+                continue; // private: lists invisible, cannot expand through.
+            }
+            for &v in truth
+                .out_neighbors(u)
+                .iter()
+                .chain(truth.in_neighbors(u))
+            {
+                if !discovered[v.index()] {
+                    discovered[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        // Record the expanded known set (ordered by ground-truth id for
+        // determinism).
+        self.known = (0..n as u32)
+            .map(SocialId)
+            .filter(|u| discovered[u.index()])
+            .collect();
+
+        // Materialise the observed SAN.
+        let mut social_new = vec![u32::MAX; n];
+        let mut social_origin = Vec::new();
+        for &u in &self.known {
+            social_new[u.index()] = social_origin.len() as u32;
+            social_origin.push(u);
+        }
+        let mut san = San::with_capacity(social_origin.len(), 0);
+        for _ in 0..social_origin.len() {
+            san.add_social_node();
+        }
+        let mut attr_new = vec![u32::MAX; truth.num_attr_nodes()];
+        let mut attr_origin = Vec::new();
+        let mut observed_links = 0usize;
+        for (new_u, &old_u) in social_origin.iter().enumerate() {
+            // A directed link u->v is observed if either endpoint is public
+            // (u's out-list or v's in-list) and both endpoints are known.
+            for &v in truth.out_neighbors(old_u) {
+                let nv = social_new[v.index()];
+                if nv == u32::MAX {
+                    continue;
+                }
+                if public[old_u.index()] || public[v.index()] {
+                    if san.add_social_link(SocialId(new_u as u32), SocialId(nv)) {
+                        observed_links += 1;
+                    }
+                }
+            }
+            // Attributes are profile data: only public users expose them.
+            if public[old_u.index()] {
+                for &a in truth.attrs_of(old_u) {
+                    if attr_new[a.index()] == u32::MAX {
+                        attr_new[a.index()] = attr_origin.len() as u32;
+                        attr_origin.push(a);
+                        san.add_attr_node(truth.attr_type(a));
+                    }
+                    san.add_attr_link(SocialId(new_u as u32), AttrId(attr_new[a.index()]));
+                }
+            }
+        }
+
+        let node_coverage = if n == 0 {
+            0.0
+        } else {
+            social_origin.len() as f64 / n as f64
+        };
+        let link_coverage = if truth.num_social_links() == 0 {
+            0.0
+        } else {
+            observed_links as f64 / truth.num_social_links() as f64
+        };
+        CrawlSnapshot {
+            san,
+            social_origin,
+            attr_origin,
+            node_coverage,
+            link_coverage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+
+    #[test]
+    fn full_visibility_crawls_whole_wcc() {
+        let fx = figure1();
+        let public = vec![true; 6];
+        let mut crawler = Crawler::new(vec![fx.users[3]]); // u4
+        let snap = crawler.crawl(&fx.san, &public);
+        // u1 has no social links: unreachable. The other 5 form one WCC.
+        assert_eq!(snap.san.num_social_nodes(), 5);
+        assert_eq!(snap.san.num_social_links(), 5);
+        assert!((snap.node_coverage - 5.0 / 6.0).abs() < 1e-12);
+        assert!((snap.link_coverage - 1.0).abs() < 1e-12);
+        snap.san.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn incoming_lists_enable_backward_discovery() {
+        // Chain u0 -> u1 -> u2 seeded at u2: only reachable backwards.
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..3).map(|_| san.add_social_node()).collect();
+        san.add_social_link(u[0], u[1]);
+        san.add_social_link(u[1], u[2]);
+        let mut crawler = Crawler::new(vec![u[2]]);
+        let snap = crawler.crawl(&san, &[true, true, true]);
+        assert_eq!(snap.san.num_social_nodes(), 3, "in-lists must be crawled");
+    }
+
+    #[test]
+    fn private_users_block_expansion() {
+        // u0 -> u1 -> u2 with u1 private, seeded at u0:
+        // u1 is discovered via u0's out-list but u2 stays hidden
+        // (u1's lists are private).
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..3).map(|_| san.add_social_node()).collect();
+        san.add_social_link(u[0], u[1]);
+        san.add_social_link(u[1], u[2]);
+        let mut crawler = Crawler::new(vec![u[0]]);
+        let snap = crawler.crawl(&san, &[true, false, true]);
+        assert_eq!(snap.san.num_social_nodes(), 2);
+        // The u0->u1 link is visible (u0 public); u1->u2 is not.
+        assert_eq!(snap.san.num_social_links(), 1);
+        assert!(snap.node_coverage < 1.0);
+    }
+
+    #[test]
+    fn private_user_attributes_hidden() {
+        let fx = figure1();
+        let mut public = vec![true; 6];
+        public[fx.users[4].index()] = false; // u5 private
+        let mut crawler = Crawler::new(vec![fx.users[3]]);
+        let snap = crawler.crawl(&fx.san, &public);
+        // u5 discovered (u4's out-list) but its attributes invisible:
+        // Google keeps only u6; San Francisco keeps only u2.
+        let total_attr_links = snap.san.num_attr_links();
+        assert_eq!(total_attr_links, fx.san.num_attr_links() - 1 /* u1 unreachable */ - 2);
+    }
+
+    #[test]
+    fn state_persists_across_days() {
+        // Day 1: two components; crawler sees one. Day 2: a bridge link
+        // appears and the second component becomes reachable.
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..4).map(|_| san.add_social_node()).collect();
+        san.add_social_link(u[0], u[1]);
+        san.add_social_link(u[2], u[3]);
+        let mut crawler = Crawler::new(vec![u[0]]);
+        let public = vec![true; 4];
+        let day1 = crawler.crawl(&san, &public);
+        assert_eq!(day1.san.num_social_nodes(), 2);
+        assert_eq!(crawler.known().len(), 2);
+
+        san.add_social_link(u[1], u[2]);
+        let day2 = crawler.crawl(&san, &public);
+        assert_eq!(day2.san.num_social_nodes(), 4);
+        assert_eq!(day2.san.num_social_links(), 3);
+    }
+
+    #[test]
+    fn growing_truth_ids_stay_valid() {
+        // New users join the ground truth between crawls; the crawler's
+        // known set must still be valid.
+        let mut san = San::new();
+        let u0 = san.add_social_node();
+        let u1 = san.add_social_node();
+        san.add_social_link(u0, u1);
+        let mut crawler = Crawler::new(vec![u0]);
+        crawler.crawl(&san, &[true, true]);
+        let u2 = san.add_social_node();
+        san.add_social_link(u1, u2);
+        let snap = crawler.crawl(&san, &[true, true, true]);
+        assert_eq!(snap.san.num_social_nodes(), 3);
+    }
+
+    #[test]
+    fn empty_truth() {
+        let san = San::new();
+        let mut crawler = Crawler::new(vec![]);
+        let snap = crawler.crawl(&san, &[]);
+        assert_eq!(snap.san.num_social_nodes(), 0);
+        assert_eq!(snap.node_coverage, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "visibility vector")]
+    fn visibility_length_checked() {
+        let fx = figure1();
+        let mut crawler = Crawler::new(vec![fx.users[0]]);
+        crawler.crawl(&fx.san, &[true; 3]);
+    }
+}

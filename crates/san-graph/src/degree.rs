@@ -1,0 +1,222 @@
+//! Degree-vector extraction and degree-bounded undirected views.
+//!
+//! The paper analyses four degree notions (§3.5, §4.1):
+//!
+//! 1. social **out-degree** of social nodes,
+//! 2. social **in-degree** of social nodes,
+//! 3. **attribute degree** of social nodes (`|Γa(u)|`),
+//! 4. **social degree of attribute nodes** (number of members).
+//!
+//! [`DegreeVectors`] extracts all four in one pass. The SybilLimit and
+//! anonymity experiments (§6.2) additionally need an *undirected* view of
+//! the social graph with a **node degree bound** ("we imposed a node degree
+//! bound of 100") — [`to_undirected`] and [`bound_degrees`].
+
+use crate::ids::SocialId;
+use crate::san::San;
+use san_stats::SplitRng;
+
+/// The four degree vectors of a SAN.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeVectors {
+    /// Out-degree per social node.
+    pub out: Vec<u64>,
+    /// In-degree per social node.
+    pub inc: Vec<u64>,
+    /// Attribute degree per social node.
+    pub attr_of_social: Vec<u64>,
+    /// Social degree per attribute node.
+    pub social_of_attr: Vec<u64>,
+}
+
+/// Extracts all four degree vectors.
+pub fn degree_vectors(san: &San) -> DegreeVectors {
+    let out = san
+        .social_nodes()
+        .map(|u| san.out_degree(u) as u64)
+        .collect();
+    let inc = san
+        .social_nodes()
+        .map(|u| san.in_degree(u) as u64)
+        .collect();
+    let attr_of_social = san
+        .social_nodes()
+        .map(|u| san.attr_degree(u) as u64)
+        .collect();
+    let social_of_attr = san
+        .attr_nodes()
+        .map(|a| san.social_degree_of_attr(a) as u64)
+        .collect();
+    DegreeVectors {
+        out,
+        inc,
+        attr_of_social,
+        social_of_attr,
+    }
+}
+
+/// Undirected adjacency view of the social graph: `adj[u]` lists every `v`
+/// such that `u → v` or `v → u`, sorted and deduplicated.
+pub fn to_undirected(san: &San) -> Vec<Vec<u32>> {
+    let n = san.num_social_nodes();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in san.social_links() {
+        adj[u.index()].push(v.0);
+        adj[v.index()].push(u.0);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Applies a node degree bound to an undirected adjacency structure.
+///
+/// For every node with more than `bound` neighbours, a uniformly random
+/// subset of `bound` incident edges is retained *from that node's
+/// perspective*; an edge survives only if **both** endpoints retain it
+/// (mirroring SybilLimit's guideline that the protocol refuses to use more
+/// than `bound` edges per node). The result is symmetric.
+pub fn bound_degrees(adj: &[Vec<u32>], bound: usize, rng: &mut SplitRng) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    // keep[u] = set of neighbours u retains.
+    let mut keep: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for list in adj {
+        if list.len() <= bound {
+            keep.push(list.clone());
+        } else {
+            // Partial Fisher-Yates over a copy.
+            let mut copy = list.clone();
+            for i in 0..bound {
+                let j = i + rng.below((copy.len() - i) as u64) as usize;
+                copy.swap(i, j);
+            }
+            copy.truncate(bound);
+            copy.sort_unstable();
+            keep.push(copy);
+        }
+    }
+    // Intersect: edge (u,v) survives iff v in keep[u] and u in keep[v].
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, kept) in keep.iter().enumerate() {
+        for &v in kept {
+            if (v as usize) > u && keep[v as usize].binary_search(&(u as u32)).is_ok() {
+                out[u].push(v);
+                out[v as usize].push(u as u32);
+            }
+        }
+    }
+    for list in &mut out {
+        list.sort_unstable();
+    }
+    out
+}
+
+/// Total number of undirected edges in an adjacency structure.
+pub fn undirected_edge_count(adj: &[Vec<u32>]) -> usize {
+    adj.iter().map(Vec::len).sum::<usize>() / 2
+}
+
+/// Social nodes sorted by descending total (in+out) degree; useful for
+/// seeding crawls at well-connected users.
+pub fn nodes_by_total_degree(san: &San) -> Vec<SocialId> {
+    let mut nodes: Vec<SocialId> = san.social_nodes().collect();
+    nodes.sort_by_key(|&u| std::cmp::Reverse(san.out_degree(u) + san.in_degree(u)));
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+
+    #[test]
+    fn degree_vectors_figure1() {
+        let fx = figure1();
+        let dv = degree_vectors(&fx.san);
+        assert_eq!(dv.out.len(), 6);
+        assert_eq!(dv.social_of_attr.len(), 4);
+        // u4 has out-links to u3 and u5.
+        assert_eq!(dv.out[3], 2);
+        // u1 has one attribute (UC Berkeley).
+        assert_eq!(dv.attr_of_social[0], 1);
+        // Google has two members.
+        assert_eq!(dv.social_of_attr[fx.google.index()], 2);
+        // Totals match link counts.
+        assert_eq!(dv.out.iter().sum::<u64>(), 5);
+        assert_eq!(dv.inc.iter().sum::<u64>(), 5);
+        assert_eq!(dv.attr_of_social.iter().sum::<u64>(), 8);
+        assert_eq!(dv.social_of_attr.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn undirected_view_symmetric_dedup() {
+        let fx = figure1();
+        let adj = to_undirected(&fx.san);
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                assert!(adj[v as usize].contains(&(u as u32)), "asymmetric {u}-{v}");
+                assert_ne!(v as usize, u, "self-loop");
+            }
+            let mut sorted = list.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, list, "not deduplicated/sorted");
+        }
+        // u2<->u3 is reciprocal in the directed graph but must appear once.
+        assert_eq!(adj[1].iter().filter(|&&v| v == 2).count(), 1);
+    }
+
+    #[test]
+    fn bound_degrees_enforces_bound() {
+        // Star: hub 0 connected to 1..=20.
+        let mut san = San::new();
+        let hub = san.add_social_node();
+        let spokes: Vec<SocialId> = (0..20).map(|_| san.add_social_node()).collect();
+        for &s in &spokes {
+            san.add_social_link(s, hub);
+        }
+        let adj = to_undirected(&san);
+        let mut rng = SplitRng::new(1);
+        let bounded = bound_degrees(&adj, 5, &mut rng);
+        assert_eq!(bounded[hub.index()].len(), 5);
+        // Symmetry preserved.
+        for (u, list) in bounded.iter().enumerate() {
+            for &v in list {
+                assert!(bounded[v as usize].contains(&(u as u32)));
+            }
+        }
+        // Spokes keep at most their single edge.
+        let surviving: usize = bounded.iter().skip(1).map(Vec::len).sum();
+        assert_eq!(surviving, 5);
+    }
+
+    #[test]
+    fn bound_degrees_noop_when_under_bound() {
+        let fx = figure1();
+        let adj = to_undirected(&fx.san);
+        let mut rng = SplitRng::new(2);
+        let bounded = bound_degrees(&adj, 100, &mut rng);
+        assert_eq!(bounded, adj);
+    }
+
+    #[test]
+    fn edge_count_roundtrip() {
+        let fx = figure1();
+        let adj = to_undirected(&fx.san);
+        // 5 directed links, one pair (u2,u3) reciprocal -> 4 undirected edges.
+        assert_eq!(undirected_edge_count(&adj), 4);
+    }
+
+    #[test]
+    fn nodes_by_degree_order() {
+        let fx = figure1();
+        let order = nodes_by_total_degree(&fx.san);
+        // u3 and u4 tie at total degree 3; stable sort keeps id order.
+        let top = fx.san.out_degree(order[0]) + fx.san.in_degree(order[0]);
+        assert_eq!(top, 3);
+        assert!(order[0] == SocialId(2) || order[0] == SocialId(3));
+        // u1 (index 0) has no social links -> last.
+        assert_eq!(order[5], SocialId(0));
+    }
+}

@@ -1,0 +1,418 @@
+//! Timestamped SAN evolution: event logs, replay, and daily snapshots.
+//!
+//! The paper's dataset is a sequence of **79 daily snapshots** of a growing
+//! network (§2.2). We represent growth as an append-only [`SanEvent`] log
+//! ([`SanTimeline`]); any day's snapshot is reproduced by replaying the
+//! prefix of events with `day ≤ t`. Generators build timelines through
+//! [`TimelineBuilder`], which maintains the live [`San`] (so models can
+//! query degrees and neighbourhoods while growing the network) and records
+//! every mutation.
+
+use crate::ids::{AttrId, AttrType, SocialId};
+use crate::san::San;
+use serde::{Deserialize, Serialize};
+
+/// One growth event. Node ids are implicit: the `k`-th `SocialNode` event
+/// creates `SocialId(k)`, and likewise for attribute nodes — replay is
+/// therefore unambiguous and the log is compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SanEvent {
+    /// A user joins.
+    SocialNode {
+        /// Arrival day.
+        day: u32,
+    },
+    /// A new attribute value first appears.
+    AttrNode {
+        /// Arrival day.
+        day: u32,
+        /// Attribute category.
+        ty: AttrType,
+    },
+    /// A directed social link is created.
+    SocialLink {
+        /// Creation day.
+        day: u32,
+        /// Source user.
+        src: SocialId,
+        /// Destination user.
+        dst: SocialId,
+    },
+    /// An undirected user–attribute link is created.
+    AttrLink {
+        /// Creation day.
+        day: u32,
+        /// The user.
+        user: SocialId,
+        /// The attribute.
+        attr: AttrId,
+    },
+}
+
+impl SanEvent {
+    /// The day the event occurred.
+    pub fn day(&self) -> u32 {
+        match *self {
+            SanEvent::SocialNode { day }
+            | SanEvent::AttrNode { day, .. }
+            | SanEvent::SocialLink { day, .. }
+            | SanEvent::AttrLink { day, .. } => day,
+        }
+    }
+}
+
+/// Per-day aggregate counts (the series of Figures 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DayCounts {
+    /// Day index.
+    pub day: u32,
+    /// Cumulative social nodes at end of day.
+    pub social_nodes: usize,
+    /// Cumulative attribute nodes at end of day.
+    pub attr_nodes: usize,
+    /// Cumulative social links at end of day.
+    pub social_links: usize,
+    /// Cumulative attribute links at end of day.
+    pub attr_links: usize,
+}
+
+/// An immutable, day-ordered SAN growth log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SanTimeline {
+    events: Vec<SanEvent>,
+}
+
+impl SanTimeline {
+    /// Wraps a day-ordered event list.
+    ///
+    /// # Panics
+    /// Panics if the events are not sorted by day (replay would be
+    /// ambiguous).
+    pub fn from_events(events: Vec<SanEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].day() <= w[1].day()),
+            "timeline events must be day-ordered"
+        );
+        SanTimeline { events }
+    }
+
+    /// The raw event log.
+    pub fn events(&self) -> &[SanEvent] {
+        &self.events
+    }
+
+    /// The last day with any event (`None` for an empty timeline).
+    pub fn max_day(&self) -> Option<u32> {
+        self.events.last().map(SanEvent::day)
+    }
+
+    /// Replays the log through day `day` (inclusive) into a fresh [`San`].
+    pub fn snapshot_at(&self, day: u32) -> San {
+        let mut san = San::new();
+        for ev in &self.events {
+            if ev.day() > day {
+                break;
+            }
+            Self::apply(&mut san, ev);
+        }
+        san
+    }
+
+    /// Replays the whole log.
+    pub fn final_snapshot(&self) -> San {
+        match self.max_day() {
+            Some(d) => self.snapshot_at(d),
+            None => San::new(),
+        }
+    }
+
+    /// Incrementally replays the log, invoking `visit(day, &san)` with the
+    /// end-of-day state for every day in `0..=max_day`. This is the engine
+    /// behind every "evolution of metric X" figure: one pass, no snapshot
+    /// clones.
+    pub fn for_each_day<F: FnMut(u32, &San)>(&self, mut visit: F) {
+        let Some(max_day) = self.max_day() else {
+            return;
+        };
+        let mut san = San::new();
+        let mut idx = 0;
+        for day in 0..=max_day {
+            while idx < self.events.len() && self.events[idx].day() == day {
+                Self::apply(&mut san, &self.events[idx]);
+                idx += 1;
+            }
+            visit(day, &san);
+        }
+    }
+
+    /// Per-day cumulative node/link counts (Figures 2–3) in a single pass.
+    pub fn day_counts(&self) -> Vec<DayCounts> {
+        let mut out = Vec::new();
+        self.for_each_day(|day, san| {
+            out.push(DayCounts {
+                day,
+                social_nodes: san.num_social_nodes(),
+                attr_nodes: san.num_attr_nodes(),
+                social_links: san.num_social_links(),
+                attr_links: san.num_attr_links(),
+            });
+        });
+        out
+    }
+
+    /// All social-link arrival events in order — the trace replayed by the
+    /// attachment-model likelihood evaluation (Fig. 15).
+    pub fn social_link_arrivals(
+        &self,
+    ) -> impl Iterator<Item = (u32, SocialId, SocialId)> + '_ {
+        self.events.iter().filter_map(|ev| match *ev {
+            SanEvent::SocialLink { day, src, dst } => Some((day, src, dst)),
+            _ => None,
+        })
+    }
+
+    fn apply(san: &mut San, ev: &SanEvent) {
+        match *ev {
+            SanEvent::SocialNode { .. } => {
+                san.add_social_node();
+            }
+            SanEvent::AttrNode { ty, .. } => {
+                san.add_attr_node(ty);
+            }
+            SanEvent::SocialLink { src, dst, .. } => {
+                san.add_social_link(src, dst);
+            }
+            SanEvent::AttrLink { user, attr, .. } => {
+                san.add_attr_link(user, attr);
+            }
+        }
+    }
+}
+
+/// Records growth events while maintaining the live network.
+///
+/// Generators call the same mutation API as [`San`]; every successful
+/// mutation is appended to the log. Days advance monotonically through
+/// [`TimelineBuilder::advance_to_day`].
+#[derive(Debug, Clone, Default)]
+pub struct TimelineBuilder {
+    san: San,
+    events: Vec<SanEvent>,
+    day: u32,
+}
+
+impl TimelineBuilder {
+    /// Creates an empty builder at day 0.
+    pub fn new() -> Self {
+        TimelineBuilder::default()
+    }
+
+    /// The current day.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Advances the clock; days never go backwards.
+    ///
+    /// # Panics
+    /// Panics when `day` is earlier than the current day.
+    pub fn advance_to_day(&mut self, day: u32) {
+        assert!(day >= self.day, "day must be monotone: {} -> {day}", self.day);
+        self.day = day;
+    }
+
+    /// Read access to the live network.
+    pub fn san(&self) -> &San {
+        &self.san
+    }
+
+    /// Adds a social node now.
+    pub fn add_social_node(&mut self) -> SocialId {
+        let id = self.san.add_social_node();
+        self.events.push(SanEvent::SocialNode { day: self.day });
+        id
+    }
+
+    /// Adds an attribute node now.
+    pub fn add_attr_node(&mut self, ty: AttrType) -> AttrId {
+        let id = self.san.add_attr_node(ty);
+        self.events.push(SanEvent::AttrNode { day: self.day, ty });
+        id
+    }
+
+    /// Adds a social link now; duplicate/self-loop attempts are not
+    /// recorded and return `false`.
+    pub fn add_social_link(&mut self, src: SocialId, dst: SocialId) -> bool {
+        let added = self.san.add_social_link(src, dst);
+        if added {
+            self.events.push(SanEvent::SocialLink {
+                day: self.day,
+                src,
+                dst,
+            });
+        }
+        added
+    }
+
+    /// Adds an attribute link now; duplicates are not recorded and return
+    /// `false`.
+    pub fn add_attr_link(&mut self, user: SocialId, attr: AttrId) -> bool {
+        let added = self.san.add_attr_link(user, attr);
+        if added {
+            self.events.push(SanEvent::AttrLink {
+                day: self.day,
+                user,
+                attr,
+            });
+        }
+        added
+    }
+
+    /// Finalises the log, returning the timeline and the fully-grown
+    /// network (identical to `timeline.final_snapshot()` but avoids a
+    /// replay).
+    pub fn finish(self) -> (SanTimeline, San) {
+        (SanTimeline { events: self.events }, self.san)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> SanTimeline {
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        let a0 = tb.add_attr_node(AttrType::City);
+        tb.add_social_link(u0, u1);
+        tb.advance_to_day(1);
+        let u2 = tb.add_social_node();
+        tb.add_social_link(u2, u0);
+        tb.add_attr_link(u2, a0);
+        tb.advance_to_day(3);
+        tb.add_social_link(u1, u2);
+        tb.finish().0
+    }
+
+    #[test]
+    fn snapshot_replay_matches_days() {
+        let tl = sample_timeline();
+        let d0 = tl.snapshot_at(0);
+        assert_eq!(d0.num_social_nodes(), 2);
+        assert_eq!(d0.num_social_links(), 1);
+        assert_eq!(d0.num_attr_nodes(), 1);
+        assert_eq!(d0.num_attr_links(), 0);
+
+        let d1 = tl.snapshot_at(1);
+        assert_eq!(d1.num_social_nodes(), 3);
+        assert_eq!(d1.num_social_links(), 2);
+        assert_eq!(d1.num_attr_links(), 1);
+
+        // Day 2 has no events: same as day 1.
+        let d2 = tl.snapshot_at(2);
+        assert_eq!(d2.num_social_links(), 2);
+
+        let d3 = tl.snapshot_at(3);
+        assert_eq!(d3.num_social_links(), 3);
+        d3.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn final_snapshot_equals_last_day() {
+        let tl = sample_timeline();
+        let fin = tl.final_snapshot();
+        let last = tl.snapshot_at(tl.max_day().unwrap());
+        assert_eq!(fin.num_social_links(), last.num_social_links());
+        assert_eq!(fin.num_attr_links(), last.num_attr_links());
+    }
+
+    #[test]
+    fn builder_finish_equals_replay() {
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        tb.add_social_link(u0, u1);
+        let (tl, san) = tb.finish();
+        let replayed = tl.final_snapshot();
+        assert_eq!(san.num_social_nodes(), replayed.num_social_nodes());
+        assert_eq!(san.num_social_links(), replayed.num_social_links());
+    }
+
+    #[test]
+    fn for_each_day_covers_gap_days() {
+        let tl = sample_timeline();
+        let mut days = Vec::new();
+        tl.for_each_day(|day, _| days.push(day));
+        assert_eq!(days, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn day_counts_are_cumulative_monotone() {
+        let tl = sample_timeline();
+        let counts = tl.day_counts();
+        assert_eq!(counts.len(), 4);
+        for w in counts.windows(2) {
+            assert!(w[1].social_nodes >= w[0].social_nodes);
+            assert!(w[1].social_links >= w[0].social_links);
+            assert!(w[1].attr_links >= w[0].attr_links);
+        }
+        assert_eq!(counts[3].social_links, 3);
+    }
+
+    #[test]
+    fn link_arrivals_in_order() {
+        let tl = sample_timeline();
+        let arrivals: Vec<_> = tl.social_link_arrivals().collect();
+        assert_eq!(arrivals.len(), 3);
+        assert_eq!(arrivals[0], (0, SocialId(0), SocialId(1)));
+        assert_eq!(arrivals[2].0, 3);
+    }
+
+    #[test]
+    fn duplicate_links_not_recorded() {
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        assert!(tb.add_social_link(u0, u1));
+        assert!(!tb.add_social_link(u0, u1));
+        let (tl, _) = tb.finish();
+        assert_eq!(tl.social_link_arrivals().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn day_cannot_go_backwards() {
+        let mut tb = TimelineBuilder::new();
+        tb.advance_to_day(5);
+        tb.advance_to_day(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "day-ordered")]
+    fn from_events_rejects_unordered() {
+        SanTimeline::from_events(vec![
+            SanEvent::SocialNode { day: 2 },
+            SanEvent::SocialNode { day: 1 },
+        ]);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = SanTimeline::default();
+        assert_eq!(tl.max_day(), None);
+        assert_eq!(tl.final_snapshot().num_social_nodes(), 0);
+        let mut called = false;
+        tl.for_each_day(|_, _| called = true);
+        assert!(!called);
+        assert!(tl.day_counts().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tl = sample_timeline();
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: SanTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events(), tl.events());
+    }
+}

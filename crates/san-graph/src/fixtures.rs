@@ -1,0 +1,142 @@
+//! Test fixtures, most importantly the paper's **Figure 1** example SAN.
+//!
+//! Figure 1 shows six social nodes `u1…u6` and four attribute nodes
+//! (*San Francisco*, *UC Berkeley*, *Computer Science*, *Google Inc.*). The
+//! paper uses it to illustrate the closure taxonomy of §5.2:
+//!
+//! * `u4 → u2` is a **triadic** closure (common friend, no attribute),
+//! * `u1 → u2` is a **focal** closure (common attribute *UC Berkeley*),
+//! * `u6 → u5` closes **both** (common friend *and* common attribute
+//!   *Google Inc.*).
+//!
+//! The figure does not enumerate every base link, so this fixture
+//! instantiates the smallest network in which all three statements hold
+//! *before* the closure links are added; [`figure1_closures`] returns the
+//! three closure links so tests can replay them as arrival events.
+
+use crate::ids::{AttrId, AttrType, SocialId};
+use crate::san::San;
+
+/// Named handles into the Figure 1 fixture.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The network (without the three closure links).
+    pub san: San,
+    /// `u1…u6` in order (`users[0]` is `u1`).
+    pub users: [SocialId; 6],
+    /// *San Francisco* (City).
+    pub san_francisco: AttrId,
+    /// *UC Berkeley* (School).
+    pub uc_berkeley: AttrId,
+    /// *Computer Science* (Major).
+    pub computer_science: AttrId,
+    /// *Google Inc.* (Employer).
+    pub google: AttrId,
+}
+
+/// Builds the Figure 1 base network (closure links **not** yet added).
+///
+/// Base social links: `u4 → u3`, `u3 → u2`, `u6 → u4`, `u4 → u5`,
+/// `u2 → u3`.
+/// Attribute links: `u1 — UC Berkeley`, `u2 — UC Berkeley`,
+/// `u2 — San Francisco`, `u3 — Computer Science`, `u4 — Computer Science`,
+/// `u5 — Google Inc.`, `u5 — San Francisco`, `u6 — Google Inc.`.
+pub fn figure1() -> Figure1 {
+    let mut san = San::new();
+    let users: [SocialId; 6] = core::array::from_fn(|_| san.add_social_node());
+    let san_francisco = san.add_attr_node(AttrType::City);
+    let uc_berkeley = san.add_attr_node(AttrType::School);
+    let computer_science = san.add_attr_node(AttrType::Major);
+    let google = san.add_attr_node(AttrType::Employer);
+
+    let [u1, u2, u3, u4, u5, u6] = users;
+    assert!(san.add_social_link(u4, u3));
+    assert!(san.add_social_link(u3, u2));
+    assert!(san.add_social_link(u6, u4));
+    assert!(san.add_social_link(u4, u5));
+    assert!(san.add_social_link(u2, u3));
+
+    assert!(san.add_attr_link(u1, uc_berkeley));
+    assert!(san.add_attr_link(u2, uc_berkeley));
+    assert!(san.add_attr_link(u2, san_francisco));
+    assert!(san.add_attr_link(u3, computer_science));
+    assert!(san.add_attr_link(u4, computer_science));
+    assert!(san.add_attr_link(u5, google));
+    assert!(san.add_attr_link(u5, san_francisco));
+    assert!(san.add_attr_link(u6, google));
+
+    Figure1 {
+        san,
+        users,
+        san_francisco,
+        uc_berkeley,
+        computer_science,
+        google,
+    }
+}
+
+/// The three closure links of Figure 1, in the order
+/// (triadic `u4→u2`, focal `u1→u2`, both `u6→u5`).
+pub fn figure1_closures(fx: &Figure1) -> [(SocialId, SocialId); 3] {
+    let [u1, u2, _u3, u4, u5, u6] = fx.users;
+    [(u4, u2), (u1, u2), (u6, u5)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_counts() {
+        let fx = figure1();
+        assert_eq!(fx.san.num_social_nodes(), 6);
+        assert_eq!(fx.san.num_attr_nodes(), 4);
+        assert_eq!(fx.san.num_social_links(), 5);
+        assert_eq!(fx.san.num_attr_links(), 8);
+        fx.san.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn triadic_closure_premise_holds() {
+        // u4 -> u2 must have a common friend (u3) but no common attribute.
+        let fx = figure1();
+        let [_u1, u2, _u3, u4, ..] = fx.users;
+        assert!(fx.san.common_social_neighbors(u4, u2) >= 1);
+        assert_eq!(fx.san.common_attrs(u4, u2), 0);
+    }
+
+    #[test]
+    fn focal_closure_premise_holds() {
+        // u1 -> u2: common attribute (UC Berkeley), no common friend.
+        let fx = figure1();
+        let [u1, u2, ..] = fx.users;
+        assert!(fx.san.common_attrs(u1, u2) >= 1);
+        assert_eq!(fx.san.common_social_neighbors(u1, u2), 0);
+    }
+
+    #[test]
+    fn both_closure_premise_holds() {
+        // u6 -> u5: common friend (u4) and common attribute (Google).
+        let fx = figure1();
+        let [.., u5, u6] = fx.users;
+        assert!(fx.san.common_social_neighbors(u6, u5) >= 1);
+        assert!(fx.san.common_attrs(u6, u5) >= 1);
+    }
+
+    #[test]
+    fn closures_are_new_links() {
+        let fx = figure1();
+        for (src, dst) in figure1_closures(&fx) {
+            assert!(!fx.san.has_social_link(src, dst), "{src}->{dst} pre-exists");
+        }
+    }
+
+    #[test]
+    fn attr_types_as_in_paper() {
+        let fx = figure1();
+        assert_eq!(fx.san.attr_type(fx.san_francisco), AttrType::City);
+        assert_eq!(fx.san.attr_type(fx.uc_berkeley), AttrType::School);
+        assert_eq!(fx.san.attr_type(fx.computer_science), AttrType::Major);
+        assert_eq!(fx.san.attr_type(fx.google), AttrType::Employer);
+    }
+}

@@ -1,0 +1,336 @@
+//! SAN serialisation: a line-oriented text format and a serde DTO.
+//!
+//! The text format is the classic edge-list style used by graph datasets:
+//!
+//! ```text
+//! # san v1
+//! social_nodes 6
+//! attr 0 city
+//! attr 1 school
+//! edge 3 2
+//! attredge 0 1
+//! ```
+//!
+//! `edge u v` is the directed social link `u → v`; `attredge u a` is the
+//! undirected link between user `u` and attribute `a`. Lines starting with
+//! `#` are comments. [`SanDto`] provides the same content as a
+//! serde-(de)serialisable value for JSON persistence.
+
+use crate::ids::{AttrId, AttrType, SocialId};
+use crate::san::San;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from parsing the text format or validating a DTO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanIoError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A link referenced an undeclared node.
+    DanglingReference {
+        /// 1-based line number (0 for DTO input).
+        line: usize,
+    },
+}
+
+impl fmt::Display for SanIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanIoError::BadHeader => write!(f, "missing or malformed '# san v1' header"),
+            SanIoError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            SanIoError::DanglingReference { line } => {
+                write!(f, "line {line}: link references undeclared node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SanIoError {}
+
+/// Serialises a SAN to the text format.
+pub fn to_text(san: &San) -> String {
+    let mut s = String::new();
+    s.push_str("# san v1\n");
+    s.push_str(&format!("social_nodes {}\n", san.num_social_nodes()));
+    for a in san.attr_nodes() {
+        s.push_str(&format!("attr {} {}\n", a.0, san.attr_type(a).as_str()));
+    }
+    for (u, v) in san.social_links() {
+        s.push_str(&format!("edge {} {}\n", u.0, v.0));
+    }
+    for (u, a) in san.attr_links() {
+        s.push_str(&format!("attredge {} {}\n", u.0, a.0));
+    }
+    s
+}
+
+/// Parses the text format produced by [`to_text`].
+pub fn from_text(text: &str) -> Result<San, SanIoError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim());
+    if header != Some("# san v1") {
+        return Err(SanIoError::BadHeader);
+    }
+    let mut san = San::new();
+    let mut declared_social = 0u32;
+    let mut declared_attrs: Vec<AttrType> = Vec::new();
+    let mut pending_social: Vec<(usize, u32, u32)> = Vec::new();
+    let mut pending_attr: Vec<(usize, u32, u32)> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("nonempty line has a token");
+        let bad = |reason: &str| SanIoError::BadLine {
+            line: line_no,
+            reason: reason.to_string(),
+        };
+        match kind {
+            "social_nodes" => {
+                let n: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'social_nodes <count>'"))?;
+                declared_social += n;
+            }
+            "attr" => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'attr <id> <type>'"))?;
+                let ty = parts
+                    .next()
+                    .and_then(AttrType::from_str_name)
+                    .ok_or_else(|| bad("unknown attribute type"))?;
+                if id as usize != declared_attrs.len() {
+                    return Err(bad("attribute ids must be dense and in order"));
+                }
+                declared_attrs.push(ty);
+            }
+            "edge" => {
+                let u: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'edge <src> <dst>'"))?;
+                let v: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'edge <src> <dst>'"))?;
+                pending_social.push((line_no, u, v));
+            }
+            "attredge" => {
+                let u: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'attredge <user> <attr>'"))?;
+                let a: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("expected 'attredge <user> <attr>'"))?;
+                pending_attr.push((line_no, u, a));
+            }
+            _ => return Err(bad("unknown record type")),
+        }
+    }
+
+    for _ in 0..declared_social {
+        san.add_social_node();
+    }
+    for &ty in &declared_attrs {
+        san.add_attr_node(ty);
+    }
+    for (line, u, v) in pending_social {
+        if u >= declared_social || v >= declared_social || u == v {
+            return Err(SanIoError::DanglingReference { line });
+        }
+        san.add_social_link(SocialId(u), SocialId(v));
+    }
+    for (line, u, a) in pending_attr {
+        if u >= declared_social || a as usize >= declared_attrs.len() {
+            return Err(SanIoError::DanglingReference { line });
+        }
+        san.add_attr_link(SocialId(u), AttrId(a));
+    }
+    Ok(san)
+}
+
+/// Serde-friendly value representation of a SAN.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SanDto {
+    /// Number of social nodes.
+    pub social_nodes: u32,
+    /// Attribute node types, by dense id.
+    pub attr_types: Vec<AttrType>,
+    /// Directed social links.
+    pub social_links: Vec<(u32, u32)>,
+    /// User–attribute links.
+    pub attr_links: Vec<(u32, u32)>,
+}
+
+impl From<&San> for SanDto {
+    fn from(san: &San) -> Self {
+        SanDto {
+            social_nodes: san.num_social_nodes() as u32,
+            attr_types: san.attr_nodes().map(|a| san.attr_type(a)).collect(),
+            social_links: san.social_links().map(|(u, v)| (u.0, v.0)).collect(),
+            attr_links: san.attr_links().map(|(u, a)| (u.0, a.0)).collect(),
+        }
+    }
+}
+
+impl TryFrom<&SanDto> for San {
+    type Error = SanIoError;
+
+    fn try_from(dto: &SanDto) -> Result<San, SanIoError> {
+        let mut san = San::with_capacity(dto.social_nodes as usize, dto.attr_types.len());
+        for _ in 0..dto.social_nodes {
+            san.add_social_node();
+        }
+        for &ty in &dto.attr_types {
+            san.add_attr_node(ty);
+        }
+        for &(u, v) in &dto.social_links {
+            if u >= dto.social_nodes || v >= dto.social_nodes || u == v {
+                return Err(SanIoError::DanglingReference { line: 0 });
+            }
+            san.add_social_link(SocialId(u), SocialId(v));
+        }
+        for &(u, a) in &dto.attr_links {
+            if u >= dto.social_nodes || a as usize >= dto.attr_types.len() {
+                return Err(SanIoError::DanglingReference { line: 0 });
+            }
+            san.add_attr_link(SocialId(u), AttrId(a));
+        }
+        Ok(san)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+
+    fn equivalent(a: &San, b: &San) -> bool {
+        use std::collections::BTreeSet;
+        a.num_social_nodes() == b.num_social_nodes()
+            && a.num_attr_nodes() == b.num_attr_nodes()
+            && a.social_links().collect::<BTreeSet<_>>() == b.social_links().collect::<BTreeSet<_>>()
+            && a.attr_links().collect::<BTreeSet<_>>() == b.attr_links().collect::<BTreeSet<_>>()
+            && a.attr_nodes().all(|x| a.attr_type(x) == b.attr_type(x))
+    }
+
+    #[test]
+    fn text_roundtrip_figure1() {
+        let fx = figure1();
+        let text = to_text(&fx.san);
+        let back = from_text(&text).unwrap();
+        assert!(equivalent(&fx.san, &back));
+        back.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn text_roundtrip_empty() {
+        let san = San::new();
+        let back = from_text(&to_text(&san)).unwrap();
+        assert_eq!(back.num_social_nodes(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# san v1\nsocial_nodes 2\n\n# a comment\nedge 0 1\n";
+        let san = from_text(text).unwrap();
+        assert_eq!(san.num_social_links(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_text("social_nodes 2\n").unwrap_err(), SanIoError::BadHeader);
+        assert_eq!(from_text("").unwrap_err(), SanIoError::BadHeader);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let e = from_text("# san v1\nedge 0\n").unwrap_err();
+        assert!(matches!(e, SanIoError::BadLine { line: 2, .. }));
+        let e = from_text("# san v1\nfrobnicate 1 2\n").unwrap_err();
+        assert!(matches!(e, SanIoError::BadLine { .. }));
+        let e = from_text("# san v1\nattr 0 sorcery\n").unwrap_err();
+        assert!(matches!(e, SanIoError::BadLine { .. }));
+    }
+
+    #[test]
+    fn dangling_links_rejected() {
+        let e = from_text("# san v1\nsocial_nodes 2\nedge 0 5\n").unwrap_err();
+        assert!(matches!(e, SanIoError::DanglingReference { .. }));
+        let e = from_text("# san v1\nsocial_nodes 2\nattredge 0 0\n").unwrap_err();
+        assert!(matches!(e, SanIoError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn non_dense_attr_ids_rejected() {
+        let e = from_text("# san v1\nattr 1 city\n").unwrap_err();
+        assert!(matches!(e, SanIoError::BadLine { .. }));
+    }
+
+    #[test]
+    fn edges_may_precede_node_declarations() {
+        let text = "# san v1\nedge 0 1\nsocial_nodes 2\n";
+        let san = from_text(text).unwrap();
+        assert_eq!(san.num_social_links(), 1);
+    }
+
+    #[test]
+    fn dto_json_roundtrip() {
+        let fx = figure1();
+        let dto = SanDto::from(&fx.san);
+        let json = serde_json::to_string(&dto).unwrap();
+        let dto2: SanDto = serde_json::from_str(&json).unwrap();
+        assert_eq!(dto, dto2);
+        let back = San::try_from(&dto2).unwrap();
+        assert!(equivalent(&fx.san, &back));
+    }
+
+    #[test]
+    fn dto_validation() {
+        let dto = SanDto {
+            social_nodes: 2,
+            attr_types: vec![],
+            social_links: vec![(0, 9)],
+            attr_links: vec![],
+        };
+        assert!(San::try_from(&dto).is_err());
+        let dto = SanDto {
+            social_nodes: 2,
+            attr_types: vec![],
+            social_links: vec![],
+            attr_links: vec![(0, 0)],
+        };
+        assert!(San::try_from(&dto).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SanIoError::BadHeader.to_string().contains("header"));
+        let e = SanIoError::BadLine {
+            line: 3,
+            reason: "oops".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: oops");
+        assert!(SanIoError::DanglingReference { line: 2 }
+            .to_string()
+            .contains("undeclared"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # san-graph — the Social-Attribute Network data structure
+//!
+//! A **Social-Attribute Network** (SAN, Gong et al., IMC 2012, §2.1) is a
+//! directed social graph `G = (Vs, Es)` augmented with `M` binary attribute
+//! nodes `Va` and undirected links `Ea` between social nodes and the
+//! attributes they declare:
+//!
+//! ```text
+//! SAN = (Vs, Va, Es, Ea)
+//! ```
+//!
+//! Social links are **directed** (Google+ circles: "in your circles" /
+//! "have you in circles"); attribute links are **undirected**. For a node
+//! `u` the paper defines
+//!
+//! * `Γa(u)` — attribute neighbours,
+//! * `Γs(u)` — social neighbours (union over both link sets and directions),
+//! * `Γs,in(u)`, `Γs,out(u)` — directed social neighbourhoods.
+//!
+//! This crate provides:
+//!
+//! * `San` — the mutable in-memory SAN with O(1)-amortised node/link
+//!   insertion and all the neighbourhood queries above,
+//! * [`builder::SanBuilder`] — out-of-order batch construction,
+//! * [`evolve::SanTimeline`] — a timestamped event log that can
+//!   replay the network to any day (the paper's 79 daily snapshots),
+//! * [`traverse`] — BFS distances, weakly connected components,
+//! * [`crawler`] — the snapshot-expanding BFS crawler of §2.2 (honouring
+//!   public/private visibility),
+//! * [`degree`] — degree-vector extraction and the degree-bounded subgraph
+//!   used by SybilLimit (§6.2),
+//! * [`subsample`] — attribute subsampling for the §4.3 validation,
+//! * [`io`] — plain-text and JSON serialisation,
+//! * [`fixtures`] — the paper's Figure 1 six-user example network, reused as
+//!   a ground-truth fixture across the workspace test suites.
+
+pub mod builder;
+pub mod crawler;
+pub mod degree;
+pub mod evolve;
+pub mod fixtures;
+pub mod ids;
+pub mod io;
+pub mod san;
+pub mod subsample;
+pub mod traverse;
+pub mod unionfind;
+
+pub use builder::SanBuilder;
+pub use evolve::{SanEvent, SanTimeline, TimelineBuilder};
+pub use ids::{AttrId, AttrType, SocialId};
+pub use san::San;
+
+/// Convenient glob-import surface for downstream crates.
+pub mod prelude {
+    pub use crate::builder::SanBuilder;
+    pub use crate::evolve::{SanEvent, SanTimeline, TimelineBuilder};
+    pub use crate::ids::{AttrId, AttrType, SocialId};
+    pub use crate::san::San;
+}

@@ -1,0 +1,134 @@
+//! Attribute subsampling — the validation methodology of §4.3.
+//!
+//! Only ~22 % of Google+ users declared any attribute. To argue that those
+//! users' attributes are representative, the paper removes each declared
+//! attribute independently with probability 0.5 and checks that
+//! attribute-related metrics are unchanged. [`subsample_attributes`]
+//! reproduces that operation on any SAN.
+
+use crate::ids::SocialId;
+use crate::san::San;
+use san_stats::SplitRng;
+
+/// Returns a copy of `san` in which every attribute link is retained
+/// independently with probability `keep_prob`. The social structure and the
+/// attribute node set are preserved verbatim (attribute nodes may end up
+/// with zero members, exactly as in the paper's subsampled SAN).
+///
+/// # Panics
+/// Panics when `keep_prob` is outside `[0, 1]`.
+pub fn subsample_attributes(san: &San, keep_prob: f64, rng: &mut SplitRng) -> San {
+    assert!(
+        (0.0..=1.0).contains(&keep_prob),
+        "keep_prob must be in [0,1], got {keep_prob}"
+    );
+    let mut out = San::with_capacity(san.num_social_nodes(), san.num_attr_nodes());
+    for _ in 0..san.num_social_nodes() {
+        out.add_social_node();
+    }
+    for a in san.attr_nodes() {
+        out.add_attr_node(san.attr_type(a));
+    }
+    for (u, v) in san.social_links() {
+        out.add_social_link(u, v);
+    }
+    for (u, a) in san.attr_links() {
+        if rng.chance(keep_prob) {
+            out.add_attr_link(u, a);
+        }
+    }
+    out
+}
+
+/// Fraction of social nodes that declare at least one attribute (the
+/// paper's "22 % of users declare at least one attribute" statistic).
+pub fn attribute_declaration_rate(san: &San) -> f64 {
+    if san.num_social_nodes() == 0 {
+        return 0.0;
+    }
+    let declared = san
+        .social_nodes()
+        .filter(|&u| san.attr_degree(u) > 0)
+        .count();
+    declared as f64 / san.num_social_nodes() as f64
+}
+
+/// Convenience: ids of social nodes with at least one attribute.
+pub fn nodes_with_attributes(san: &San) -> Vec<SocialId> {
+    san.social_nodes()
+        .filter(|&u| san.attr_degree(u) > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+
+    #[test]
+    fn keep_all_is_identity() {
+        let fx = figure1();
+        let mut rng = SplitRng::new(1);
+        let s = subsample_attributes(&fx.san, 1.0, &mut rng);
+        assert_eq!(s.num_attr_links(), fx.san.num_attr_links());
+        assert_eq!(s.num_social_links(), fx.san.num_social_links());
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn keep_none_strips_all_attr_links() {
+        let fx = figure1();
+        let mut rng = SplitRng::new(2);
+        let s = subsample_attributes(&fx.san, 0.0, &mut rng);
+        assert_eq!(s.num_attr_links(), 0);
+        // Attribute nodes remain (with zero members).
+        assert_eq!(s.num_attr_nodes(), fx.san.num_attr_nodes());
+        assert_eq!(s.num_social_links(), fx.san.num_social_links());
+    }
+
+    #[test]
+    fn half_keeps_roughly_half() {
+        // Big synthetic SAN: 1 user with 10_000 attributes.
+        let mut san = San::new();
+        let u = san.add_social_node();
+        for _ in 0..10_000 {
+            let a = san.add_attr_node(crate::ids::AttrType::Other);
+            san.add_attr_link(u, a);
+        }
+        let mut rng = SplitRng::new(3);
+        let s = subsample_attributes(&san, 0.5, &mut rng);
+        let kept = s.num_attr_links() as f64;
+        assert!((kept - 5_000.0).abs() < 300.0, "kept={kept}");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_prob")]
+    fn rejects_bad_probability() {
+        let fx = figure1();
+        let mut rng = SplitRng::new(4);
+        subsample_attributes(&fx.san, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn declaration_rate_figure1() {
+        let fx = figure1();
+        // All six users declare at least one attribute.
+        assert!((attribute_declaration_rate(&fx.san) - 1.0).abs() < 1e-12);
+        assert_eq!(nodes_with_attributes(&fx.san).len(), 6);
+    }
+
+    #[test]
+    fn declaration_rate_empty() {
+        assert_eq!(attribute_declaration_rate(&San::new()), 0.0);
+    }
+
+    #[test]
+    fn declaration_rate_partial() {
+        let mut san = San::new();
+        let u0 = san.add_social_node();
+        let _u1 = san.add_social_node();
+        let a = san.add_attr_node(crate::ids::AttrType::City);
+        san.add_attr_link(u0, a);
+        assert!((attribute_declaration_rate(&san) - 0.5).abs() < 1e-12);
+    }
+}

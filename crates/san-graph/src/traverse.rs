@@ -1,0 +1,267 @@
+//! Graph traversal: BFS distances, weakly connected components, and induced
+//! subgraph extraction.
+//!
+//! Directed BFS implements the paper's distance
+//! `dist(u, v)` = length of the shortest directed path from `u` to `v`
+//! (§3.3, social links only). WCCs treat social links as undirected — the
+//! crawl of §2.2 collects "a large Weakly Connected Component".
+
+use crate::ids::{AttrId, SocialId};
+use crate::san::San;
+use crate::unionfind::UnionFind;
+use std::collections::VecDeque;
+
+/// Directed single-source BFS over social links.
+///
+/// Returns `dist[v] = Some(d)` for nodes reachable from `src` via directed
+/// paths, `None` otherwise. `dist[src] = Some(0)`.
+pub fn bfs_directed(san: &San, src: SocialId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; san.num_social_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in san.out_neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Undirected single-source BFS (social links traversed both ways).
+pub fn bfs_undirected(san: &San, src: SocialId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; san.num_social_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in san.out_neighbors(u).iter().chain(san.in_neighbors(u)) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components of the social graph.
+///
+/// Returns `(component_id_per_node, component_sizes)`; component ids are
+/// dense in `0..sizes.len()`.
+pub fn weakly_connected_components(san: &San) -> (Vec<usize>, Vec<usize>) {
+    let n = san.num_social_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in san.social_links() {
+        uf.union(u.index(), v.index());
+    }
+    let mut root_to_id = vec![usize::MAX; n];
+    let mut ids = vec![0usize; n];
+    let mut sizes = Vec::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        if root_to_id[root] == usize::MAX {
+            root_to_id[root] = sizes.len();
+            sizes.push(0);
+        }
+        ids[i] = root_to_id[root];
+        sizes[ids[i]] += 1;
+    }
+    (ids, sizes)
+}
+
+/// The members of the largest WCC (ties broken by lowest component id).
+pub fn largest_wcc(san: &San) -> Vec<SocialId> {
+    if san.num_social_nodes() == 0 {
+        return Vec::new();
+    }
+    let (ids, sizes) = weakly_connected_components(san);
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .expect("nonempty sizes");
+    ids.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(i, _)| SocialId(i as u32))
+        .collect()
+}
+
+/// Result of [`induced_subgraph`]: the sub-SAN plus id mappings back to the
+/// original network.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced sub-SAN (dense ids).
+    pub san: San,
+    /// For each new social id (by index), the original id.
+    pub social_origin: Vec<SocialId>,
+    /// For each new attribute id (by index), the original id.
+    pub attr_origin: Vec<AttrId>,
+}
+
+/// Induces the sub-SAN on a set of social nodes.
+///
+/// Keeps the social links with both endpoints in `keep`, the attribute nodes
+/// with at least one kept member, and the attribute links incident to kept
+/// users. Duplicate ids in `keep` are ignored.
+pub fn induced_subgraph(san: &San, keep: &[SocialId]) -> Subgraph {
+    let mut social_new = vec![u32::MAX; san.num_social_nodes()];
+    let mut social_origin = Vec::new();
+    for &u in keep {
+        if social_new[u.index()] == u32::MAX {
+            social_new[u.index()] = social_origin.len() as u32;
+            social_origin.push(u);
+        }
+    }
+    let mut sub = San::with_capacity(social_origin.len(), 0);
+    for _ in 0..social_origin.len() {
+        sub.add_social_node();
+    }
+    let mut attr_new = vec![u32::MAX; san.num_attr_nodes()];
+    let mut attr_origin = Vec::new();
+    for (new_u, &old_u) in social_origin.iter().enumerate() {
+        for &v in san.out_neighbors(old_u) {
+            let nv = social_new[v.index()];
+            if nv != u32::MAX {
+                sub.add_social_link(SocialId(new_u as u32), SocialId(nv));
+            }
+        }
+        for &a in san.attrs_of(old_u) {
+            if attr_new[a.index()] == u32::MAX {
+                attr_new[a.index()] = attr_origin.len() as u32;
+                attr_origin.push(a);
+                sub.add_attr_node(san.attr_type(a));
+            }
+            sub.add_attr_link(SocialId(new_u as u32), AttrId(attr_new[a.index()]));
+        }
+    }
+    Subgraph {
+        san: sub,
+        social_origin,
+        attr_origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+    use crate::ids::AttrType;
+
+    /// A 5-node line u0 -> u1 -> u2 -> u3 plus isolated u4.
+    fn line() -> San {
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..5).map(|_| san.add_social_node()).collect();
+        san.add_social_link(u[0], u[1]);
+        san.add_social_link(u[1], u[2]);
+        san.add_social_link(u[2], u[3]);
+        san
+    }
+
+    #[test]
+    fn directed_bfs_distances() {
+        let san = line();
+        let d = bfs_directed(&san, SocialId(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+        // Directedness: nothing reaches u0.
+        let d3 = bfs_directed(&san, SocialId(3));
+        assert_eq!(d3[0], None);
+        assert_eq!(d3[3], Some(0));
+    }
+
+    #[test]
+    fn undirected_bfs_reaches_backwards() {
+        let san = line();
+        let d = bfs_undirected(&san, SocialId(3));
+        assert_eq!(d[0], Some(3));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn wcc_partition() {
+        let san = line();
+        let (ids, sizes) = weakly_connected_components(&san);
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(ids[0], ids[3]);
+        assert_ne!(ids[0], ids[4]);
+    }
+
+    #[test]
+    fn largest_wcc_members() {
+        let san = line();
+        let wcc = largest_wcc(&san);
+        assert_eq!(wcc.len(), 4);
+        assert!(!wcc.contains(&SocialId(4)));
+    }
+
+    #[test]
+    fn largest_wcc_empty_graph() {
+        assert!(largest_wcc(&San::new()).is_empty());
+    }
+
+    #[test]
+    fn figure1_is_weakly_connected_except_u1() {
+        // u1 only has an attribute link, no social link, so it is its own
+        // social WCC.
+        let fx = figure1();
+        let (_, sizes) = weakly_connected_components(&fx.san);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_links_only() {
+        let fx = figure1();
+        let [_u1, u2, u3, u4, ..] = fx.users;
+        let sub = induced_subgraph(&fx.san, &[u2, u3, u4]);
+        assert_eq!(sub.san.num_social_nodes(), 3);
+        // Links among {u2,u3,u4}: u4->u3, u3->u2, u2->u3.
+        assert_eq!(sub.san.num_social_links(), 3);
+        sub.san.check_consistency().unwrap();
+        // Attribute nodes: CS (u3, u4), UCB (u2), SF (u2) => 3 attrs.
+        assert_eq!(sub.san.num_attr_nodes(), 3);
+        assert_eq!(sub.san.num_attr_links(), 4);
+        // Mappings point back at original ids.
+        assert_eq!(sub.social_origin.len(), 3);
+        assert!(sub.social_origin.contains(&u2));
+        assert!(sub.attr_origin.contains(&fx.computer_science));
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_keep_list() {
+        let fx = figure1();
+        let [u1, u2, ..] = fx.users;
+        let sub = induced_subgraph(&fx.san, &[u1, u2, u1, u2]);
+        assert_eq!(sub.san.num_social_nodes(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_attr_types() {
+        let mut san = San::new();
+        let u = san.add_social_node();
+        let a = san.add_attr_node(AttrType::Employer);
+        san.add_attr_link(u, a);
+        let sub = induced_subgraph(&san, &[u]);
+        assert_eq!(sub.san.attr_type(AttrId(0)), AttrType::Employer);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_keep() {
+        let fx = figure1();
+        let sub = induced_subgraph(&fx.san, &[]);
+        assert_eq!(sub.san.num_social_nodes(), 0);
+        assert_eq!(sub.san.num_attr_nodes(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Property-based tests for the SAN data structure.
+
+use proptest::prelude::*;
+use san_graph::degree::{bound_degrees, degree_vectors, to_undirected};
+use san_graph::io::{from_text, to_text, SanDto};
+use san_graph::prelude::*;
+use san_graph::subsample::subsample_attributes;
+use san_graph::traverse::{bfs_directed, induced_subgraph, weakly_connected_components};
+use san_stats::SplitRng;
+
+/// Strategy: a random SAN with up to `n` social nodes, `m` attribute nodes
+/// and random links.
+fn arb_san(max_social: u32, max_attr: u32) -> impl Strategy<Value = San> {
+    (
+        1..=max_social,
+        0..=max_attr,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..200),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..100),
+    )
+        .prop_map(|(ns, na, social, attr)| {
+            let mut san = San::new();
+            for _ in 0..ns {
+                san.add_social_node();
+            }
+            for i in 0..na {
+                let ty = match i % 4 {
+                    0 => AttrType::School,
+                    1 => AttrType::Major,
+                    2 => AttrType::Employer,
+                    _ => AttrType::City,
+                };
+                san.add_attr_node(ty);
+            }
+            for (u, v) in social {
+                let (u, v) = (u % ns, v % ns);
+                if u != v {
+                    san.add_social_link(SocialId(u), SocialId(v));
+                }
+            }
+            if na > 0 {
+                for (u, a) in attr {
+                    san.add_attr_link(SocialId(u % ns), AttrId(a % na));
+                }
+            }
+            san
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every randomly grown SAN satisfies the internal consistency
+    /// invariants (mirrored adjacency, accurate counters, no dups).
+    #[test]
+    fn random_san_consistent(san in arb_san(40, 8)) {
+        prop_assert!(san.check_consistency().is_ok());
+    }
+
+    /// Sum of out-degrees = sum of in-degrees = |Es|; attribute link sums
+    /// match on both sides of the bipartite graph.
+    #[test]
+    fn degree_sums_match_link_counts(san in arb_san(40, 8)) {
+        let dv = degree_vectors(&san);
+        let links = san.num_social_links() as u64;
+        prop_assert_eq!(dv.out.iter().sum::<u64>(), links);
+        prop_assert_eq!(dv.inc.iter().sum::<u64>(), links);
+        let alinks = san.num_attr_links() as u64;
+        prop_assert_eq!(dv.attr_of_social.iter().sum::<u64>(), alinks);
+        prop_assert_eq!(dv.social_of_attr.iter().sum::<u64>(), alinks);
+    }
+
+    /// WCC assignment is a partition consistent with the link structure.
+    #[test]
+    fn wcc_is_consistent_partition(san in arb_san(40, 4)) {
+        let (ids, sizes) = weakly_connected_components(&san);
+        prop_assert_eq!(ids.len(), san.num_social_nodes());
+        prop_assert_eq!(sizes.iter().sum::<usize>(), san.num_social_nodes());
+        for (u, v) in san.social_links() {
+            prop_assert_eq!(ids[u.index()], ids[v.index()]);
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// d(v) <= d(u) + 1 for every edge u->v with u reachable.
+    #[test]
+    fn bfs_distance_triangle(san in arb_san(30, 0)) {
+        let d = bfs_directed(&san, SocialId(0));
+        for (u, v) in san.social_links() {
+            if let Some(du) = d[u.index()] {
+                let dv = d[v.index()].expect("successor of reachable node is reachable");
+                prop_assert!(dv <= du + 1);
+            }
+        }
+    }
+
+    /// Text serialisation round-trips exactly (as link sets).
+    #[test]
+    fn text_roundtrip(san in arb_san(25, 6)) {
+        use std::collections::BTreeSet;
+        let text = to_text(&san);
+        let back = from_text(&text).unwrap();
+        prop_assert_eq!(back.num_social_nodes(), san.num_social_nodes());
+        prop_assert_eq!(back.num_attr_nodes(), san.num_attr_nodes());
+        prop_assert_eq!(
+            back.social_links().collect::<BTreeSet<_>>(),
+            san.social_links().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            back.attr_links().collect::<BTreeSet<_>>(),
+            san.attr_links().collect::<BTreeSet<_>>()
+        );
+    }
+
+    /// DTO JSON round-trips exactly.
+    #[test]
+    fn dto_roundtrip(san in arb_san(20, 5)) {
+        let dto = SanDto::from(&san);
+        let json = serde_json::to_string(&dto).unwrap();
+        let dto2: SanDto = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&dto, &dto2);
+        let back = San::try_from(&dto2).unwrap();
+        prop_assert!(back.check_consistency().is_ok());
+        prop_assert_eq!(back.num_social_links(), san.num_social_links());
+    }
+
+    /// Subsampling preserves the social structure and never increases
+    /// attribute links; keep=1 is the identity on link counts.
+    #[test]
+    fn subsample_bounds(san in arb_san(30, 6), seed in 0u64..100, p in 0.0f64..1.0) {
+        let mut rng = SplitRng::new(seed);
+        let sub = subsample_attributes(&san, p, &mut rng);
+        prop_assert_eq!(sub.num_social_links(), san.num_social_links());
+        prop_assert!(sub.num_attr_links() <= san.num_attr_links());
+        prop_assert!(sub.check_consistency().is_ok());
+    }
+
+    /// The undirected view is symmetric and loses no connectivity.
+    #[test]
+    fn undirected_view_symmetric(san in arb_san(30, 0)) {
+        let adj = to_undirected(&san);
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                prop_assert!(adj[v as usize].contains(&(u as u32)));
+            }
+        }
+        for (u, v) in san.social_links() {
+            prop_assert!(adj[u.index()].contains(&v.0));
+        }
+    }
+
+    /// Degree bounding respects the bound and symmetry.
+    #[test]
+    fn degree_bound_holds(san in arb_san(30, 0), bound in 1usize..8, seed in 0u64..100) {
+        let adj = to_undirected(&san);
+        let mut rng = SplitRng::new(seed);
+        let bounded = bound_degrees(&adj, bound, &mut rng);
+        for (u, list) in bounded.iter().enumerate() {
+            prop_assert!(list.len() <= bound);
+            for &v in list {
+                prop_assert!(bounded[v as usize].contains(&(u as u32)));
+                // Bounded edges are a subset of original edges.
+                prop_assert!(adj[u].contains(&v));
+            }
+        }
+    }
+
+    /// Induced subgraphs never contain links that were absent in the parent.
+    #[test]
+    fn induced_subgraph_is_subgraph(san in arb_san(30, 6), pick in prop::collection::vec(any::<u32>(), 1..15)) {
+        let n = san.num_social_nodes() as u32;
+        let keep: Vec<SocialId> = pick.into_iter().map(|x| SocialId(x % n)).collect();
+        let sub = induced_subgraph(&san, &keep);
+        prop_assert!(sub.san.check_consistency().is_ok());
+        for (u, v) in sub.san.social_links() {
+            let ou = sub.social_origin[u.index()];
+            let ov = sub.social_origin[v.index()];
+            prop_assert!(san.has_social_link(ou, ov));
+        }
+        for (u, a) in sub.san.attr_links() {
+            let ou = sub.social_origin[u.index()];
+            let oa = sub.attr_origin[a.index()];
+            prop_assert!(san.has_attr_link(ou, oa));
+        }
+    }
+
+    /// Timeline replay at the final day reproduces the live structure.
+    #[test]
+    fn timeline_replay_matches_live(
+        ops in prop::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..150)
+    ) {
+        let mut tb = TimelineBuilder::new();
+        let mut day = 0u32;
+        for (op, x, y) in ops {
+            match op {
+                0 => { tb.add_social_node(); }
+                1 => { tb.add_attr_node(AttrType::Other); }
+                2 => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    if ns >= 2 {
+                        let (u, v) = (x % ns, y % ns);
+                        if u != v {
+                            tb.add_social_link(SocialId(u), SocialId(v));
+                        }
+                    }
+                }
+                _ => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    let na = tb.san().num_attr_nodes() as u32;
+                    if ns >= 1 && na >= 1 {
+                        tb.add_attr_link(SocialId(x % ns), AttrId(y % na));
+                    }
+                }
+            }
+            if x % 7 == 0 {
+                day += 1;
+                tb.advance_to_day(day);
+            }
+        }
+        let (tl, live) = tb.finish();
+        let replay = tl.final_snapshot();
+        prop_assert_eq!(replay.num_social_nodes(), live.num_social_nodes());
+        prop_assert_eq!(replay.num_attr_nodes(), live.num_attr_nodes());
+        prop_assert_eq!(replay.num_social_links(), live.num_social_links());
+        prop_assert_eq!(replay.num_attr_links(), live.num_attr_links());
+        prop_assert!(replay.check_consistency().is_ok());
+    }
+
+    /// Snapshot monotonicity: counts never decrease over days.
+    #[test]
+    fn snapshots_monotone(
+        ops in prop::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..100)
+    ) {
+        let mut tb = TimelineBuilder::new();
+        let mut day = 0u32;
+        for (op, x, y) in ops {
+            match op {
+                0 => { tb.add_social_node(); }
+                1 => { tb.add_attr_node(AttrType::City); }
+                2 => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    if ns >= 2 && x % ns != y % ns {
+                        tb.add_social_link(SocialId(x % ns), SocialId(y % ns));
+                    }
+                }
+                _ => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    let na = tb.san().num_attr_nodes() as u32;
+                    if ns >= 1 && na >= 1 {
+                        tb.add_attr_link(SocialId(x % ns), AttrId(y % na));
+                    }
+                }
+            }
+            if x % 5 == 0 {
+                day += 1;
+                tb.advance_to_day(day);
+            }
+        }
+        let (tl, _) = tb.finish();
+        let counts = tl.day_counts();
+        for w in counts.windows(2) {
+            prop_assert!(w[1].social_nodes >= w[0].social_nodes);
+            prop_assert!(w[1].attr_nodes >= w[0].attr_nodes);
+            prop_assert!(w[1].social_links >= w[0].social_links);
+            prop_assert!(w[1].attr_links >= w[0].attr_links);
+        }
+    }
+
+    /// The crawler observes a subgraph of the truth, and with full
+    /// visibility it covers the seed's whole WCC.
+    #[test]
+    fn crawler_subgraph_and_coverage(san in arb_san(30, 4), seed_raw in any::<u32>()) {
+        let n = san.num_social_nodes() as u32;
+        let seed = SocialId(seed_raw % n);
+        let public = vec![true; n as usize];
+        let mut crawler = san_graph::crawler::Crawler::new(vec![seed]);
+        let snap = crawler.crawl(&san, &public);
+        // Subgraph property.
+        for (u, v) in snap.san.social_links() {
+            let ou = snap.social_origin[u.index()];
+            let ov = snap.social_origin[v.index()];
+            prop_assert!(san.has_social_link(ou, ov));
+        }
+        // Full visibility: the crawl covers exactly the seed's WCC.
+        let (ids, sizes) = weakly_connected_components(&san);
+        let wcc_size = sizes[ids[seed.index()]];
+        prop_assert_eq!(snap.san.num_social_nodes(), wcc_size);
+    }
+}

@@ -1,0 +1,210 @@
+//! Community detection on SANs — the direction §3.4 motivates ("the
+//! community structure among users' friends is highly dynamic, which
+//! inspires us to do dynamic community detection") and §7 lists among the
+//! heterogeneous-network applications.
+//!
+//! Two variants of synchronous-free **label propagation** are provided:
+//!
+//! * [`label_propagation`] — classical: each node repeatedly adopts the
+//!   majority label among its (undirected) social neighbours;
+//! * [`label_propagation_san`] — attribute-augmented: attribute co-members
+//!   also vote, with weight `attr_weight` per shared attribute. This is
+//!   the community-detection analogue of RR-SAN: shared foci pull users
+//!   into the same community even without direct links.
+//!
+//! Both are deterministic given the RNG (node order is shuffled each
+//! round) and return dense community ids.
+
+use san_graph::{San, SocialId};
+use san_stats::SplitRng;
+use std::collections::HashMap;
+
+/// Result of a label-propagation run.
+#[derive(Debug, Clone)]
+pub struct Communities {
+    /// Dense community id per social node.
+    pub assignment: Vec<usize>,
+    /// Community sizes (indexed by community id).
+    pub sizes: Vec<usize>,
+    /// Rounds until convergence (or the cap).
+    pub rounds: usize,
+}
+
+impl Communities {
+    /// Number of communities.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when `u` and `v` ended up in the same community.
+    pub fn together(&self, u: SocialId, v: SocialId) -> bool {
+        self.assignment[u.index()] == self.assignment[v.index()]
+    }
+}
+
+/// Classical label propagation over the undirected social structure.
+pub fn label_propagation(san: &San, max_rounds: usize, rng: &mut SplitRng) -> Communities {
+    propagate(san, 0.0, max_rounds, rng)
+}
+
+/// Attribute-augmented label propagation: attribute co-members vote with
+/// `attr_weight` per shared attribute (0 recovers the classical variant).
+pub fn label_propagation_san(
+    san: &San,
+    attr_weight: f64,
+    max_rounds: usize,
+    rng: &mut SplitRng,
+) -> Communities {
+    assert!(attr_weight >= 0.0, "attr_weight must be non-negative");
+    propagate(san, attr_weight, max_rounds, rng)
+}
+
+fn propagate(san: &San, attr_weight: f64, max_rounds: usize, rng: &mut SplitRng) -> Communities {
+    let n = san.num_social_nodes();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0;
+    for round in 0..max_rounds {
+        rounds = round + 1;
+        // Fisher-Yates shuffle of the update order.
+        for i in (1..order.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        let mut changed = false;
+        for &ui in &order {
+            let u = SocialId(ui);
+            let mut votes: HashMap<u32, f64> = HashMap::new();
+            for w in san.social_neighbors(u) {
+                *votes.entry(label[w.index()]).or_insert(0.0) += 1.0;
+            }
+            if attr_weight > 0.0 {
+                for &a in san.attrs_of(u) {
+                    for &w in san.members_of(a) {
+                        if w != u {
+                            *votes.entry(label[w.index()]).or_insert(0.0) += attr_weight;
+                        }
+                    }
+                }
+            }
+            if let Some((&best, _)) = votes
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(a.0)))
+            {
+                if best != label[u.index()] {
+                    label[u.index()] = best;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Densify ids.
+    let mut dense: HashMap<u32, usize> = HashMap::new();
+    let mut assignment = vec![0usize; n];
+    let mut sizes = Vec::new();
+    for (i, &l) in label.iter().enumerate() {
+        let next_id = dense.len();
+        let id = *dense.entry(l).or_insert(next_id);
+        if id == sizes.len() {
+            sizes.push(0);
+        }
+        assignment[i] = id;
+        sizes[id] += 1;
+    }
+    Communities {
+        assignment,
+        sizes,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::AttrType;
+
+    /// Two 6-cliques joined by a single bridge edge.
+    fn two_cliques() -> (San, Vec<SocialId>) {
+        let mut san = San::new();
+        let users: Vec<SocialId> = (0..12).map(|_| san.add_social_node()).collect();
+        for group in [&users[..6], &users[6..]] {
+            for &a in group {
+                for &b in group {
+                    if a != b {
+                        san.add_social_link(a, b);
+                    }
+                }
+            }
+        }
+        san.add_social_link(users[0], users[6]);
+        (san, users)
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let (san, users) = two_cliques();
+        let mut rng = SplitRng::new(1);
+        let c = label_propagation(&san, 50, &mut rng);
+        assert!(c.together(users[0], users[5]));
+        assert!(c.together(users[6], users[11]));
+        assert!(!c.together(users[0], users[6]), "bridge must not merge cliques");
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn attribute_votes_merge_link_free_groups() {
+        // Users with no social links but one shared attribute: classical
+        // LP leaves them singletons; the SAN variant groups them.
+        let mut san = San::new();
+        let users: Vec<SocialId> = (0..5).map(|_| san.add_social_node()).collect();
+        let a = san.add_attr_node(AttrType::Employer);
+        for &u in &users {
+            san.add_attr_link(u, a);
+        }
+        let mut rng = SplitRng::new(2);
+        let classical = label_propagation(&san, 20, &mut rng);
+        assert_eq!(classical.count(), 5);
+        let mut rng = SplitRng::new(2);
+        let san_lp = label_propagation_san(&san, 1.0, 20, &mut rng);
+        assert_eq!(san_lp.count(), 1, "shared focus must merge the group");
+    }
+
+    #[test]
+    fn zero_attr_weight_equals_classical() {
+        let (san, _) = two_cliques();
+        let mut rng1 = SplitRng::new(3);
+        let mut rng2 = SplitRng::new(3);
+        let a = label_propagation(&san, 30, &mut rng1);
+        let b = label_propagation_san(&san, 0.0, 30, &mut rng2);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn converges_and_reports_rounds() {
+        let (san, _) = two_cliques();
+        let mut rng = SplitRng::new(4);
+        let c = label_propagation(&san, 100, &mut rng);
+        assert!(c.rounds < 100, "cliques converge fast, rounds={}", c.rounds);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let san = San::new();
+        let mut rng = SplitRng::new(5);
+        let c = label_propagation(&san, 10, &mut rng);
+        assert_eq!(c.count(), 0);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let (san, _) = two_cliques();
+        let mut rng = SplitRng::new(6);
+        label_propagation_san(&san, -1.0, 10, &mut rng);
+    }
+}

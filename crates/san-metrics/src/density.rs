@@ -1,0 +1,57 @@
+//! Social and attribute density (§3.2, §4.1).
+//!
+//! Density here is the links-to-nodes ratio `|Es|/|Vs|` (the paper follows
+//! Kumar et al.'s terminology rather than graph-theoretic edge fraction so
+//! the values are comparable with prior OSN studies). The attribute analogue
+//! is `|Ea|/|Va|`.
+
+use san_graph::San;
+
+/// Social density `|Es| / |Vs|`; `0.0` for an empty network.
+pub fn social_density(san: &San) -> f64 {
+    if san.num_social_nodes() == 0 {
+        return 0.0;
+    }
+    san.num_social_links() as f64 / san.num_social_nodes() as f64
+}
+
+/// Attribute density `|Ea| / |Va|`; `0.0` when there are no attribute nodes.
+pub fn attr_density(san: &San) -> f64 {
+    if san.num_attr_nodes() == 0 {
+        return 0.0;
+    }
+    san.num_attr_links() as f64 / san.num_attr_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::fixtures::figure1;
+    use san_graph::San;
+
+    #[test]
+    fn figure1_densities() {
+        let fx = figure1();
+        assert!((social_density(&fx.san) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((attr_density(&fx.san) - 8.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network() {
+        let san = San::new();
+        assert_eq!(social_density(&san), 0.0);
+        assert_eq!(attr_density(&san), 0.0);
+    }
+
+    #[test]
+    fn density_grows_with_links() {
+        let mut san = San::new();
+        let u0 = san.add_social_node();
+        let u1 = san.add_social_node();
+        assert_eq!(social_density(&san), 0.0);
+        san.add_social_link(u0, u1);
+        assert!((social_density(&san) - 0.5).abs() < 1e-12);
+        san.add_social_link(u1, u0);
+        assert!((social_density(&san) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,311 @@
+//! Metric evolution over a SAN timeline, with the paper's three-phase
+//! annotation.
+//!
+//! Google+ grew through three regimes (§2.2): **Phase I** (days 1–20,
+//! explosive early growth), **Phase II** (days 21–75, stabilised
+//! invitation-only growth) and **Phase III** (days 76+, public release).
+//! Nearly every metric the paper measures shows a visible regime change at
+//! those boundaries; [`PhaseBounds`] captures the boundaries and
+//! [`evolve_metric`] produces the day-indexed series that the evolution
+//! figures (4, 6, 7b, 8, 11, 12b) plot.
+
+use san_graph::{San, SanTimeline};
+use serde::{Deserialize, Serialize};
+
+/// The three evolution phases of Google+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Early days: dramatic size increase.
+    I,
+    /// Invitation-only steady growth.
+    II,
+    /// Public release: growth spike again.
+    III,
+}
+
+/// Day boundaries separating the phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBounds {
+    /// Last day (inclusive) of Phase I.
+    pub phase1_end: u32,
+    /// Last day (inclusive) of Phase II.
+    pub phase2_end: u32,
+}
+
+impl PhaseBounds {
+    /// The paper's boundaries: Phase I ends day 20, Phase II ends day 75.
+    pub const PAPER: PhaseBounds = PhaseBounds {
+        phase1_end: 20,
+        phase2_end: 75,
+    };
+
+    /// Which phase a day belongs to.
+    pub fn phase_of(&self, day: u32) -> Phase {
+        if day <= self.phase1_end {
+            Phase::I
+        } else if day <= self.phase2_end {
+            Phase::II
+        } else {
+            Phase::III
+        }
+    }
+}
+
+/// A day-indexed metric series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricSeries {
+    /// Metric name (used by the experiment harness output).
+    pub name: String,
+    /// Sampled days.
+    pub days: Vec<u32>,
+    /// Metric value at each sampled day.
+    pub values: Vec<f64>,
+}
+
+impl MetricSeries {
+    /// Value on the last sampled day (`None` if empty).
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Mean of the values sampled within the given phase.
+    pub fn phase_mean(&self, bounds: PhaseBounds, phase: Phase) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .days
+            .iter()
+            .zip(&self.values)
+            .filter(|(d, _)| bounds.phase_of(**d) == phase)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(san_stats::mean(&vals))
+        }
+    }
+
+    /// Net change of the metric across the sampled days of a phase
+    /// (`last − first`), used by tests asserting "increases in Phase II".
+    pub fn phase_trend(&self, bounds: PhaseBounds, phase: Phase) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .days
+            .iter()
+            .zip(&self.values)
+            .filter(|(d, _)| bounds.phase_of(**d) == phase)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.len() < 2 {
+            None
+        } else {
+            Some(vals[vals.len() - 1] - vals[0])
+        }
+    }
+}
+
+/// Evaluates `metric` on the end-of-day snapshot of every `step`-th day
+/// (always including the final day) in a single incremental replay.
+pub fn evolve_metric<F>(
+    timeline: &SanTimeline,
+    name: &str,
+    step: u32,
+    mut metric: F,
+) -> MetricSeries
+where
+    F: FnMut(u32, &San) -> f64,
+{
+    assert!(step >= 1, "step must be at least 1");
+    let mut series = MetricSeries {
+        name: name.to_string(),
+        ..MetricSeries::default()
+    };
+    let max_day = timeline.max_day();
+    timeline.for_each_day(|day, san| {
+        if day % step == 0 || Some(day) == max_day {
+            series.days.push(day);
+            series.values.push(metric(day, san));
+        }
+    });
+    series
+}
+
+/// Parallel variant of [`evolve_metric`] for expensive per-day metrics.
+///
+/// The sampled days are split into `threads` contiguous chunks; each worker
+/// replays the timeline once up to its chunk and evaluates the metric on
+/// its days. Worth it when the metric dominates the replay cost (diameter,
+/// exact clustering); for cheap metrics prefer the single-pass
+/// [`evolve_metric`].
+///
+/// `metric` must be `Sync` (it is shared across workers) and is handed an
+/// owned snapshot day index plus the network.
+pub fn evolve_metric_parallel<F>(
+    timeline: &SanTimeline,
+    name: &str,
+    step: u32,
+    threads: usize,
+    metric: F,
+) -> MetricSeries
+where
+    F: Fn(u32, &San) -> f64 + Sync,
+{
+    assert!(step >= 1, "step must be at least 1");
+    assert!(threads >= 1, "need at least one thread");
+    let Some(max_day) = timeline.max_day() else {
+        return MetricSeries {
+            name: name.to_string(),
+            ..MetricSeries::default()
+        };
+    };
+    let days: Vec<u32> = (0..=max_day)
+        .filter(|d| d % step == 0 || *d == max_day)
+        .collect();
+    let chunk_len = days.len().div_ceil(threads);
+    let chunks: Vec<&[u32]> = days.chunks(chunk_len.max(1)).collect();
+    let mut results: Vec<Vec<(u32, f64)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let metric = &metric;
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    if chunk.is_empty() {
+                        return out;
+                    }
+                    // One incremental replay per worker covering its days.
+                    let last = *chunk.last().expect("nonempty chunk");
+                    let mut idx = 0usize;
+                    timeline.for_each_day(|day, san| {
+                        if day > last {
+                            return;
+                        }
+                        if idx < chunk.len() && chunk[idx] == day {
+                            out.push((day, metric(day, san)));
+                            idx += 1;
+                        }
+                    });
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut series = MetricSeries {
+        name: name.to_string(),
+        ..MetricSeries::default()
+    };
+    for chunk in results {
+        for (day, value) in chunk {
+            series.days.push(day);
+            series.values.push(value);
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::{SocialId, TimelineBuilder};
+
+    fn growing_timeline(days: u32) -> SanTimeline {
+        let mut tb = TimelineBuilder::new();
+        let mut users: Vec<SocialId> = Vec::new();
+        for day in 0..=days {
+            tb.advance_to_day(day);
+            let u = tb.add_social_node();
+            if let Some(&prev) = users.last() {
+                tb.add_social_link(u, prev);
+            }
+            users.push(u);
+        }
+        tb.finish().0
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let b = PhaseBounds::PAPER;
+        assert_eq!(b.phase_of(0), Phase::I);
+        assert_eq!(b.phase_of(20), Phase::I);
+        assert_eq!(b.phase_of(21), Phase::II);
+        assert_eq!(b.phase_of(75), Phase::II);
+        assert_eq!(b.phase_of(76), Phase::III);
+        assert_eq!(b.phase_of(98), Phase::III);
+    }
+
+    #[test]
+    fn evolve_metric_samples_steps_and_last_day() {
+        let tl = growing_timeline(10);
+        let series = evolve_metric(&tl, "nodes", 3, |_, san| san.num_social_nodes() as f64);
+        assert_eq!(series.days, vec![0, 3, 6, 9, 10]);
+        assert_eq!(series.values, vec![1.0, 4.0, 7.0, 10.0, 11.0]);
+        assert_eq!(series.last(), Some(11.0));
+        assert_eq!(series.name, "nodes");
+    }
+
+    #[test]
+    fn evolve_metric_step_one_covers_all_days() {
+        let tl = growing_timeline(5);
+        let series = evolve_metric(&tl, "links", 1, |_, san| san.num_social_links() as f64);
+        assert_eq!(series.days.len(), 6);
+        // Links grow by one per day after day 0.
+        assert_eq!(series.values, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn phase_statistics() {
+        let tl = growing_timeline(98);
+        let series = evolve_metric(&tl, "nodes", 1, |_, san| san.num_social_nodes() as f64);
+        let b = PhaseBounds::PAPER;
+        let m1 = series.phase_mean(b, Phase::I).unwrap();
+        let m3 = series.phase_mean(b, Phase::III).unwrap();
+        assert!(m3 > m1);
+        let t2 = series.phase_trend(b, Phase::II).unwrap();
+        assert!((t2 - 54.0).abs() < 1e-12); // days 21..=75 add 54 nodes
+    }
+
+    #[test]
+    fn phase_stats_empty_phase() {
+        let tl = growing_timeline(5);
+        let series = evolve_metric(&tl, "x", 1, |_, _| 1.0);
+        assert_eq!(series.phase_mean(PhaseBounds::PAPER, Phase::III), None);
+        assert_eq!(series.phase_trend(PhaseBounds::PAPER, Phase::III), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_rejected() {
+        let tl = growing_timeline(3);
+        evolve_metric(&tl, "x", 0, |_, _| 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let tl = growing_timeline(40);
+        let seq = evolve_metric(&tl, "links", 3, |_, san| san.num_social_links() as f64);
+        for threads in [1, 2, 4] {
+            let par = evolve_metric_parallel(&tl, "links", 3, threads, |_, san| {
+                san.num_social_links() as f64
+            });
+            assert_eq!(par.days, seq.days, "threads={threads}");
+            assert_eq!(par.values, seq.values, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_timeline() {
+        let tl = SanTimeline::default();
+        let s = evolve_metric_parallel(&tl, "x", 1, 4, |_, _| 0.0);
+        assert!(s.days.is_empty());
+    }
+
+    #[test]
+    fn day_passed_to_metric() {
+        let tl = growing_timeline(4);
+        let series = evolve_metric(&tl, "day", 2, |day, _| day as f64);
+        assert_eq!(series.days, series.values.iter().map(|&v| v as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,477 @@
+//! HyperANF: approximate neighbourhood function and effective diameter
+//! (§3.3), from scratch.
+//!
+//! Computing all-pairs distances is infeasible at Google+ scale, so the
+//! paper uses the HyperANF algorithm of Boldi, Rosa & Vigna: every node
+//! carries a **HyperLogLog** counter of the nodes it can reach within `t`
+//! hops; one synchronous round of
+//!
+//! ```text
+//! c_u(t+1) = c_u(t) ∪ ⋃_{u→v} c_v(t)
+//! ```
+//!
+//! advances the horizon by one hop, and the estimated neighbourhood
+//! function `N(t) = Σ_u |c_u(t)|` counts ordered pairs within distance `t`.
+//! The **effective diameter** is the interpolated 90th-percentile distance
+//! among connected pairs.
+//!
+//! The paper's **attribute distance** (§4.1) between attribute nodes `a, b`
+//! is `min{dist(u,v) | u ∈ Γs(a), v ∈ Γs(b)} + 1`. We compute it on a
+//! *lifted* graph (attribute nodes wired to their members in both
+//! directions): lifted distances equal attribute distances plus one, so the
+//! attribute diameter falls out of the same machinery.
+
+use san_graph::San;
+use san_stats::SplitRng;
+
+/// A HyperLogLog cardinality counter with `2^b` registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    b: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Creates an empty counter; `b` must be in `4..=16`.
+    pub fn new(b: u8) -> Self {
+        assert!((4..=16).contains(&b), "register exponent b={b} out of range");
+        HyperLogLog {
+            b,
+            registers: vec![0; 1 << b],
+        }
+    }
+
+    /// Inserts a pre-hashed 64-bit value.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash >> (64 - self.b)) as usize;
+        let rest = hash << self.b;
+        // Rank = position of the leftmost 1 bit in the remaining bits, 1-based.
+        let rank = (rest.leading_zeros() as u8).min(64 - self.b) + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Unions another counter into this one; returns `true` when any
+    /// register changed (HyperANF's convergence signal).
+    pub fn union_with(&mut self, other: &HyperLogLog) -> bool {
+        debug_assert_eq!(self.b, other.b, "incompatible register widths");
+        let mut changed = false;
+        for (r, &o) in self.registers.iter_mut().zip(&other.registers) {
+            if o > *r {
+                *r = o;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Estimated cardinality (with the standard small-range linear-counting
+    /// correction).
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+}
+
+/// Stable 64-bit mix of a node id with a seed (SplitMix64 finaliser).
+#[inline]
+fn hash_node(id: u64, seed: u64) -> u64 {
+    let mut z = id
+        .wrapping_add(seed)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// HyperANF over an arbitrary successor structure.
+///
+/// * `adj[u]` — successors of node `u`;
+/// * `init[u]` — whether `u`'s counter starts containing `u` itself;
+/// * `count[u]` — whether `u`'s counter contributes to `N(t)`.
+///
+/// Returns the series `N(0), N(1), …` until convergence (no counter
+/// changes) or `max_iters` rounds.
+pub fn neighborhood_function(
+    adj: &[Vec<u32>],
+    init: &[bool],
+    count: &[bool],
+    b: u8,
+    max_iters: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = adj.len();
+    assert_eq!(init.len(), n);
+    assert_eq!(count.len(), n);
+    if n == 0 {
+        return vec![0.0];
+    }
+    let mut counters: Vec<HyperLogLog> = (0..n)
+        .map(|u| {
+            let mut c = HyperLogLog::new(b);
+            if init[u] {
+                c.insert_hash(hash_node(u as u64, seed));
+            }
+            c
+        })
+        .collect();
+    let estimate_total = |cs: &[HyperLogLog]| -> f64 {
+        cs.iter()
+            .zip(count)
+            .filter(|(_, &keep)| keep)
+            .map(|(c, _)| c.estimate())
+            .sum()
+    };
+    let mut series = vec![estimate_total(&counters)];
+    for _ in 0..max_iters {
+        let mut next = counters.clone();
+        let mut any_changed = false;
+        for (u, outs) in adj.iter().enumerate() {
+            for &v in outs {
+                if next[u].union_with(&counters[v as usize]) {
+                    any_changed = true;
+                }
+            }
+        }
+        counters = next;
+        if !any_changed {
+            break;
+        }
+        series.push(estimate_total(&counters));
+    }
+    series
+}
+
+/// Interpolated effective diameter at quantile `q` from a neighbourhood
+/// function series.
+///
+/// Self-pairs (`N(0)`) are excluded: the quantile ranges over ordered
+/// connected pairs at distance ≥ 1, matching the paper's "distance between
+/// every pair of connected nodes".
+pub fn effective_diameter_from_nf(nf: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if nf.len() < 2 {
+        return 0.0;
+    }
+    let base = nf[0];
+    let total = nf[nf.len() - 1] - base;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = q * total;
+    for t in 1..nf.len() {
+        let below = nf[t - 1] - base;
+        let at = nf[t] - base;
+        if at >= target {
+            if at <= below {
+                return t as f64;
+            }
+            // Linear interpolation within the step [t-1, t].
+            return (t - 1) as f64 + (target - below) / (at - below);
+        }
+    }
+    (nf.len() - 1) as f64
+}
+
+/// Effective social diameter (90th percentile by default in the paper).
+///
+/// `b` controls HyperLogLog accuracy (the paper's tool uses comparable
+/// register budgets); `seed` fixes the hash salt.
+pub fn social_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 {
+    let adj: Vec<Vec<u32>> = san
+        .social_nodes()
+        .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
+        .collect();
+    let init = vec![true; adj.len()];
+    let nf = neighborhood_function(&adj, &init, &init, b, 256, seed);
+    effective_diameter_from_nf(&nf, q)
+}
+
+/// Effective **attribute** diameter (§4.1): the 90th-percentile attribute
+/// distance `min dist between members + 1`, computed on the lifted graph
+/// and shifted back by one.
+pub fn attribute_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 {
+    let n = san.num_social_nodes();
+    let m = san.num_attr_nodes();
+    if m == 0 {
+        return 0.0;
+    }
+    // Lifted graph: social nodes 0..n, attribute nodes n..n+m.
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n + m);
+    for u in san.social_nodes() {
+        let mut outs: Vec<u32> = san.out_neighbors(u).iter().map(|v| v.0).collect();
+        // u -> its attributes (so a path …→v→b terminates at b).
+        outs.extend(san.attrs_of(u).iter().map(|a| n as u32 + a.0));
+        adj.push(outs);
+    }
+    for a in san.attr_nodes() {
+        // a -> its members (so a path a→u→… starts at a).
+        adj.push(san.members_of(a).iter().map(|u| u.0).collect());
+    }
+    let mut init = vec![false; n + m];
+    let mut count = vec![false; n + m];
+    for i in n..n + m {
+        init[i] = true;
+        count[i] = true;
+    }
+    let nf = neighborhood_function(&adj, &init, &count, b, 256, seed);
+    // Lifted distances between distinct attribute nodes = attribute distance + 1.
+    let lifted = effective_diameter_from_nf(&nf, q);
+    (lifted - 1.0).max(0.0)
+}
+
+/// Exact distance distribution by multi-source directed BFS over `sources`
+/// sampled uniformly (used to validate HyperANF and to report the paper's
+/// "mode at distance six" histogram on small graphs).
+///
+/// Returns `hist[d] = number of (sampled source, target) pairs at distance
+/// d ≥ 1`.
+pub fn sampled_distance_histogram(
+    san: &San,
+    num_sources: usize,
+    rng: &mut SplitRng,
+) -> Vec<u64> {
+    let n = san.num_social_nodes();
+    if n == 0 || num_sources == 0 {
+        return Vec::new();
+    }
+    let mut hist: Vec<u64> = Vec::new();
+    for _ in 0..num_sources.min(n) {
+        let src = san_graph::SocialId(rng.below(n as u64) as u32);
+        let dist = san_graph::traverse::bfs_directed(san, src);
+        for d in dist.into_iter().flatten() {
+            if d >= 1 {
+                let d = d as usize;
+                if hist.len() <= d {
+                    hist.resize(d + 1, 0);
+                }
+                hist[d] += 1;
+            }
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::{San, SocialId};
+
+    fn path_graph(n: usize) -> San {
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..n).map(|_| san.add_social_node()).collect();
+        for i in 0..n - 1 {
+            san.add_social_link(u[i], u[i + 1]);
+        }
+        san
+    }
+
+    #[test]
+    fn hll_estimates_cardinalities() {
+        for &n in &[100u64, 1_000, 50_000] {
+            let mut hll = HyperLogLog::new(10);
+            for i in 0..n {
+                hll.insert_hash(hash_node(i, 7));
+            }
+            let est = hll.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.1, "n={n} est={est} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn hll_duplicate_insertions_idempotent() {
+        let mut a = HyperLogLog::new(8);
+        for i in 0..100u64 {
+            a.insert_hash(hash_node(i, 3));
+        }
+        let before = a.estimate();
+        for i in 0..100u64 {
+            a.insert_hash(hash_node(i, 3));
+        }
+        assert_eq!(a.estimate(), before);
+    }
+
+    #[test]
+    fn hll_union_is_max() {
+        let mut a = HyperLogLog::new(8);
+        let mut b = HyperLogLog::new(8);
+        for i in 0..500u64 {
+            a.insert_hash(hash_node(i, 1));
+        }
+        for i in 250..750u64 {
+            b.insert_hash(hash_node(i, 1));
+        }
+        assert!(a.union_with(&b));
+        let est = a.estimate();
+        assert!((est - 750.0).abs() / 750.0 < 0.15, "est={est}");
+        // Second union is a no-op.
+        assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hll_rejects_bad_b() {
+        HyperLogLog::new(2);
+    }
+
+    #[test]
+    fn nf_exact_on_small_path() {
+        // Directed path of 4: pairs within t:
+        // N(0)=4, N(1)=4+3, N(2)=4+3+2, N(3)=4+3+2+1.
+        let san = path_graph(4);
+        let adj: Vec<Vec<u32>> = san
+            .social_nodes()
+            .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
+            .collect();
+        let init = vec![true; 4];
+        let nf = neighborhood_function(&adj, &init, &init, 10, 64, 42);
+        assert_eq!(nf.len(), 4);
+        let expect = [4.0, 7.0, 9.0, 10.0];
+        for (t, &e) in expect.iter().enumerate() {
+            assert!(
+                (nf[t] - e).abs() / e < 0.12,
+                "t={t} nf={} expect={e}",
+                nf[t]
+            );
+        }
+    }
+
+    #[test]
+    fn effective_diameter_path() {
+        // Undirected-style double path to have symmetric distances.
+        let mut san = path_graph(11);
+        let ids: Vec<SocialId> = san.social_nodes().collect();
+        for i in 0..10 {
+            san.add_social_link(ids[i + 1], ids[i]);
+        }
+        let d = social_effective_diameter(&san, 1.0, 10, 1);
+        // Max distance is 10; q=1.0 should approach it.
+        assert!(d >= 8.0 && d <= 10.5, "d={d}");
+        let d90 = social_effective_diameter(&san, 0.9, 10, 1);
+        assert!(d90 <= d, "d90={d90} d={d}");
+        assert!(d90 >= 5.0, "d90={d90}");
+    }
+
+    #[test]
+    fn effective_diameter_from_nf_interpolates() {
+        // Hand-made NF: base 10 self-pairs, then 10 pairs at distance 1,
+        // 10 more at distance 2.
+        let nf = [10.0, 20.0, 30.0];
+        assert!((effective_diameter_from_nf(&nf, 0.5) - 1.0).abs() < 1e-12);
+        assert!((effective_diameter_from_nf(&nf, 0.75) - 1.5).abs() < 1e-12);
+        assert!((effective_diameter_from_nf(&nf, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_diameter_degenerate_inputs() {
+        assert_eq!(effective_diameter_from_nf(&[5.0], 0.9), 0.0);
+        assert_eq!(effective_diameter_from_nf(&[5.0, 5.0], 0.9), 0.0);
+    }
+
+    #[test]
+    fn clique_diameter_is_one() {
+        let mut san = San::new();
+        let ids: Vec<SocialId> = (0..6).map(|_| san.add_social_node()).collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    san.add_social_link(a, b);
+                }
+            }
+        }
+        let d = social_effective_diameter(&san, 0.9, 10, 5);
+        assert!((d - 1.0).abs() < 0.25, "d={d}");
+    }
+
+    #[test]
+    fn attribute_diameter_two_attrs_shared_member() {
+        // a and b share member u: attribute distance should be ~1
+        // (min dist(u,u)=0, +1).
+        let mut san = San::new();
+        let u = san.add_social_node();
+        let v = san.add_social_node();
+        san.add_social_link(u, v);
+        let a = san.add_attr_node(san_graph::AttrType::City);
+        let b = san.add_attr_node(san_graph::AttrType::School);
+        san.add_attr_link(u, a);
+        san.add_attr_link(u, b);
+        let d = attribute_effective_diameter(&san, 1.0, 10, 9);
+        assert!((d - 1.0).abs() < 0.3, "d={d}");
+    }
+
+    #[test]
+    fn attribute_diameter_follows_social_distance() {
+        // Chain u0->u1->u2->u3; attr a on u0, attr b on u3:
+        // attribute distance = dist(u0,u3)+1 = 4.
+        let mut san = path_graph(4);
+        let a = san.add_attr_node(san_graph::AttrType::City);
+        let b = san.add_attr_node(san_graph::AttrType::School);
+        san.add_attr_link(SocialId(0), a);
+        san.add_attr_link(SocialId(3), b);
+        let d = attribute_effective_diameter(&san, 1.0, 10, 11);
+        assert!(d > 2.5 && d < 4.5, "d={d}");
+    }
+
+    #[test]
+    fn attribute_diameter_no_attrs() {
+        let san = path_graph(3);
+        assert_eq!(attribute_effective_diameter(&san, 0.9, 8, 1), 0.0);
+    }
+
+    #[test]
+    fn sampled_histogram_matches_path() {
+        let san = path_graph(5);
+        let mut rng = SplitRng::new(13);
+        // Sample all nodes (num_sources = n) -> exact directed histogram.
+        let hist = sampled_distance_histogram(&san, 5, &mut rng);
+        // Directed path of 5: distances 1:4, 2:3, 3:2, 4:1 (sampling with
+        // replacement may repeat sources, so check support only).
+        assert!(hist.len() <= 5);
+        assert!(hist.iter().skip(1).any(|&c| c > 0));
+    }
+
+    #[test]
+    fn nf_disconnected_pairs_never_counted() {
+        // Two disconnected cliques of 3: N(inf) = 2 * (3 + 3*2) = 18.
+        let mut san = San::new();
+        let ids: Vec<SocialId> = (0..6).map(|_| san.add_social_node()).collect();
+        for group in [&ids[..3], &ids[3..]] {
+            for &a in group {
+                for &b in group {
+                    if a != b {
+                        san.add_social_link(a, b);
+                    }
+                }
+            }
+        }
+        let adj: Vec<Vec<u32>> = san
+            .social_nodes()
+            .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
+            .collect();
+        let init = vec![true; 6];
+        let nf = neighborhood_function(&adj, &init, &init, 10, 64, 3);
+        let last = *nf.last().unwrap();
+        assert!((last - 18.0).abs() / 18.0 < 0.12, "last={last}");
+    }
+}

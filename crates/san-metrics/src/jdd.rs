@@ -1,0 +1,210 @@
+//! Joint degree distribution: the `knn` correlation function and the
+//! assortativity coefficient, social (§3.6) and attribute (§4.1) variants.
+//!
+//! * **Social `knn`** maps an out-degree `k` to the average in-degree of all
+//!   nodes that nodes of out-degree `k` point to (Fig. 7a, following
+//!   Pastor-Satorras et al. / Mislove et al.).
+//! * **Social assortativity** `r` is the Pearson correlation of
+//!   `(out-degree(u), in-degree(v))` over directed links `u → v`; Google+
+//!   is neutral (`r ≈ 0`) where Flickr/LiveJournal/Orkut are positive.
+//! * **Attribute `knn`** maps an attribute node's social degree `k` to the
+//!   average attribute degree of its member users (Fig. 12a).
+//! * **Attribute assortativity** is the Pearson correlation of
+//!   `(social degree of a, attribute degree of u)` over attribute links.
+
+use san_graph::San;
+use std::collections::BTreeMap;
+
+/// Social degree-correlation function `knn` (Fig. 7a).
+///
+/// Returns `(out-degree k, mean in-degree of the out-neighbours of nodes
+/// with out-degree k)`, pooled over all such links, sorted by `k`.
+pub fn social_knn(san: &San) -> Vec<(u64, f64)> {
+    let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    for u in san.social_nodes() {
+        let k = san.out_degree(u) as u64;
+        if k == 0 {
+            continue;
+        }
+        let e = acc.entry(k).or_insert((0.0, 0));
+        for &v in san.out_neighbors(u) {
+            e.0 += san.in_degree(v) as f64;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(k, (sum, n))| (k, sum / n as f64))
+        .collect()
+}
+
+/// Social assortativity coefficient `r ∈ [−1, 1]` (Fig. 7b): Pearson
+/// correlation of source out-degree and destination in-degree over all
+/// directed links. `0.0` for degenerate networks.
+pub fn social_assortativity(san: &San) -> f64 {
+    let mut xs = Vec::with_capacity(san.num_social_links());
+    let mut ys = Vec::with_capacity(san.num_social_links());
+    for (u, v) in san.social_links() {
+        xs.push(san.out_degree(u) as f64);
+        ys.push(san.in_degree(v) as f64);
+    }
+    san_stats::pearson(&xs, &ys)
+}
+
+/// Attribute `knn` (Fig. 12a): for each social degree `k` of attribute
+/// nodes, the average attribute degree of the social members, pooled over
+/// all membership links of attributes with that degree.
+pub fn attribute_knn(san: &San) -> Vec<(u64, f64)> {
+    let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    for a in san.attr_nodes() {
+        let k = san.social_degree_of_attr(a) as u64;
+        if k == 0 {
+            continue;
+        }
+        let e = acc.entry(k).or_insert((0.0, 0));
+        for &u in san.members_of(a) {
+            e.0 += san.attr_degree(u) as f64;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(k, (sum, n))| (k, sum / n as f64))
+        .collect()
+}
+
+/// Attribute assortativity coefficient (Fig. 12b): Pearson correlation of
+/// `(social degree of attribute, attribute degree of member)` over all
+/// attribute links.
+pub fn attribute_assortativity(san: &San) -> f64 {
+    let mut xs = Vec::with_capacity(san.num_attr_links());
+    let mut ys = Vec::with_capacity(san.num_attr_links());
+    for (u, a) in san.attr_links() {
+        xs.push(san.social_degree_of_attr(a) as f64);
+        ys.push(san.attr_degree(u) as f64);
+    }
+    san_stats::pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::{AttrType, San, SocialId};
+    use san_stats::SplitRng;
+
+    #[test]
+    fn social_knn_small_example() {
+        // u0 -> u1, u0 -> u2, u3 -> u2.
+        // out-degree 2: u0; neighbours u1 (in 1), u2 (in 2) -> knn(2) = 1.5.
+        // out-degree 1: u3; neighbour u2 (in 2) -> knn(1) = 2.
+        let mut san = San::new();
+        let u: Vec<SocialId> = (0..4).map(|_| san.add_social_node()).collect();
+        san.add_social_link(u[0], u[1]);
+        san.add_social_link(u[0], u[2]);
+        san.add_social_link(u[3], u[2]);
+        let knn = social_knn(&san);
+        assert_eq!(knn, vec![(1, 2.0), (2, 1.5)]);
+    }
+
+    #[test]
+    fn social_knn_empty() {
+        assert!(social_knn(&San::new()).is_empty());
+    }
+
+    #[test]
+    fn assortativity_star_is_negative() {
+        // Star: hub points at leaves and leaves point back.
+        // Hub has high out-degree pointing at low-in-degree leaves, and
+        // leaves (out-degree 1) point at the high-in-degree hub: strongly
+        // disassortative.
+        let mut san = San::new();
+        let hub = san.add_social_node();
+        for _ in 0..10 {
+            let leaf = san.add_social_node();
+            san.add_social_link(hub, leaf);
+            san.add_social_link(leaf, hub);
+        }
+        let r = social_assortativity(&san);
+        assert!(r < -0.9, "r={r}");
+    }
+
+    #[test]
+    fn assortativity_degree_matched_is_positive() {
+        // Two groups: a 4-clique (high degree) and disjoint 2-cycles
+        // (low degree). High-degree nodes link to high-degree nodes.
+        let mut san = San::new();
+        let clique: Vec<SocialId> = (0..4).map(|_| san.add_social_node()).collect();
+        for &a in &clique {
+            for &b in &clique {
+                if a != b {
+                    san.add_social_link(a, b);
+                }
+            }
+        }
+        for _ in 0..4 {
+            let a = san.add_social_node();
+            let b = san.add_social_node();
+            san.add_social_link(a, b);
+            san.add_social_link(b, a);
+        }
+        let r = social_assortativity(&san);
+        assert!(r > 0.9, "r={r}");
+    }
+
+    #[test]
+    fn assortativity_degenerate_zero() {
+        let mut san = San::new();
+        san.add_social_node();
+        assert_eq!(social_assortativity(&san), 0.0);
+        // Regular ring: all degrees equal -> zero variance -> 0.
+        let mut ring = San::new();
+        let u: Vec<SocialId> = (0..5).map(|_| ring.add_social_node()).collect();
+        for i in 0..5 {
+            ring.add_social_link(u[i], u[(i + 1) % 5]);
+        }
+        assert_eq!(social_assortativity(&ring), 0.0);
+    }
+
+    #[test]
+    fn attribute_knn_small_example() {
+        // Attr A members {u0, u1}; attr B members {u0}.
+        // u0 attr-degree 2, u1 attr-degree 1.
+        // knn for social degree 2 (A): mean(2, 1) = 1.5.
+        // knn for social degree 1 (B): mean(2) = 2.
+        let mut san = San::new();
+        let u0 = san.add_social_node();
+        let u1 = san.add_social_node();
+        let a = san.add_attr_node(AttrType::City);
+        let b = san.add_attr_node(AttrType::School);
+        san.add_attr_link(u0, a);
+        san.add_attr_link(u1, a);
+        san.add_attr_link(u0, b);
+        let knn = attribute_knn(&san);
+        assert_eq!(knn, vec![(1, 2.0), (2, 1.5)]);
+    }
+
+    #[test]
+    fn attribute_assortativity_neutral_for_random_memberships() {
+        // Random bipartite memberships: no correlation expected.
+        let mut rng = SplitRng::new(5);
+        let mut san = San::new();
+        let users: Vec<SocialId> = (0..500).map(|_| san.add_social_node()).collect();
+        let attrs: Vec<_> = (0..50)
+            .map(|_| san.add_attr_node(AttrType::Other))
+            .collect();
+        for &u in &users {
+            let k = 1 + rng.below(4);
+            for _ in 0..k {
+                let a = attrs[rng.below(50) as usize];
+                san.add_attr_link(u, a);
+            }
+        }
+        let r = attribute_assortativity(&san);
+        assert!(r.abs() < 0.15, "r={r}");
+    }
+
+    #[test]
+    fn attribute_assortativity_empty() {
+        assert_eq!(attribute_assortativity(&San::new()), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # san-metrics — every measurement of the Google+ SAN paper
+//!
+//! This crate implements the full measurement toolkit of
+//! *"Evolution of Social-Attribute Networks"* (Gong et al., IMC 2012),
+//! sections 3, 4 and Appendix A:
+//!
+//! | Paper § | Metric | Module |
+//! |---------|--------|--------|
+//! | 3.1 / 4.2 | global + fine-grained reciprocity `r_{s,a}` | [`reciprocity`] |
+//! | 3.2 / 4.1 | social + attribute density | [`density`] |
+//! | 3.3 / 4.1 | effective social + attribute diameter (HyperANF) | [`hyperanf`] |
+//! | 3.4 / 4.1 / App. A | clustering coefficients, exact and the constant-time Algorithm 2 | [`clustering`] |
+//! | 3.5 / 4.1 | four degree distributions + lognormal/power-law best fits | [`degree_dist`] |
+//! | 3.6 / 4.1 | `knn` degree correlation + assortativity (social & attribute) | [`jdd`] |
+//! | 4.2 | attribute influence on degree / closure mix | [`influence`] |
+//! | 4.3 | subsampling validation | [`validate`] |
+//! | §2 figs 2–4 etc. | per-day metric evolution over a timeline | [`evolution`] |
+//!
+//! Beyond the paper's figures, [`community`] provides classical and
+//! attribute-augmented label propagation (the §3.4 "dynamic community
+//! detection" direction), and [`evolution::evolve_metric_parallel`] fans a
+//! per-day sweep across threads for expensive metrics.
+//!
+//! All heavy metrics take an explicit RNG so runs are deterministic, and all
+//! approximation knobs (`ε`, `ν`, HyperANF register width) default to the
+//! paper's operating points.
+
+pub mod clustering;
+pub mod community;
+pub mod degree_dist;
+pub mod density;
+pub mod evolution;
+pub mod hyperanf;
+pub mod influence;
+pub mod jdd;
+pub mod reciprocity;
+pub mod validate;
+
+pub use clustering::{
+    approx_average_clustering, average_clustering_exact, clustering_by_degree,
+    local_clustering_attr, local_clustering_social, NodeSet,
+};
+pub use degree_dist::{fit_san_degrees, SanDegreeFits};
+pub use density::{attr_density, social_density};
+pub use evolution::{evolve_metric, MetricSeries, Phase, PhaseBounds};
+pub use hyperanf::{
+    attribute_effective_diameter, effective_diameter_from_nf, social_effective_diameter,
+    HyperLogLog,
+};
+pub use jdd::{attribute_assortativity, attribute_knn, social_assortativity, social_knn};
+pub use reciprocity::{fine_grained_reciprocity, global_reciprocity, ReciprocityCell};

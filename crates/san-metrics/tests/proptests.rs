@@ -1,0 +1,140 @@
+//! Property-based tests for the measurement library.
+
+use proptest::prelude::*;
+use san_graph::prelude::*;
+use san_metrics::clustering::{
+    approx_average_clustering_k, average_clustering_exact, local_clustering_social, NodeSet,
+};
+use san_metrics::hyperanf::{effective_diameter_from_nf, neighborhood_function};
+use san_metrics::jdd::{attribute_assortativity, social_assortativity};
+use san_metrics::reciprocity::{fine_grained_reciprocity, global_reciprocity};
+use san_stats::SplitRng;
+
+fn arb_san(max_social: u32, max_attr: u32) -> impl Strategy<Value = San> {
+    (
+        2..=max_social,
+        0..=max_attr,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..250),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+    )
+        .prop_map(|(ns, na, social, attr)| {
+            let mut san = San::new();
+            for _ in 0..ns {
+                san.add_social_node();
+            }
+            for _ in 0..na {
+                san.add_attr_node(AttrType::Other);
+            }
+            for (u, v) in social {
+                if u % ns != v % ns {
+                    san.add_social_link(SocialId(u % ns), SocialId(v % ns));
+                }
+            }
+            if na > 0 {
+                for (u, a) in attr {
+                    san.add_attr_link(SocialId(u % ns), AttrId(a % na));
+                }
+            }
+            san
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Reciprocity is a proper fraction.
+    #[test]
+    fn reciprocity_in_unit_interval(san in arb_san(40, 0)) {
+        let r = global_reciprocity(&san);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Making every link mutual drives reciprocity to exactly 1.
+    #[test]
+    fn mutualised_network_fully_reciprocal(san in arb_san(25, 0)) {
+        let mut m = san.clone();
+        let links: Vec<_> = san.social_links().collect();
+        for (u, v) in links {
+            m.add_social_link(v, u);
+        }
+        if m.num_social_links() > 0 {
+            prop_assert_eq!(global_reciprocity(&m), 1.0);
+        }
+    }
+
+    /// Local clustering coefficients are in [0, 1] (denominator counts
+    /// ordered pairs, L counts directed links).
+    #[test]
+    fn clustering_in_unit_interval(san in arb_san(30, 0)) {
+        for u in san.social_nodes() {
+            let c = local_clustering_social(&san, u);
+            prop_assert!((0.0..=1.0).contains(&c), "c={} at {}", c, u);
+        }
+    }
+
+    /// The Algorithm 2 estimator is unbiased enough: with a large budget it
+    /// lands within 0.05 of the exact average.
+    #[test]
+    fn algorithm2_close_to_exact(san in arb_san(25, 6), seed in 0u64..50) {
+        let exact = average_clustering_exact(&san, NodeSet::Social);
+        let mut rng = SplitRng::new(seed);
+        let approx = approx_average_clustering_k(&san, NodeSet::Social, 20_000, &mut rng);
+        prop_assert!((approx - exact).abs() < 0.05,
+            "exact={} approx={}", exact, approx);
+    }
+
+    /// Assortativity coefficients stay within [-1, 1].
+    #[test]
+    fn assortativity_bounded(san in arb_san(40, 8)) {
+        let r = social_assortativity(&san);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let ra = attribute_assortativity(&san);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ra));
+    }
+
+    /// Fine-grained reciprocity cells partition the one-directional links
+    /// and rates are proper fractions.
+    #[test]
+    fn fine_grained_cells_consistent(san in arb_san(25, 5)) {
+        let one_directional = san
+            .social_links()
+            .filter(|&(u, v)| !san.has_social_link(v, u))
+            .count();
+        let cells = fine_grained_reciprocity(&san, &san);
+        let total: usize = cells.iter().map(|c| c.links).sum();
+        prop_assert_eq!(total, one_directional);
+        for c in &cells {
+            prop_assert!(c.reciprocated <= c.links);
+            prop_assert!(c.common_attrs <= 2);
+            prop_assert!((0.0..=1.0).contains(&c.rate()));
+        }
+    }
+
+    /// The neighbourhood function is monotone non-decreasing in t.
+    #[test]
+    fn nf_monotone(san in arb_san(30, 0), seed in 0u64..20) {
+        let adj: Vec<Vec<u32>> = san
+            .social_nodes()
+            .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
+            .collect();
+        let init = vec![true; adj.len()];
+        let nf = neighborhood_function(&adj, &init, &init, 6, 64, seed);
+        for w in nf.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    /// Effective diameter is monotone in the quantile.
+    #[test]
+    fn diameter_monotone_in_q(san in arb_san(30, 0), seed in 0u64..20) {
+        let adj: Vec<Vec<u32>> = san
+            .social_nodes()
+            .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
+            .collect();
+        let init = vec![true; adj.len()];
+        let nf = neighborhood_function(&adj, &init, &init, 6, 64, seed);
+        let d50 = effective_diameter_from_nf(&nf, 0.5);
+        let d90 = effective_diameter_from_nf(&nf, 0.9);
+        prop_assert!(d50 <= d90 + 1e-9);
+    }
+}

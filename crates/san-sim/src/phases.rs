@@ -1,0 +1,128 @@
+//! The three-phase Google+ timeline (§2.2) as arrival and reciprocity
+//! schedules.
+//!
+//! * **Phase I** (days 1–20): invitation flood right after launch — high,
+//!   front-loaded arrival rate (TechCrunch's ~10 M users by day 14).
+//! * **Phase II** (days 21–75): stabilised invitation-only growth.
+//! * **Phase III** (days 76–98): public release — arrivals spike again
+//!   ("40 million users had joined by mid October").
+//!
+//! Reciprocity behaves oppositely: early users treat Google+ like a
+//! symmetric friendship network, late users like a publisher-subscriber
+//! feed, so the per-day reciprocation probability decays — slowly through
+//! Phases I–II, faster in Phase III (Fig. 4a).
+
+use san_metrics::evolution::PhaseBounds;
+
+/// Per-day arrival counts for a `days`-day run.
+///
+/// `base` is the Phase II daily rate; Phase I ramps down from ~4× base
+/// (launch spike) to base, Phase III jumps to ~4× base. Panics if
+/// `days == 0`.
+pub fn arrivals_schedule(days: u32, base: u32) -> Vec<u32> {
+    assert!(days > 0, "need at least one day");
+    let b = PhaseBounds::PAPER;
+    let base = base.max(1);
+    (1..=days)
+        .map(|t| {
+            if t <= b.phase1_end {
+                // Linear decay from 4x to 1x across Phase I.
+                let span = b.phase1_end.max(1) as f64;
+                let frac = (t - 1) as f64 / span;
+                ((4.0 - 3.0 * frac) * base as f64).round() as u32
+            } else if t <= b.phase2_end {
+                base
+            } else {
+                4 * base
+            }
+        })
+        .collect()
+}
+
+/// Per-day reciprocation probability: fluctuating-high in Phase I, gently
+/// decaying in Phase II, decaying faster in Phase III (Fig. 4a's shape).
+pub fn reciprocity_schedule(days: u32) -> Vec<f64> {
+    assert!(days > 0, "need at least one day");
+    let b = PhaseBounds::PAPER;
+    (1..=days)
+        .map(|t| {
+            if t <= b.phase1_end {
+                // Mild fluctuation around 0.46.
+                0.46 + 0.015 * ((t as f64) * 1.3).sin()
+            } else if t <= b.phase2_end {
+                // 0.46 -> 0.42 across Phase II.
+                let span = (b.phase2_end - b.phase1_end) as f64;
+                let frac = (t - b.phase1_end) as f64 / span;
+                0.46 - 0.04 * frac
+            } else {
+                // 0.42 -> 0.30 across Phase III (steeper).
+                let span = (days.saturating_sub(b.phase2_end)).max(1) as f64;
+                let frac = (t - b.phase2_end) as f64 / span;
+                0.42 - 0.12 * frac
+            }
+        })
+        .map(|p| p.clamp(0.0, 1.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_have_three_regimes() {
+        let sched = arrivals_schedule(98, 100);
+        assert_eq!(sched.len(), 98);
+        // Launch spike.
+        assert!(sched[0] >= 350, "day1={}", sched[0]);
+        // Phase II flat at base.
+        assert!(sched[30..70].iter().all(|&a| a == 100));
+        // Phase III spike.
+        assert!(sched[80] >= 350);
+        // Phase I decays towards base.
+        assert!(sched[0] > sched[10]);
+        assert!(sched[19] <= sched[10]);
+    }
+
+    #[test]
+    fn arrivals_minimum_base() {
+        let sched = arrivals_schedule(10, 0);
+        assert!(sched.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn arrivals_zero_days_panics() {
+        arrivals_schedule(0, 10);
+    }
+
+    #[test]
+    fn reciprocity_decays_across_phases() {
+        let sched = reciprocity_schedule(98);
+        assert_eq!(sched.len(), 98);
+        // All valid probabilities.
+        assert!(sched.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Phase means strictly decreasing.
+        let mean = |range: std::ops::Range<usize>| {
+            let v = &sched[range];
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let m1 = mean(0..20);
+        let m2 = mean(20..75);
+        let m3 = mean(75..98);
+        assert!(m1 > m2, "m1={m1} m2={m2}");
+        assert!(m2 > m3, "m2={m2} m3={m3}");
+        // Phase III decays faster per day than Phase II.
+        let slope2 = (sched[74] - sched[20]) / 54.0;
+        let slope3 = (sched[97] - sched[75]) / 22.0;
+        assert!(slope3 < slope2, "slope3={slope3} slope2={slope2}");
+    }
+
+    #[test]
+    fn short_runs_still_work() {
+        let sched = reciprocity_schedule(5);
+        assert_eq!(sched.len(), 5);
+        let arr = arrivals_schedule(5, 10);
+        assert_eq!(arr.len(), 5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Attribute vocabulary: human-readable names for generated attribute
+//! nodes.
+//!
+//! The generative engine mints anonymous attribute nodes with a type; the
+//! Fig. 13b / Fig. 14 analyses talk about concrete values — *Google*,
+//! *Computer Science*, *San Francisco*… Preferential attachment makes the
+//! earliest attributes the most popular, which matches the paper's
+//! speculation that "many of the early adopters likely consist of Google
+//! employees and users in the IT/CS industry": labelling attributes **by
+//! popularity rank within their type** therefore assigns "Google" to the
+//! biggest employer node, whose members are disproportionately early
+//! adopters with organically higher degrees — exactly the Fig. 14 effect.
+
+use san_graph::{AttrId, AttrType, San};
+
+/// The named values used by the paper's Fig. 14 columns, most popular
+/// first.
+pub const EMPLOYERS: [&str; 6] = [
+    "Google",
+    "Microsoft",
+    "IBM",
+    "Infosys",
+    "Intel",
+    "Oracle",
+];
+
+/// Major names, most popular first (CS leads among early adopters).
+pub const MAJORS: [&str; 6] = [
+    "Computer Science",
+    "Economics",
+    "Finance",
+    "Political Science",
+    "Physics",
+    "Biology",
+];
+
+/// School names.
+pub const SCHOOLS: [&str; 6] = [
+    "UC Berkeley",
+    "Stanford",
+    "MIT",
+    "Tsinghua",
+    "CMU",
+    "Stony Brook",
+];
+
+/// City names.
+pub const CITIES: [&str; 6] = [
+    "San Francisco",
+    "New York",
+    "London",
+    "Bangalore",
+    "Beijing",
+    "Mountain View",
+];
+
+/// Labels every attribute node: within each type, nodes are ranked by
+/// social degree (descending, ties by id) and assigned the named values in
+/// order; overflow nodes get `"<type>-<rank>"`. Returns one label per
+/// attribute node, indexable by [`AttrId::index`].
+pub fn label_attributes(san: &San) -> Vec<String> {
+    let mut labels = vec![String::new(); san.num_attr_nodes()];
+    for ty in [
+        AttrType::School,
+        AttrType::Major,
+        AttrType::Employer,
+        AttrType::City,
+        AttrType::Other,
+    ] {
+        let named: &[&str] = match ty {
+            AttrType::Employer => &EMPLOYERS,
+            AttrType::Major => &MAJORS,
+            AttrType::School => &SCHOOLS,
+            AttrType::City => &CITIES,
+            AttrType::Other => &[],
+        };
+        let mut nodes: Vec<AttrId> = san
+            .attr_nodes()
+            .filter(|&a| san.attr_type(a) == ty)
+            .collect();
+        nodes.sort_by_key(|&a| (std::cmp::Reverse(san.social_degree_of_attr(a)), a));
+        for (rank, a) in nodes.into_iter().enumerate() {
+            labels[a.index()] = if rank < named.len() {
+                named[rank].to_string()
+            } else {
+                format!("{}-{}", ty.as_str(), rank + 1)
+            };
+        }
+    }
+    labels
+}
+
+/// Finds the attribute node carrying a given label (linear scan; intended
+/// for experiment set-up, not hot paths).
+pub fn find_label(labels: &[String], name: &str) -> Option<AttrId> {
+    labels
+        .iter()
+        .position(|l| l == name)
+        .map(|i| AttrId(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::SocialId;
+
+    fn san_with_two_employers() -> San {
+        let mut san = San::new();
+        let users: Vec<SocialId> = (0..5).map(|_| san.add_social_node()).collect();
+        let big = san.add_attr_node(AttrType::Employer);
+        let small = san.add_attr_node(AttrType::Employer);
+        let city = san.add_attr_node(AttrType::City);
+        for &u in &users[..4] {
+            san.add_attr_link(u, big);
+        }
+        san.add_attr_link(users[4], small);
+        san.add_attr_link(users[0], city);
+        san
+    }
+
+    #[test]
+    fn biggest_employer_gets_google() {
+        let san = san_with_two_employers();
+        let labels = label_attributes(&san);
+        assert_eq!(labels[0], "Google");
+        assert_eq!(labels[1], "Microsoft");
+        assert_eq!(labels[2], "San Francisco");
+    }
+
+    #[test]
+    fn overflow_gets_generic_names() {
+        let mut san = San::new();
+        let u = san.add_social_node();
+        for _ in 0..8 {
+            let a = san.add_attr_node(AttrType::Major);
+            san.add_attr_link(u, a);
+        }
+        let labels = label_attributes(&san);
+        assert_eq!(labels.len(), 8);
+        assert!(labels.contains(&"Computer Science".to_string()));
+        assert!(labels.iter().any(|l| l.starts_with("major-")));
+    }
+
+    #[test]
+    fn all_nodes_labelled() {
+        let san = san_with_two_employers();
+        let labels = label_attributes(&san);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn find_label_roundtrip() {
+        let san = san_with_two_employers();
+        let labels = label_attributes(&san);
+        let google = find_label(&labels, "Google").unwrap();
+        assert_eq!(san.social_degree_of_attr(google), 4);
+        assert_eq!(find_label(&labels, "Narnia Inc"), None);
+    }
+
+    #[test]
+    fn empty_san() {
+        let labels = label_attributes(&San::new());
+        assert!(labels.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by all statistical routines.
+
+use std::fmt;
+
+/// Errors produced by distribution construction, sampling and fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter is outside its valid domain
+    /// (e.g. `sigma <= 0` for a lognormal, `alpha <= 1` for a power law).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The input sample set is empty or otherwise unusable for fitting.
+    InsufficientData {
+        /// What the routine needed.
+        needed: &'static str,
+    },
+    /// A numerical routine failed to converge.
+    NoConvergence {
+        /// Which routine.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name}={value}: {constraint}"),
+            StatsError::InsufficientData { needed } => {
+                write!(f, "insufficient data: {needed}")
+            }
+            StatsError::NoConvergence { what } => {
+                write!(f, "numerical routine did not converge: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        assert_eq!(e.to_string(), "invalid parameter sigma=-1: must be > 0");
+    }
+
+    #[test]
+    fn display_insufficient_data() {
+        let e = StatsError::InsufficientData {
+            needed: "at least one sample",
+        };
+        assert!(e.to_string().contains("at least one sample"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = StatsError::NoConvergence { what: "alpha MLE" };
+        assert!(e.to_string().contains("alpha MLE"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StatsError::NoConvergence { what: "x" });
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Histogramming for heavy-tailed degree data.
+//!
+//! The paper's degree-distribution figures (Figs. 5, 9, 10, 16, 17) are
+//! log-log plots of probability versus degree. Two renderings are provided:
+//!
+//! * [`empirical_pmf`] — exact probability mass at each observed value
+//!   (what the paper plots as "empirical"),
+//! * [`log_binned_pdf`] — logarithmically binned density, which de-noises the
+//!   tail of heavy-tailed samples, and
+//! * [`ccdf`] — the complementary CDF `P(X ≥ x)`, a binning-free alternative
+//!   used in tests because it is strictly monotone.
+
+use std::collections::BTreeMap;
+
+/// Exact empirical probability mass function over the observed support.
+///
+/// Returns `(value, probability)` pairs sorted by value. Zero-valued samples
+/// are retained: callers that need the paper's `k ≥ 1` convention filter
+/// first.
+pub fn empirical_pmf(samples: &[u64]) -> Vec<(u64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let n = samples.len() as f64;
+    counts
+        .into_iter()
+        .map(|(v, c)| (v, c as f64 / n))
+        .collect()
+}
+
+/// Complementary cumulative distribution `P(X ≥ x)` over the observed
+/// support, as `(value, probability)` pairs sorted by value.
+pub fn ccdf(samples: &[u64]) -> Vec<(u64, f64)> {
+    let pmf = empirical_pmf(samples);
+    let mut out = Vec::with_capacity(pmf.len());
+    let mut tail = 1.0;
+    for (v, p) in pmf {
+        out.push((v, tail));
+        tail -= p;
+    }
+    out
+}
+
+/// Logarithmically binned probability density of positive integer samples.
+///
+/// Bin edges grow geometrically with `bins_per_decade` bins per factor of 10.
+/// Each returned point is `(bin geometric centre, probability mass / bin
+/// width)`, i.e. a density that can be compared against a continuous pdf on a
+/// log-log plot. Samples equal to zero are ignored (log-scale plots cannot
+/// show them); the fraction ignored is returned alongside.
+pub fn log_binned_pdf(samples: &[u64], bins_per_decade: usize) -> LogBinnedPdf {
+    assert!(bins_per_decade > 0, "need at least one bin per decade");
+    let positive: Vec<u64> = samples.iter().copied().filter(|&s| s > 0).collect();
+    let zero_fraction = if samples.is_empty() {
+        0.0
+    } else {
+        (samples.len() - positive.len()) as f64 / samples.len() as f64
+    };
+    if positive.is_empty() {
+        return LogBinnedPdf {
+            points: Vec::new(),
+            zero_fraction,
+        };
+    }
+    let max = *positive.iter().max().expect("nonempty") as f64;
+    let ratio = 10f64.powf(1.0 / bins_per_decade as f64);
+    // Build edges 1, r, r^2, ... covering max.
+    let mut edges = vec![1.0];
+    while *edges.last().expect("nonempty") <= max {
+        let next = edges.last().expect("nonempty") * ratio;
+        edges.push(next);
+    }
+    let mut counts = vec![0u64; edges.len() - 1];
+    for &s in &positive {
+        let x = s as f64;
+        // Find bin via logarithm (edges are exact powers of ratio).
+        let idx = (x.ln() / ratio.ln()).floor() as usize;
+        let idx = idx.min(counts.len() - 1);
+        // Guard against floating point placing x just below edges[idx].
+        let idx = if x < edges[idx] && idx > 0 { idx - 1 } else { idx };
+        counts[idx] += 1;
+    }
+    let n = positive.len() as f64;
+    let points = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let lo = edges[i];
+            let hi = edges[i + 1];
+            let centre = (lo * hi).sqrt();
+            let width = hi - lo;
+            (centre, c as f64 / n / width)
+        })
+        .collect();
+    LogBinnedPdf {
+        points,
+        zero_fraction,
+    }
+}
+
+/// Output of [`log_binned_pdf`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogBinnedPdf {
+    /// `(bin centre, density)` pairs for non-empty bins.
+    pub points: Vec<(f64, f64)>,
+    /// Fraction of input samples that were zero (not representable on a
+    /// log axis).
+    pub zero_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let samples = [1u64, 1, 2, 3, 3, 3, 10];
+        let pmf = empirical_pmf(&samples);
+        let total: f64 = pmf.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(pmf[0], (1, 2.0 / 7.0));
+        assert_eq!(pmf.last().expect("nonempty").0, 10);
+    }
+
+    #[test]
+    fn pmf_empty_input() {
+        assert!(empirical_pmf(&[]).is_empty());
+        assert!(ccdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_starts_at_one_and_decreases() {
+        let samples = [1u64, 2, 2, 3, 5, 8];
+        let c = ccdf(&samples);
+        assert_eq!(c[0].1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[1].1 < w[0].1, "ccdf must strictly decrease over support");
+        }
+        // Tail probability of the max value = its pmf.
+        let last = c.last().expect("nonempty");
+        assert!((last.1 - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_binned_mass_conserved() {
+        // Total mass = sum(density * width) must be 1 over positive samples.
+        let samples: Vec<u64> = (1..=1000u64).collect();
+        let pdf = log_binned_pdf(&samples, 5);
+        // Reconstruct widths from consecutive edges implied by ratio.
+        let ratio = 10f64.powf(1.0 / 5.0);
+        let mass: f64 = pdf
+            .points
+            .iter()
+            .map(|(centre, d)| {
+                let lo = centre / ratio.sqrt();
+                let hi = centre * ratio.sqrt();
+                d * (hi - lo)
+            })
+            .sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass={mass}");
+    }
+
+    #[test]
+    fn log_binned_ignores_zeros_and_reports_fraction() {
+        let samples = [0u64, 0, 1, 2, 4, 8];
+        let pdf = log_binned_pdf(&samples, 4);
+        assert!((pdf.zero_fraction - 2.0 / 6.0).abs() < 1e-12);
+        assert!(!pdf.points.is_empty());
+    }
+
+    #[test]
+    fn log_binned_all_zero_input() {
+        let pdf = log_binned_pdf(&[0, 0, 0], 4);
+        assert!(pdf.points.is_empty());
+        assert!((pdf.zero_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_binned_single_value() {
+        let pdf = log_binned_pdf(&[5, 5, 5, 5], 4);
+        assert_eq!(pdf.points.len(), 1);
+        assert_eq!(pdf.zero_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn log_binned_zero_bins_panics() {
+        log_binned_pdf(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn log_binned_density_decreasing_for_power_law_like_data() {
+        // Geometric-ish data: many small, few large.
+        let mut samples = Vec::new();
+        for k in 1..=64u64 {
+            for _ in 0..(1024 / k) {
+                samples.push(k);
+            }
+        }
+        let pdf = log_binned_pdf(&samples, 3);
+        let first = pdf.points.first().expect("nonempty").1;
+        let last = pdf.points.last().expect("nonempty").1;
+        assert!(first > last);
+    }
+}

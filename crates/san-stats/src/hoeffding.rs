@@ -1,0 +1,67 @@
+//! Hoeffding sample-size bound for the Appendix A clustering estimator.
+//!
+//! Theorem 3 of the paper: with `K = ⌈ln(2ν) / (2ε²)⌉` uniformly sampled
+//! triples, the estimated average clustering coefficient is within `ε` of the
+//! true value with probability at least `1 − 1/ν`. The paper runs with
+//! `ε = 0.002`, `ν = 100`.
+
+/// Number of samples `K = ⌈ln(2ν) / (2ε²)⌉` required by Theorem 3.
+///
+/// # Panics
+/// Panics when `epsilon <= 0` or `nu < 1` — both make the bound meaningless.
+pub fn hoeffding_samples(epsilon: f64, nu: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    assert!(nu >= 1.0, "nu must be >= 1, got {nu}");
+    ((2.0 * nu).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// Inverse view of the bound: the error `ε` guaranteed (w.p. `1 − 1/ν`) by a
+/// budget of `k` samples.
+pub fn hoeffding_epsilon(k: usize, nu: f64) -> f64 {
+    assert!(k > 0, "need at least one sample");
+    assert!(nu >= 1.0, "nu must be >= 1, got {nu}");
+    ((2.0 * nu).ln() / (2.0 * k as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point() {
+        // ε = 0.002, ν = 100 -> K = ceil(ln(200)/(2·0.002²)) = ceil(662_289.67…)
+        let k = hoeffding_samples(0.002, 100.0);
+        assert_eq!(k, 662_290);
+    }
+
+    #[test]
+    fn monotonicity_in_epsilon() {
+        assert!(hoeffding_samples(0.001, 100.0) > hoeffding_samples(0.01, 100.0));
+    }
+
+    #[test]
+    fn monotonicity_in_nu() {
+        assert!(hoeffding_samples(0.01, 1000.0) > hoeffding_samples(0.01, 10.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let k = hoeffding_samples(0.005, 50.0);
+        let eps = hoeffding_epsilon(k, 50.0);
+        assert!(eps <= 0.005 + 1e-9, "eps={eps}");
+        // One fewer sample must give a (weakly) worse epsilon.
+        assert!(hoeffding_epsilon(k - 1, 50.0) >= eps);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_zero_epsilon() {
+        hoeffding_samples(0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must be >= 1")]
+    fn rejects_small_nu() {
+        hoeffding_samples(0.01, 0.5);
+    }
+}

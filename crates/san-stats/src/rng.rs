@@ -1,0 +1,315 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Every stochastic component in the workspace (graph generators, samplers,
+//! Monte-Carlo estimators) takes an `&mut impl rand::Rng`. To make whole
+//! experiments reproducible from one `u64` seed we provide [`SplitRng`], a
+//! from-scratch **xoshiro256++** generator seeded through **SplitMix64**, as
+//! recommended by the xoshiro authors. `SplitRng::fork` derives an
+//! independent child stream, so parallel pipeline stages can each own a
+//! deterministic generator regardless of interleaving.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step: the standard 64-bit finaliser used to expand seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Implements [`rand::RngCore`] so it interoperates with the whole `rand`
+/// ecosystem, and [`rand::SeedableRng`] for generic construction. Prefer
+/// [`SplitRng::new`] (single `u64` seed) in application code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitRng {
+    s: [u64; 4],
+}
+
+impl SplitRng {
+    /// Creates a generator from a single 64-bit seed.
+    ///
+    /// The four words of internal state are produced by iterating SplitMix64,
+    /// which guarantees a non-zero, well-mixed state for any seed (including
+    /// zero).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SplitRng { s }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child is seeded from the parent's output stream, so repeated forks
+    /// yield distinct, reproducible streams. Forking advances the parent.
+    pub fn fork(&mut self) -> Self {
+        SplitRng::new(self.next_u64())
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal variate via the Marsaglia polar method.
+    ///
+    /// The spare variate is intentionally discarded: keeping the generator
+    /// stateless w.r.t. distribution calls makes forked streams reproducible
+    /// independent of call ordering.
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Chooses an index in `[0, weights.len())` proportionally to `weights`.
+    ///
+    /// Linear scan; for repeated sampling from static weights prefer
+    /// [`crate::dist::common::AliasTable`]. Returns `None` when the total
+    /// weight is not strictly positive.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return None;
+        }
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return Some(i);
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
+impl RngCore for SplitRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SplitRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SplitRng::new(u64::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitRng::new(7);
+        let mut b = SplitRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitRng::new(1);
+        let mut b = SplitRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_reproducible() {
+        let mut parent1 = SplitRng::new(99);
+        let mut parent2 = SplitRng::new(99);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        for _ in 0..50 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Child diverges from a fresh parent stream.
+        let mut p = SplitRng::new(99);
+        p.next_u64(); // consumed by fork
+        assert_ne!(c1.next_u64(), p.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = SplitRng::new(4);
+        let n = 100_000;
+        let s: f64 = (0..n).map(|_| rng.f64()).sum();
+        let mean = s / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_range() {
+        let mut rng = SplitRng::new(5);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn below_never_reaches_n() {
+        let mut rng = SplitRng::new(6);
+        for _ in 0..10_000 {
+            assert!(rng.below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SplitRng::new(8);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitRng::new(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SplitRng::new(10);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio={ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_zero_total() {
+        let mut rng = SplitRng::new(11);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[]), None);
+    }
+
+    #[test]
+    fn seedable_rng_from_seed_matches_new() {
+        let mut a = <SplitRng as SeedableRng>::from_seed(42u64.to_le_bytes());
+        let mut b = SplitRng::new(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn works_with_rand_trait_methods() {
+        let mut rng = SplitRng::new(12);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y: u32 = rng.gen_range(0..10);
+        assert!(y < 10);
+    }
+}

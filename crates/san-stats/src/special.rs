@@ -1,0 +1,273 @@
+//! Special functions needed by the distribution machinery.
+//!
+//! Everything here is implemented from first principles: the error function
+//! (for the normal CDF), the standard normal pdf/cdf, the Hurwitz zeta
+//! function (normalising constant of the discrete power law), and the
+//! harmonic-number approximation used by the paper's Theorem 1 sketch.
+
+use std::f64::consts::PI;
+
+/// Bernoulli numbers B₂ⱼ for the Euler–Maclaurin tail of the Hurwitz zeta.
+const BERNOULLI_2J: [f64; 6] = [
+    1.0 / 6.0,
+    -1.0 / 30.0,
+    1.0 / 42.0,
+    -1.0 / 30.0,
+    5.0 / 66.0,
+    -691.0 / 2730.0,
+];
+
+/// Error function `erf(x)`.
+///
+/// Uses the Abramowitz & Stegun 7.1.26 rational approximation, whose maximum
+/// absolute error is `1.5e-7` — ample for the CDF comparisons and truncated
+/// normal moments in this workspace.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal probability density `φ(x)`.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal survival function `1 − Φ(x)` with good *relative*
+/// accuracy in the tail.
+///
+/// `1 − normal_cdf(x)` computed by subtraction loses all precision once
+/// `Φ(x) ≈ 1`; the Mills-ratio continued fraction
+/// `(1 − Φ(x)) / φ(x) = 1/(x + 1/(x + 2/(x + …)))` stays accurate for
+/// `x ≥ 1`. This function is what makes the truncated-normal moment
+/// formulas of Theorem 1 usable for deep truncations.
+pub fn normal_sf(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - normal_sf(-x);
+    }
+    if x < 1.0 {
+        // sf is large here; the absolute-error erf approximation is fine.
+        return 0.5 * (1.0 - erf(x / std::f64::consts::SQRT_2));
+    }
+    // Bottom-up evaluation of the Laplace continued fraction.
+    let depth = 200;
+    let mut t = x;
+    for k in (1..=depth).rev() {
+        t = x + k as f64 / t;
+    }
+    normal_pdf(x) / t
+}
+
+/// Hurwitz zeta function `ζ(s, a) = Σ_{k=0}^∞ (a + k)^{-s}` for `s > 1`,
+/// `a > 0`.
+///
+/// Computed by direct summation of the first `N` terms plus an
+/// Euler–Maclaurin correction; accurate to ~1e-12 for the `s ∈ (1, 8]`
+/// range used by power-law fitting.
+pub fn hurwitz_zeta(s: f64, a: f64) -> f64 {
+    assert!(s > 1.0, "hurwitz_zeta requires s > 1, got {s}");
+    assert!(a > 0.0, "hurwitz_zeta requires a > 0, got {a}");
+    const N: usize = 16;
+    let mut sum = 0.0;
+    for k in 0..N {
+        sum += (a + k as f64).powf(-s);
+    }
+    let an = a + N as f64;
+    // Integral tail + boundary correction.
+    sum += an.powf(1.0 - s) / (s - 1.0);
+    sum += 0.5 * an.powf(-s);
+    // Euler–Maclaurin derivative corrections.
+    let mut term_coeff = s; // s * (s+1) * ... rising factorial pieces
+    let mut an_pow = an.powf(-s - 1.0);
+    let mut factorial = 1.0; // (2j)!
+    for (j, &b2j) in BERNOULLI_2J.iter().enumerate() {
+        let two_j = 2 * (j + 1);
+        factorial *= (two_j - 1) as f64 * two_j as f64;
+        // term = B_{2j}/(2j)! * (s)_{2j-1} * an^{-s-2j+1}
+        sum += b2j / factorial * term_coeff * an_pow;
+        // Advance the rising factorial (s)_{2j+1} and the power of an.
+        term_coeff *= (s + two_j as f64 - 1.0) * (s + two_j as f64);
+        an_pow /= an * an;
+    }
+    sum
+}
+
+/// Riemann zeta `ζ(s)` for `s > 1` (Hurwitz zeta at `a = 1`).
+#[inline]
+pub fn riemann_zeta(s: f64) -> f64 {
+    hurwitz_zeta(s, 1.0)
+}
+
+/// Numerical derivative `∂ζ(s, a)/∂s` via central differences.
+///
+/// The step is shrunk near `s = 1` so the probe never leaves the `s > 1`
+/// domain of [`hurwitz_zeta`].
+pub fn hurwitz_zeta_ds(s: f64, a: f64) -> f64 {
+    let h = (1e-6 * s.max(1.0)).min(0.25 * (s - 1.0));
+    assert!(h > 0.0, "hurwitz_zeta_ds requires s > 1, got {s}");
+    (hurwitz_zeta(s + h, a) - hurwitz_zeta(s - h, a)) / (2.0 * h)
+}
+
+/// Harmonic number `H_n = Σ_{k=1}^n 1/k`, with the Euler–Mascheroni
+/// asymptotic for large `n` (the approximation `H_n ≈ ln n` underlies the
+/// paper's Theorem 1 proof sketch).
+pub fn harmonic(n: u64) -> f64 {
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 64 {
+        return (1..=n).map(|k| 1.0 / k as f64).sum();
+    }
+    let nf = n as f64;
+    nf.ln() + EULER_GAMMA + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables; the A&S approximation carries an
+        // absolute error of up to 1.5e-7.
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.05;
+            assert!((erf(x) + erf(-x)).abs() < 1e-6);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_sf_matches_reference_values() {
+        // High-precision reference values for 1 - Phi(x).
+        let cases = [
+            (0.0, 0.5),
+            (0.5, 0.30853753872598694),
+            (1.0, 0.15865525393145707),
+            (2.0, 0.022750131948179195),
+            (3.0, 0.0013498980316300933),
+            (6.0, 9.865876450376946e-10),
+            (8.0, 6.22096057427178e-16),
+        ];
+        for &(x, expect) in &cases {
+            let got = normal_sf(x);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 1e-5, "x={x}: got {got} expect {expect} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn normal_sf_negative_axis() {
+        assert!((normal_sf(-1.0) - 0.8413447460685429).abs() < 1e-6);
+        assert!((normal_sf(-6.0) - (1.0 - 9.865876450376946e-10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_sf_agrees_with_cdf_in_bulk() {
+        for i in -30..30 {
+            let x = i as f64 * 0.1;
+            assert!((normal_sf(x) - (1.0 - normal_cdf(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for i in 0..50 {
+            let x = i as f64 * 0.1;
+            let s = normal_cdf(x) + normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-7, "x={x} sum={s}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.9750021049).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!(normal_pdf(3.0) < normal_pdf(0.0));
+    }
+
+    #[test]
+    fn riemann_zeta_known_values() {
+        // ζ(2) = π²/6
+        assert!((riemann_zeta(2.0) - PI * PI / 6.0).abs() < 1e-10);
+        // ζ(4) = π⁴/90
+        assert!((riemann_zeta(4.0) - PI.powi(4) / 90.0).abs() < 1e-10);
+        // ζ(3) ≈ 1.2020569 (Apéry's constant)
+        assert!((riemann_zeta(3.0) - 1.2020569031595942).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hurwitz_zeta_shift_identity() {
+        // ζ(s, a) = a^{-s} + ζ(s, a+1)
+        for &(s, a) in &[(1.5, 1.0), (2.5, 3.0), (3.2, 0.5)] {
+            let lhs = hurwitz_zeta(s, a);
+            let rhs = a.powf(-s) + hurwitz_zeta(s, a + 1.0);
+            assert!((lhs - rhs).abs() < 1e-10, "s={s} a={a}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn hurwitz_zeta_matches_direct_sum() {
+        // Brute force: ζ(2.5, 2) with a long direct sum.
+        let direct: f64 = (0..2_000_000).map(|k| (2.0 + k as f64).powf(-2.5)).sum();
+        let ours = hurwitz_zeta(2.5, 2.0);
+        assert!((direct - ours).abs() < 1e-6, "{direct} vs {ours}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires s > 1")]
+    fn hurwitz_zeta_rejects_small_s() {
+        hurwitz_zeta(1.0, 1.0);
+    }
+
+    #[test]
+    fn zeta_derivative_sign() {
+        // ζ decreases in s for s > 1, so the derivative must be negative.
+        assert!(hurwitz_zeta_ds(2.0, 1.0) < 0.0);
+        assert!(hurwitz_zeta_ds(3.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn harmonic_small_values_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_continuity() {
+        // The exact and asymptotic branches must agree around the switch point.
+        let exact: f64 = (1..=64u64).map(|k| 1.0 / k as f64).sum();
+        let exact65: f64 = exact + 1.0 / 65.0;
+        assert!((harmonic(65) - exact65).abs() < 1e-8);
+        assert!((harmonic(1000) - 7.485470861).abs() < 1e-6);
+    }
+}

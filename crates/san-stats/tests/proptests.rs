@@ -1,0 +1,161 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use san_stats::prelude::*;
+use san_stats::special;
+use san_stats::summary::percentile_sorted;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The discrete lognormal pmf must be a valid probability mass function
+    /// for any sane parameter combination.
+    #[test]
+    fn discrete_lognormal_pmf_is_normalised(mu in -1.0f64..3.0, sigma in 0.2f64..2.0) {
+        let d = DiscreteLognormal::new(mu, sigma).unwrap();
+        let total: f64 = (1..200_000u64).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total={}", total);
+    }
+
+    /// Discrete lognormal CDF is monotone non-decreasing and bounded by 1.
+    #[test]
+    fn discrete_lognormal_cdf_monotone(mu in -1.0f64..3.0, sigma in 0.2f64..2.0, k in 1u64..5000) {
+        let d = DiscreteLognormal::new(mu, sigma).unwrap();
+        prop_assert!(d.cdf(k) <= d.cdf(k + 1) + 1e-15);
+        prop_assert!(d.cdf(k) <= 1.0 + 1e-12);
+        prop_assert!(d.cdf(k) >= 0.0);
+    }
+
+    /// Power-law pmf mass = 1 − analytic zeta tail, for any alpha/xmin.
+    #[test]
+    fn powerlaw_pmf_mass_consistent(alpha in 1.3f64..4.0, xmin in 1u64..5) {
+        let d = DiscretePowerLaw::new(alpha, xmin).unwrap();
+        let head: f64 = (xmin..xmin + 20_000).map(|k| d.pmf(k)).sum();
+        let tail = special::hurwitz_zeta(alpha, (xmin + 20_000) as f64)
+            / special::hurwitz_zeta(alpha, xmin as f64);
+        prop_assert!((head + tail - 1.0).abs() < 1e-8);
+    }
+
+    /// Samples from a power law never fall below xmin.
+    #[test]
+    fn powerlaw_sample_in_support(alpha in 1.3f64..4.0, xmin in 1u64..10, seed in 0u64..1000) {
+        let d = DiscretePowerLaw::new(alpha, xmin).unwrap();
+        let mut rng = SplitRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) >= xmin);
+        }
+    }
+
+    /// Truncated normal samples are non-negative and the analytic mean
+    /// formula tracks the empirical mean.
+    #[test]
+    fn trunc_normal_mean_formula(mu in -3.0f64..5.0, sigma in 0.5f64..3.0, seed in 0u64..100) {
+        let t = TruncatedNormal::new(mu, sigma).unwrap();
+        let mut rng = SplitRng::new(seed);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = t.sample(&mut rng);
+            prop_assert!(x >= 0.0);
+            sum += x;
+        }
+        let emp = sum / n as f64;
+        let expect = t.mean();
+        prop_assert!(
+            (emp - expect).abs() < 0.1 + 0.05 * expect,
+            "emp={} expect={}", emp, expect
+        );
+    }
+
+    /// CCDF is monotone decreasing and starts at 1.
+    #[test]
+    fn ccdf_properties(samples in prop::collection::vec(0u64..500, 1..300)) {
+        let c = ccdf(&samples);
+        prop_assert!(!c.is_empty());
+        prop_assert!((c[0].1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+            prop_assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    /// Empirical pmf always sums to 1.
+    #[test]
+    fn pmf_sums_to_one(samples in prop::collection::vec(0u64..100, 1..500)) {
+        let pmf = empirical_pmf(&samples);
+        let total: f64 = pmf.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let p_lo = percentile_sorted(&xs, lo);
+        let p_hi = percentile_sorted(&xs, hi);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        prop_assert!(p_lo >= xs[0] - 1e-9);
+        prop_assert!(p_hi <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// Pearson correlation stays in [-1, 1].
+    #[test]
+    fn pearson_bounded(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+    ) {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r={}", r);
+    }
+
+    /// Alias table sampling only produces valid indices and never produces
+    /// indices whose weight was zero.
+    #[test]
+    fn alias_table_valid_indices(
+        weights in prop::collection::vec(0.0f64..10.0, 1..50),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = SplitRng::new(seed);
+        for _ in 0..200 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {}", i);
+        }
+    }
+
+    /// SplitRng::below is always within range.
+    #[test]
+    fn below_in_range(n in 1u64..1_000_000, seed in 0u64..1000) {
+        let mut rng = SplitRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// MLE round-trip: fitting samples drawn from a power law recovers alpha
+    /// within a loose tolerance.
+    #[test]
+    fn powerlaw_mle_roundtrip(alpha in 1.6f64..3.5, seed in 0u64..50) {
+        let d = DiscretePowerLaw::new(alpha, 1).unwrap();
+        let mut rng = SplitRng::new(seed);
+        let samples: Vec<u64> = (0..8000).map(|_| d.sample(&mut rng)).collect();
+        let fit = DiscretePowerLaw::fit(&samples, 1).unwrap();
+        prop_assert!((fit.alpha() - alpha).abs() < 0.25,
+            "alpha={} fit={}", alpha, fit.alpha());
+    }
+
+    /// Hoeffding bound: more samples never hurt the guaranteed epsilon.
+    #[test]
+    fn hoeffding_monotone(eps in 0.001f64..0.5, nu in 1.0f64..1e4) {
+        let k1 = hoeffding_samples(eps, nu);
+        let k2 = hoeffding_samples(eps / 2.0, nu);
+        prop_assert!(k2 >= k1);
+    }
+}

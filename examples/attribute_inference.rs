@@ -1,0 +1,59 @@
+//! Attribute inference + community detection on a synthetic Google+ —
+//! the heterogeneous-network applications of §7 / the SAN framework [17].
+//!
+//! ```text
+//! cargo run --release --example attribute_inference
+//! ```
+
+use gplus_san::apps::attr_infer::evaluate_inference;
+use gplus_san::graph::AttrType;
+use gplus_san::metrics::community::{label_propagation, label_propagation_san};
+use gplus_san::sim::GooglePlus;
+use gplus_san::stats::SplitRng;
+
+fn main() {
+    let data = GooglePlus::at_scale(15).generate(21);
+    let san = data.crawl_final().san;
+    println!(
+        "crawled SAN: {} users, {} links, {} attributes",
+        san.num_social_nodes(),
+        san.num_social_links(),
+        san.num_attr_nodes()
+    );
+
+    // 1. Infer hidden attributes from friends (vs the global prior).
+    println!("\nleave-one-out attribute inference (friend vote vs global prior):");
+    let mut rng = SplitRng::new(1);
+    for ty in AttrType::PAPER_TYPES {
+        let (vote, prior, n) = evaluate_inference(&san, ty, 500, &mut rng);
+        if n == 0 {
+            continue;
+        }
+        println!(
+            "  {ty:>9}: friend-vote {vote:.3}  prior {prior:.3}  ({n} users)"
+        );
+    }
+
+    // 2. Communities with and without the attribute structure.
+    let mut rng = SplitRng::new(2);
+    let classical = label_propagation(&san, 30, &mut rng);
+    let mut rng = SplitRng::new(2);
+    let with_attrs = label_propagation_san(&san, 0.5, 30, &mut rng);
+    println!("\nlabel propagation:");
+    println!(
+        "  social links only : {} communities in {} rounds (largest {})",
+        classical.count(),
+        classical.rounds,
+        classical.sizes.iter().max().unwrap_or(&0)
+    );
+    println!(
+        "  + attribute votes : {} communities in {} rounds (largest {})",
+        with_attrs.count(),
+        with_attrs.rounds,
+        with_attrs.sizes.iter().max().unwrap_or(&0)
+    );
+    println!(
+        "(attribute votes reshape the partition around shared foci: faster \
+         convergence, the giant social component splits along attributes)"
+    );
+}

@@ -1,0 +1,25 @@
+//! # gplus-san — facade crate
+//!
+//! One-stop import surface for the `gplus-san` workspace, a Rust
+//! reproduction of *"Evolution of Social-Attribute Networks: Measurements,
+//! Modeling, and Implications using Google+"* (Gong et al., IMC 2012).
+//!
+//! The workspace is organised as:
+//!
+//! * [`graph`] (`san-graph`) — the Social-Attribute Network data structure,
+//! * [`stats`] (`san-stats`) — distributions, fitting, descriptive stats,
+//! * [`metrics`] (`san-metrics`) — every measurement in §3/§4/Appendix A,
+//! * [`model`] (`san-core`) — the generative models of §5 plus baselines,
+//! * [`sim`] (`san-sim`) — the synthetic Google+ dataset and crawler,
+//! * [`apps`] (`san-apps`) — SybilLimit / anonymity / recommendation
+//!   application benchmarks (§6.2, §7).
+//!
+//! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
+//! the experiment harness that regenerates every figure and table.
+
+pub use san_apps as apps;
+pub use san_core as model;
+pub use san_graph as graph;
+pub use san_metrics as metrics;
+pub use san_sim as sim;
+pub use san_stats as stats;
