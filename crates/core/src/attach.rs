@@ -30,7 +30,7 @@
 //!   paper sketches in §7, implemented exactly.
 
 use crate::error::ModelError;
-use san_graph::{San, SanTimeline, SocialId};
+use san_graph::{San, SanRead, SanTimeline, SocialId};
 use san_stats::SplitRng;
 use std::collections::HashMap;
 
@@ -190,7 +190,7 @@ impl AttachModel {
     /// exists. Targets already linked from `u` are excluded.
     pub fn sample_exact(
         &self,
-        san: &San,
+        san: &impl SanRead,
         u: SocialId,
         rng: &mut SplitRng,
     ) -> Option<SocialId> {
@@ -236,7 +236,7 @@ pub struct LapaSampler {
 impl LapaSampler {
     /// Creates an empty sampler with the given `β`.
     pub fn new(beta: f64) -> Result<Self, ModelError> {
-        if !(beta >= 0.0) || !beta.is_finite() {
+        if beta < 0.0 || !beta.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "beta",
                 value: beta,
@@ -262,7 +262,7 @@ impl LapaSampler {
 
     /// Registers a new attribute link `user — attr`; must be called *after*
     /// the link is inserted into `san`.
-    pub fn on_attr_link(&mut self, san: &San, user: SocialId, attr: san_graph::AttrId) {
+    pub fn on_attr_link(&mut self, san: &impl SanRead, user: SocialId, attr: san_graph::AttrId) {
         // The user enters the attribute multiset with weight d_in+1.
         let copies = san.in_degree(user) + 1;
         for _ in 0..copies {
@@ -272,7 +272,7 @@ impl LapaSampler {
 
     /// Registers a new social link; must be called *after* the link is
     /// inserted into `san`.
-    pub fn on_social_link(&mut self, san: &San, dst: SocialId) {
+    pub fn on_social_link(&mut self, san: &impl SanRead, dst: SocialId) {
         self.global.push(dst);
         for &x in san.attrs_of(dst) {
             self.per_attr[x.index()].push(dst);
@@ -283,7 +283,7 @@ impl LapaSampler {
     /// existing `u →` targets (rejection with bounded retries; falls back
     /// to any unlinked node, returning `None` only when the graph offers no
     /// valid target).
-    pub fn sample(&self, san: &San, u: SocialId, rng: &mut SplitRng) -> Option<SocialId> {
+    pub fn sample(&self, san: &impl SanRead, u: SocialId, rng: &mut SplitRng) -> Option<SocialId> {
         if san.num_social_nodes() < 2 {
             return None;
         }
@@ -494,14 +494,11 @@ mod tests {
                     san.add_attr_link(user, attr);
                 }
                 SanEvent::SocialLink { src, dst, .. } => {
-                    let num = model
-                        .weight(san.in_degree(dst) as u64, san.common_attrs(src, dst));
+                    let num = model.weight(san.in_degree(dst) as u64, san.common_attrs(src, dst));
                     let denom: f64 = san
                         .social_nodes()
                         .filter(|&v| v != src)
-                        .map(|v| {
-                            model.weight(san.in_degree(v) as u64, san.common_attrs(src, v))
-                        })
+                        .map(|v| model.weight(san.in_degree(v) as u64, san.common_attrs(src, v)))
                         .sum();
                     ll += num.ln() - denom.ln();
                     san.add_social_link(src, dst);

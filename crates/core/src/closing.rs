@@ -19,7 +19,7 @@
 //! comparison.
 
 use crate::error::ModelError;
-use san_graph::{San, SocialId};
+use san_graph::{SanRead, SocialId};
 use san_stats::SplitRng;
 use std::collections::HashSet;
 
@@ -42,7 +42,7 @@ impl ClosingModel {
     /// Validates the parameters.
     pub fn validate(&self) -> Result<(), ModelError> {
         if let ClosingModel::RrSan { fc } = *self {
-            if !(fc >= 0.0) || !fc.is_finite() {
+            if fc < 0.0 || !fc.is_finite() {
                 return Err(ModelError::InvalidParameter {
                     name: "fc",
                     value: fc,
@@ -56,7 +56,7 @@ impl ClosingModel {
     /// Samples a closure target for `u`, excluding `u` itself and existing
     /// `u →` targets. Returns `None` when the scheme cannot propose a valid
     /// target (e.g. no 2-hop neighbourhood).
-    pub fn sample(&self, san: &San, u: SocialId, rng: &mut SplitRng) -> Option<SocialId> {
+    pub fn sample(&self, san: &impl SanRead, u: SocialId, rng: &mut SplitRng) -> Option<SocialId> {
         const RETRIES: usize = 32;
         match *self {
             ClosingModel::Baseline => {
@@ -127,7 +127,7 @@ impl ClosingModel {
     /// probability, which is the right quantity for comparing schemes on
     /// observed closure events (all schemes lose the same rejected mass to
     /// invalid targets).
-    pub fn closure_probability(&self, san: &San, u: SocialId, v: SocialId) -> f64 {
+    pub fn closure_probability(&self, san: &impl SanRead, u: SocialId, v: SocialId) -> f64 {
         match *self {
             ClosingModel::Baseline => {
                 let candidates = two_hop_candidates(san, u);
@@ -168,13 +168,13 @@ impl ClosingModel {
 }
 
 /// Probability of reaching `v` from `u` by the RR walk.
-fn rr_probability(san: &San, u: SocialId, v: SocialId) -> f64 {
+fn rr_probability(san: &impl SanRead, u: SocialId, v: SocialId) -> f64 {
     let first = san.social_neighbors(u);
     if first.is_empty() {
         return 0.0;
     }
     let mut p = 0.0;
-    for &w in &first {
+    for &w in first.iter() {
         let second = san.social_neighbors(w);
         if second.is_empty() {
             continue;
@@ -188,10 +188,10 @@ fn rr_probability(san: &San, u: SocialId, v: SocialId) -> f64 {
 
 /// Distinct 2-hop social neighbourhood of `u` (excluding `u` and its
 /// existing `u →` targets), sorted for determinism.
-fn two_hop_candidates(san: &San, u: SocialId) -> Vec<SocialId> {
+fn two_hop_candidates(san: &impl SanRead, u: SocialId) -> Vec<SocialId> {
     let mut out: HashSet<SocialId> = HashSet::new();
-    for w in san.social_neighbors(u) {
-        for v in san.social_neighbors(w) {
+    for &w in san.social_neighbors(u).iter() {
+        for &v in san.social_neighbors(w).iter() {
             if v != u && !san.has_social_link(u, v) {
                 out.insert(v);
             }
@@ -207,7 +207,7 @@ fn two_hop_candidates(san: &San, u: SocialId) -> Vec<SocialId> {
 /// comparison statistic.
 pub fn mean_closure_probability(
     model: &ClosingModel,
-    san: &San,
+    san: &impl SanRead,
     events: &[(SocialId, SocialId)],
 ) -> f64 {
     if events.is_empty() {
@@ -224,6 +224,7 @@ pub fn mean_closure_probability(
 mod tests {
     use super::*;
     use san_graph::fixtures::{figure1, figure1_closures};
+    use san_graph::San;
     use std::collections::HashMap;
 
     #[test]
@@ -293,10 +294,7 @@ mod tests {
         for (&v, &pe) in &exact {
             let emp = *counts.get(&v).unwrap_or(&0) as f64 / ok as f64;
             let want = pe / total_exact;
-            assert!(
-                (emp - want).abs() < 0.02,
-                "{v}: emp={emp} want={want}"
-            );
+            assert!((emp - want).abs() < 0.02, "{v}: emp={emp} want={want}");
         }
     }
 

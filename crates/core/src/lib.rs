@@ -41,7 +41,5 @@ pub mod zhel;
 pub use attach::{AttachModel, LapaSampler};
 pub use closing::ClosingModel;
 pub use error::ModelError;
-pub use model::{
-    AttrAssign, FirstLink, LifetimeDist, SanModel, SanModelParams, SleepMode,
-};
+pub use model::{AttrAssign, FirstLink, LifetimeDist, SanModel, SanModelParams, SleepMode};
 pub use theory::{predicted_attr_exponent, predicted_outdegree_lognormal};

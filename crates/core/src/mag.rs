@@ -134,6 +134,7 @@ impl MagParams {
 }
 
 /// Generates a MAG SAN. Deterministic in `seed`.
+#[allow(clippy::needless_range_loop)]
 pub fn generate_mag(params: &MagParams, seed: u64) -> Result<San, ModelError> {
     params.validate()?;
     let mut rng = SplitRng::new(seed);

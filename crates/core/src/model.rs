@@ -189,7 +189,10 @@ impl SanModelParams {
             first_link: FirstLink::Lapa { beta: 20.0 },
             first_link_count: 1,
             closing: ClosingModel::RrSan { fc: 0.5 },
-            lifetime: LifetimeDist::TruncNormal { mu: 8.0, sigma: 6.0 },
+            lifetime: LifetimeDist::TruncNormal {
+                mu: 8.0,
+                sigma: 6.0,
+            },
             sleep: SleepMode::InverseOutDegree { mean: 8.0 },
             reciprocate_prob: 0.0,
             reciprocate_schedule: None,
@@ -299,9 +302,7 @@ impl SanModelParams {
         }
         self.closing.validate()?;
         match self.lifetime {
-            LifetimeDist::TruncNormal { sigma, .. } => {
-                check("lifetime_sigma", sigma, sigma > 0.0)?
-            }
+            LifetimeDist::TruncNormal { sigma, .. } => check("lifetime_sigma", sigma, sigma > 0.0)?,
             LifetimeDist::Exponential { mean } => check("lifetime_mean", mean, mean > 0.0)?,
         }
         match self.sleep {
@@ -371,7 +372,9 @@ impl SanModelParams {
 
     /// Total number of social nodes the run will create (seeds + arrivals).
     pub fn total_social_nodes(&self) -> usize {
-        let arrivals: u64 = (1..=self.days).map(|t| u64::from(self.arrivals_on(t))).sum();
+        let arrivals: u64 = (1..=self.days)
+            .map(|t| u64::from(self.arrivals_on(t)))
+            .sum();
         self.seed_social + arrivals as usize
     }
 }
@@ -473,9 +476,7 @@ impl SanModel {
             LifetimeDist::Exponential { .. } => None,
         };
         let lifetime_exp = match p.lifetime {
-            LifetimeDist::Exponential { mean } => {
-                Some(Exponential::new(mean).expect("validated"))
-            }
+            LifetimeDist::Exponential { mean } => Some(Exponential::new(mean).expect("validated")),
             LifetimeDist::TruncNormal { .. } => None,
         };
 
@@ -524,10 +525,7 @@ impl SanModel {
             let recip = p.reciprocation_on(t);
             // Fire due reciprocations first: they respond to links from
             // earlier days.
-            while pending_recip
-                .peek()
-                .is_some_and(|e| e.time <= f64::from(t))
-            {
+            while pending_recip.peek().is_some_and(|e| e.time <= f64::from(t)) {
                 let e = pending_recip.pop().expect("peeked");
                 let (src, dst) = (SocialId(e.src), SocialId(e.dst));
                 if tb.add_social_link(src, dst) {
@@ -556,12 +554,12 @@ impl SanModel {
                     }
                     if declares {
                         self.assign_attrs(
-                        &mut tb,
-                        &mut sampler,
-                        &mut attr_multiset,
-                        u,
-                        attr_count_lognormal.as_ref(),
-                        &mut rng,
+                            &mut tb,
+                            &mut sampler,
+                            &mut attr_multiset,
+                            u,
+                            attr_count_lognormal.as_ref(),
+                            &mut rng,
                         );
                     }
                 } else {
@@ -608,10 +606,7 @@ impl SanModel {
             }
 
             // Collect woken social nodes.
-            while queue
-                .peek()
-                .is_some_and(|w| w.time <= f64::from(t))
-            {
+            while queue.peek().is_some_and(|w| w.time <= f64::from(t)) {
                 let wake = queue.pop().expect("peeked");
                 let u = SocialId(wake.node);
                 if wake.time > death[u.index()] {
@@ -645,9 +640,7 @@ impl SanModel {
     }
 
     fn sample_attr_type(&self, rng: &mut SplitRng) -> AttrType {
-        let idx = rng
-            .weighted_index(&self.params.attr_type_mix)
-            .unwrap_or(0);
+        let idx = rng.weighted_index(&self.params.attr_type_mix).unwrap_or(0);
         AttrType::PAPER_TYPES[idx]
     }
 
@@ -710,13 +703,12 @@ impl SanModel {
         if recip <= 0.0 {
             return;
         }
-        let boosted = if self.params.reciprocate_attr_boost != 1.0
-            && tb.san().common_attrs(u, v) > 0
-        {
-            (recip * self.params.reciprocate_attr_boost).min(1.0)
-        } else {
-            recip
-        };
+        let boosted =
+            if self.params.reciprocate_attr_boost != 1.0 && tb.san().common_attrs(u, v) > 0 {
+                (recip * self.params.reciprocate_attr_boost).min(1.0)
+            } else {
+                recip
+            };
         if !rng.chance(boosted) {
             return;
         }

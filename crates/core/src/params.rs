@@ -10,7 +10,7 @@
 
 use crate::model::{AttrAssign, LifetimeDist, SanModel, SanModelParams, SleepMode};
 use san_graph::degree::degree_vectors;
-use san_graph::San;
+use san_graph::SanRead;
 use san_metrics::reciprocity::global_reciprocity;
 use san_stats::Lognormal;
 use serde::{Deserialize, Serialize};
@@ -33,7 +33,7 @@ pub struct CalibrationTarget {
 }
 
 /// Measures the calibration statistics of a SAN.
-pub fn measure_target(san: &San) -> CalibrationTarget {
+pub fn measure_target(san: &impl SanRead) -> CalibrationTarget {
     let dv = degree_vectors(san);
     let fit_ln = |xs: &[u64]| -> (f64, f64) {
         let pos: Vec<f64> = xs.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();

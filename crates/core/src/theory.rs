@@ -26,14 +26,14 @@ pub fn predicted_outdegree_lognormal(
     lifetime_sigma: f64,
     mean_sleep: f64,
 ) -> Result<(f64, f64), ModelError> {
-    if !(lifetime_sigma > 0.0) {
+    if lifetime_sigma <= 0.0 || lifetime_sigma.is_nan() {
         return Err(ModelError::InvalidParameter {
             name: "lifetime_sigma",
             value: lifetime_sigma,
             constraint: "must be > 0",
         });
     }
-    if !(mean_sleep > 0.0) {
+    if mean_sleep <= 0.0 || mean_sleep.is_nan() {
         return Err(ModelError::InvalidParameter {
             name: "mean_sleep",
             value: mean_sleep,
@@ -42,8 +42,7 @@ pub fn predicted_outdegree_lognormal(
     }
     let gamma = -lifetime_mu / lifetime_sigma;
     let mu_o = (lifetime_mu + lifetime_sigma * mills_g(gamma)) / mean_sleep;
-    let var_o = lifetime_sigma * lifetime_sigma * (1.0 - delta(gamma))
-        / (mean_sleep * mean_sleep);
+    let var_o = lifetime_sigma * lifetime_sigma * (1.0 - delta(gamma)) / (mean_sleep * mean_sleep);
     Ok((mu_o, var_o.sqrt()))
 }
 
@@ -100,8 +99,7 @@ mod tests {
         // fitted lognormal against the prediction.
         let params = SanModelParams::paper_default(150, 30);
         let (lt_mu, lt_sigma, ms) = (8.0, 6.0, 8.0); // paper_default values
-        let (mu_pred, _sigma_pred) =
-            predicted_outdegree_lognormal(lt_mu, lt_sigma, ms).unwrap();
+        let (mu_pred, _sigma_pred) = predicted_outdegree_lognormal(lt_mu, lt_sigma, ms).unwrap();
         let (_, san) = SanModel::new(params).unwrap().generate(21);
         // Exclude seeds (inert) and the youngest cohort (their lifetimes
         // have not elapsed, biasing degrees down).

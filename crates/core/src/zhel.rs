@@ -24,8 +24,8 @@
 //! the convenience constructor and the family-level checks used by the
 //! Fig. 16/17 comparisons.
 
-use crate::model::{SanModel, SanModelParams};
 use crate::error::ModelError;
+use crate::model::{SanModel, SanModelParams};
 use san_graph::{San, SanTimeline};
 
 /// Builds the directed Zhel baseline model.
@@ -50,7 +50,10 @@ mod tests {
         let (tl, san) = generate_zhel(40, 10, 5);
         assert!(san.num_social_nodes() > 400);
         san.check_consistency().unwrap();
-        assert_eq!(tl.final_snapshot().num_social_links(), san.num_social_links());
+        assert_eq!(
+            tl.final_snapshot().num_social_links(),
+            san.num_social_links()
+        );
     }
 
     #[test]
@@ -74,12 +77,11 @@ mod tests {
             "zhel out-degree must not be clearly lognormal: {zhel_out:?}"
         );
 
-        let paper = crate::model::SanModel::new(
-            crate::model::SanModelParams::paper_default(120, 25),
-        )
-        .unwrap()
-        .generate(6)
-        .1;
+        let paper =
+            crate::model::SanModel::new(crate::model::SanModelParams::paper_default(120, 25))
+                .unwrap()
+                .generate(6)
+                .1;
         let paper_in = fit_degree_distribution(&deg(&paper, true)).unwrap();
         let zhel_in = fit_degree_distribution(&deg(&zhel, true)).unwrap();
         assert_eq!(paper_in.family, FitFamily::Lognormal);

@@ -117,6 +117,78 @@ proptest! {
         prop_assert_eq!(replay.num_social_links(), san.num_social_links());
     }
 
+    /// `San::freeze()` round-trips on model-generated SANs: the frozen
+    /// `CsrSan` agrees with the mutable `San` on every `SanRead` query
+    /// (counts, neighbourhoods, membership, common-neighbour features),
+    /// and closure-model proposal probabilities are identical through
+    /// either representation.
+    #[test]
+    fn freeze_roundtrip_on_generated_sans(
+        seed in 0u64..30,
+        days in 3u32..12,
+        per_day in 1u32..6,
+        exponential in proptest::any::<bool>(),
+    ) {
+        use san_graph::SanRead;
+        use std::collections::BTreeSet;
+        let mut params = SanModelParams::paper_default(days, per_day);
+        if exponential {
+            params.lifetime = LifetimeDist::Exponential { mean: 6.0 };
+        }
+        params.reciprocate_prob = 0.4;
+        let (_, san) = SanModel::new(params).unwrap().generate(seed);
+        let csr = san.freeze();
+        prop_assert_eq!(SanRead::num_social_nodes(&csr), san.num_social_nodes());
+        prop_assert_eq!(SanRead::num_attr_nodes(&csr), san.num_attr_nodes());
+        prop_assert_eq!(SanRead::num_social_links(&csr), san.num_social_links());
+        prop_assert_eq!(SanRead::num_attr_links(&csr), san.num_attr_links());
+        for u in san.social_nodes() {
+            prop_assert_eq!(
+                SanRead::out_neighbors(&csr, u).iter().collect::<BTreeSet<_>>(),
+                san.out_neighbors(u).iter().collect::<BTreeSet<_>>()
+            );
+            prop_assert_eq!(
+                SanRead::social_neighbors(&csr, u).as_ref(),
+                san.social_neighbors(u).as_slice()
+            );
+            prop_assert_eq!(
+                SanRead::attrs_of(&csr, u).iter().collect::<BTreeSet<_>>(),
+                san.attrs_of(u).iter().collect::<BTreeSet<_>>()
+            );
+        }
+        for a in san.attr_nodes() {
+            prop_assert_eq!(SanRead::attr_type(&csr, a), san.attr_type(a));
+            prop_assert_eq!(
+                SanRead::social_degree_of_attr(&csr, a),
+                san.social_degree_of_attr(a)
+            );
+        }
+        // Spot-check pairwise queries on a bounded grid.
+        let n = san.num_social_nodes().min(20) as u32;
+        for ui in 0..n {
+            for vi in 0..n {
+                let (u, v) = (SocialId(ui), SocialId(vi));
+                prop_assert_eq!(
+                    SanRead::has_social_link(&csr, u, v),
+                    san.has_social_link(u, v)
+                );
+                prop_assert_eq!(SanRead::common_attrs(&csr, u, v), san.common_attrs(u, v));
+                prop_assert_eq!(
+                    SanRead::common_social_neighbors(&csr, u, v),
+                    san.common_social_neighbors(u, v)
+                );
+                if ui != vi {
+                    let p_san = ClosingModel::RrSan { fc: 0.7 }.closure_probability(&san, u, v);
+                    let p_csr = ClosingModel::RrSan { fc: 0.7 }.closure_probability(&csr, u, v);
+                    prop_assert!(
+                        (p_san - p_csr).abs() < 1e-12,
+                        "closure prob diverges at {}->{}: {} vs {}", u, v, p_san, p_csr
+                    );
+                }
+            }
+        }
+    }
+
     /// Theorem formulas behave sanely across their domains.
     #[test]
     fn theory_formula_domains(mu in -5.0f64..20.0, sigma in 0.2f64..10.0, ms in 0.5f64..20.0) {

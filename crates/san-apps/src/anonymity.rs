@@ -12,7 +12,7 @@
 //! Monte-Carlo circuit construction on the degree-bounded undirected graph.
 
 use san_graph::degree::{bound_degrees, to_undirected};
-use san_graph::San;
+use san_graph::SanRead;
 use san_stats::SplitRng;
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +44,7 @@ impl Default for AnonymityConfig {
 /// intermediate after bounding) are counted as failed circuit builds and
 /// contribute no attack — matching a client that simply rebuilds.
 pub fn timing_analysis_probability(
-    san: &San,
+    san: &impl SanRead,
     cfg: AnonymityConfig,
     compromised: &[bool],
     rng: &mut SplitRng,
@@ -98,7 +98,7 @@ pub fn timing_analysis_probability(
 
 /// The Fig. 19b curve: attack probability per compromise count.
 pub fn timing_analysis_curve(
-    san: &San,
+    san: &impl SanRead,
     cfg: AnonymityConfig,
     counts: &[usize],
     rng: &mut SplitRng,
@@ -115,7 +115,7 @@ pub fn timing_analysis_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::SocialId;
+    use san_graph::{San, SocialId};
 
     fn clique(n: usize) -> San {
         let mut san = San::new();
@@ -138,7 +138,7 @@ mod tests {
             samples: 5_000,
             ..AnonymityConfig::default()
         };
-        let p = timing_analysis_probability(&san, cfg, &vec![false; 20], &mut rng);
+        let p = timing_analysis_probability(&san, cfg, &[false; 20], &mut rng);
         assert_eq!(p, 0.0);
     }
 
@@ -150,7 +150,7 @@ mod tests {
             samples: 2_000,
             ..AnonymityConfig::default()
         };
-        let p = timing_analysis_probability(&san, cfg, &vec![true; 10], &mut rng);
+        let p = timing_analysis_probability(&san, cfg, &[true; 10], &mut rng);
         assert_eq!(p, 1.0);
     }
 
@@ -185,7 +185,7 @@ mod tests {
             samples: 1_000,
             ..AnonymityConfig::default()
         };
-        let p = timing_analysis_probability(&san, cfg, &vec![true; 5], &mut rng);
+        let p = timing_analysis_probability(&san, cfg, &[true; 5], &mut rng);
         assert_eq!(p, 0.0, "no edges, no circuits, no attacks");
     }
 
@@ -219,7 +219,7 @@ mod tests {
             ..AnonymityConfig::default()
         };
         assert_eq!(
-            timing_analysis_probability(&san, cfg, &vec![true; 5], &mut rng),
+            timing_analysis_probability(&san, cfg, &[true; 5], &mut rng),
             0.0
         );
     }

@@ -14,7 +14,7 @@
 //! [`evaluate_inference`] performs leave-one-out evaluation over users that
 //! declare an attribute of the requested type.
 
-use san_graph::{AttrId, AttrType, San, SocialId};
+use san_graph::{AttrId, AttrType, SanRead, SocialId};
 use san_stats::SplitRng;
 use std::collections::HashMap;
 
@@ -23,13 +23,13 @@ use std::collections::HashMap;
 /// `hidden` is excluded from the vote (leave-one-out). Returns `None` when
 /// no neighbour declares an attribute of that type.
 pub fn infer_by_friend_vote(
-    san: &San,
+    san: &impl SanRead,
     user: SocialId,
     ty: AttrType,
     hidden: Option<AttrId>,
 ) -> Option<AttrId> {
     let mut votes: HashMap<AttrId, usize> = HashMap::new();
-    for w in san.social_neighbors(user) {
+    for &w in san.social_neighbors(user).iter() {
         for &a in san.attrs_of(w) {
             if san.attr_type(a) == ty && Some(a) != hidden.filter(|_| w == user) {
                 *votes.entry(a).or_insert(0) += 1;
@@ -43,7 +43,7 @@ pub fn infer_by_friend_vote(
 }
 
 /// The globally most popular attribute of a type (the prior baseline).
-pub fn global_prior(san: &San, ty: AttrType) -> Option<AttrId> {
+pub fn global_prior(san: &impl SanRead, ty: AttrType) -> Option<AttrId> {
     san.attr_nodes()
         .filter(|&a| san.attr_type(a) == ty)
         .max_by_key(|&a| (san.social_degree_of_attr(a), std::cmp::Reverse(a)))
@@ -54,7 +54,7 @@ pub fn global_prior(san: &San, ty: AttrType) -> Option<AttrId> {
 ///
 /// Returns `(friend_vote_accuracy, global_prior_accuracy, evaluated)`.
 pub fn evaluate_inference(
-    san: &San,
+    san: &impl SanRead,
     ty: AttrType,
     sample_users: usize,
     rng: &mut SplitRng,
@@ -85,19 +85,17 @@ pub fn evaluate_inference(
             prior_hits += 1;
         }
     }
-    (
-        vote_hits as f64 / n as f64,
-        prior_hits as f64 / n as f64,
-        n,
-    )
+    (vote_hits as f64 / n as f64, prior_hits as f64 / n as f64, n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use san_graph::San;
 
     /// Two homophilous communities: everyone in group g works at employer
     /// g and is densely linked within the group.
+    #[allow(clippy::needless_range_loop)]
     fn homophilous_world() -> San {
         let mut san = San::new();
         let mut users = Vec::new();
@@ -123,8 +121,7 @@ mod tests {
     fn friend_vote_recovers_community_attribute() {
         let san = homophilous_world();
         let mut rng = SplitRng::new(1);
-        let (vote_acc, prior_acc, n) =
-            evaluate_inference(&san, AttrType::Employer, 100, &mut rng);
+        let (vote_acc, prior_acc, n) = evaluate_inference(&san, AttrType::Employer, 100, &mut rng);
         assert!(n > 0);
         assert!(vote_acc > 0.9, "vote_acc={vote_acc}");
         // The prior can only ever name one employer: ~50% here.
@@ -159,7 +156,10 @@ mod tests {
         let city = san.add_attr_node(AttrType::City);
         san.add_attr_link(v, city);
         // Asking for Employer must not return the city.
-        assert_eq!(infer_by_friend_vote(&san, u, AttrType::Employer, None), None);
+        assert_eq!(
+            infer_by_friend_vote(&san, u, AttrType::Employer, None),
+            None
+        );
         assert_eq!(
             infer_by_friend_vote(&san, u, AttrType::City, None),
             Some(city)

@@ -21,14 +21,16 @@
 //! * [`attr_infer`] — attribute inference from friends' profiles (the
 //!   companion task of the paper's SAN framework reference \[17\]).
 //!
-//! Everything operates on plain [`san_graph::San`] values, so the same code
-//! evaluates the real (simulated) Google+, the paper's model output, and
-//! the Zhel baseline — which is precisely the Fig. 19 comparison.
+//! Every entry point is generic over [`san_graph::SanRead`], so the same
+//! code evaluates the real (simulated) Google+, the paper's model output,
+//! the Zhel baseline — the Fig. 19 comparison — and runs equally against
+//! mutable [`san_graph::San`] values or frozen [`san_graph::CsrSan`]
+//! snapshots.
 
 pub mod anonymity;
 pub mod attr_infer;
-pub mod recommend;
 pub mod reciprocity_predict;
+pub mod recommend;
 pub mod sybil;
 
 pub use anonymity::{timing_analysis_probability, AnonymityConfig};

@@ -15,7 +15,7 @@
 //! pairs translates directly into a Brier improvement for the
 //! attribute-aware model.
 
-use san_graph::San;
+use san_graph::SanRead;
 use san_metrics::reciprocity::{fine_grained_reciprocity, ReciprocityCell};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -35,7 +35,7 @@ pub struct ReciprocityPredictor {
 
 impl ReciprocityPredictor {
     /// Trains from two snapshots (same id space, `later ⊇ earlier`).
-    pub fn train(earlier: &San, later: &San, attribute_aware: bool) -> Self {
+    pub fn train(earlier: &impl SanRead, later: &impl SanRead, attribute_aware: bool) -> Self {
         let cells = fine_grained_reciprocity(earlier, later);
         Self::from_cells(&cells, attribute_aware)
     }
@@ -61,7 +61,16 @@ impl ReciprocityPredictor {
         };
         let table = table
             .into_iter()
-            .map(|(k, (l, r))| (k, if l == 0 { global_rate } else { r as f64 / l as f64 }))
+            .map(|(k, (l, r))| {
+                (
+                    k,
+                    if l == 0 {
+                        global_rate
+                    } else {
+                        r as f64 / l as f64
+                    },
+                )
+            })
             .collect();
         ReciprocityPredictor {
             attribute_aware,
@@ -73,7 +82,12 @@ impl ReciprocityPredictor {
 
     /// Predicted probability that `u → v` (one-directional in `san`) gets
     /// reciprocated.
-    pub fn predict(&self, san: &San, u: san_graph::SocialId, v: san_graph::SocialId) -> f64 {
+    pub fn predict(
+        &self,
+        san: &impl SanRead,
+        u: san_graph::SocialId,
+        v: san_graph::SocialId,
+    ) -> f64 {
         let s = san.common_social_neighbors(u, v).min(self.s_cap);
         let a = if self.attribute_aware {
             san.common_attrs(u, v).min(2)
@@ -85,7 +99,7 @@ impl ReciprocityPredictor {
 
     /// Brier score over the one-directional links of `earlier` with ground
     /// truth in `later` (lower is better). Returns `(score, n_links)`.
-    pub fn brier_score(&self, earlier: &San, later: &San) -> (f64, usize) {
+    pub fn brier_score(&self, earlier: &impl SanRead, later: &impl SanRead) -> (f64, usize) {
         let mut sum = 0.0;
         let mut n = 0usize;
         for (u, v) in earlier.social_links() {
@@ -93,7 +107,11 @@ impl ReciprocityPredictor {
                 continue;
             }
             let p = self.predict(earlier, u, v);
-            let y = if later.has_social_link(v, u) { 1.0 } else { 0.0 };
+            let y = if later.has_social_link(v, u) {
+                1.0
+            } else {
+                0.0
+            };
             sum += (p - y) * (p - y);
             n += 1;
         }
@@ -108,7 +126,7 @@ impl ReciprocityPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::{AttrType, SocialId};
+    use san_graph::{AttrType, San, SocialId};
     use san_stats::SplitRng;
 
     /// World where attribute-sharing pairs reciprocate with high
@@ -137,7 +155,11 @@ mod tests {
         // Reciprocate: 80% when sharing an attribute, 15% otherwise.
         let links: Vec<_> = earlier.social_links().collect();
         for (u, v) in links {
-            let p = if earlier.common_attrs(u, v) > 0 { 0.8 } else { 0.15 };
+            let p = if earlier.common_attrs(u, v) > 0 {
+                0.8
+            } else {
+                0.15
+            };
             if rng.chance(p) {
                 san.add_social_link(v, u);
             }

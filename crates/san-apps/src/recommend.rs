@@ -15,7 +15,7 @@
 //! replays real link arrivals between two snapshots to measure
 //! precision@k — the comparison that shows attribute features help.
 
-use san_graph::{AttrType, San, SocialId};
+use san_graph::{AttrType, SanRead, SocialId};
 use san_stats::SplitRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -53,14 +53,14 @@ impl RecommenderWeights {
 /// excluding `u` and existing `u →` targets. Ties break by id for
 /// determinism.
 pub fn recommend(
-    san: &San,
+    san: &impl SanRead,
     u: SocialId,
     k: usize,
     weights: RecommenderWeights,
 ) -> Vec<(SocialId, f64)> {
     let mut common_friends: HashMap<SocialId, f64> = HashMap::new();
-    for w in san.social_neighbors(u) {
-        for v in san.social_neighbors(w) {
+    for &w in san.social_neighbors(u).iter() {
+        for &v in san.social_neighbors(w).iter() {
             if v != u && !san.has_social_link(u, v) {
                 *common_friends.entry(v).or_insert(0.0) += 1.0;
             }
@@ -82,7 +82,11 @@ pub fn recommend(
         }
     }
     let mut ranked: Vec<(SocialId, f64)> = scores.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
     ranked.truncate(k);
     ranked
 }
@@ -94,8 +98,8 @@ pub fn recommend(
 /// `k` targets from `earlier` and count the fraction that materialised in
 /// `later`. Returns `(precision, evaluated_users)`.
 pub fn evaluate_precision(
-    earlier: &San,
-    later: &San,
+    earlier: &impl SanRead,
+    later: &impl SanRead,
     k: usize,
     weights: RecommenderWeights,
     sample_users: usize,
@@ -143,6 +147,7 @@ pub fn evaluate_precision(
 mod tests {
     use super::*;
     use san_graph::fixtures::figure1;
+    use san_graph::San;
 
     #[test]
     fn recommends_two_hop_neighbours() {

@@ -24,7 +24,7 @@
 //! adversary's effective edge budget.
 
 use san_graph::degree::{bound_degrees, to_undirected};
-use san_graph::{San, SocialId};
+use san_graph::{SanRead, SocialId};
 use san_stats::SplitRng;
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +58,7 @@ pub struct SybilResult {
 }
 
 /// Samples `count` distinct compromised nodes uniformly at random.
-pub fn compromise_uniform(san: &San, count: usize, rng: &mut SplitRng) -> Vec<bool> {
+pub fn compromise_uniform(san: &impl SanRead, count: usize, rng: &mut SplitRng) -> Vec<bool> {
     let n = san.num_social_nodes();
     let count = count.min(n);
     let mut compromised = vec![false; n];
@@ -91,7 +91,7 @@ pub fn count_attack_edges(adj: &[Vec<u32>], compromised: &[bool]) -> usize {
 
 /// Runs one SybilLimit evaluation with uniformly compromised nodes.
 pub fn sybil_identities(
-    san: &San,
+    san: &impl SanRead,
     cfg: SybilLimitConfig,
     num_compromised: usize,
     rng: &mut SplitRng,
@@ -112,7 +112,7 @@ pub fn sybil_identities(
 /// The degree-bounded graph is computed once; each point gets a fresh
 /// uniform compromise set.
 pub fn sybil_curve(
-    san: &San,
+    san: &impl SanRead,
     cfg: SybilLimitConfig,
     counts: &[usize],
     rng: &mut SplitRng,
@@ -137,7 +137,7 @@ pub fn sybil_curve(
 /// endpoints share **no** attribute only counts `no_attr_weight` (< 1).
 /// Returns the (fractional) effective edge count.
 pub fn attribute_discounted_attack_edges(
-    san: &San,
+    san: &impl SanRead,
     adj: &[Vec<u32>],
     compromised: &[bool],
     no_attr_weight: f64,
@@ -164,7 +164,7 @@ pub fn attribute_discounted_attack_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::AttrType;
+    use san_graph::{AttrType, San};
 
     /// A 3-regular-ish ring of n nodes (undirected degree ~2).
     fn ring(n: usize) -> San {

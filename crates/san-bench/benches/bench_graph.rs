@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
-use san_graph::{San, SocialId};
+use san_graph::traverse::bfs_directed;
+use san_graph::{CsrSan, San, SanRead, SocialId};
 use san_stats::SplitRng;
 
 fn build_random_san(n: u32, links_per_node: u32, seed: u64) -> San {
@@ -73,6 +74,108 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// San vs CsrSan: the same generic read path over both representations, so
+// the CSR win is measured, not asserted.
+// ---------------------------------------------------------------------------
+
+/// Full neighbourhood sweep: touch every out-, in- and undirected
+/// neighbour of every node (the inner loop of clustering / knn / BFS).
+fn neighborhood_sweep(g: &impl SanRead) -> usize {
+    let mut acc = 0usize;
+    for u in g.social_nodes() {
+        for &v in g.out_neighbors(u) {
+            acc = acc.wrapping_add(v.index());
+        }
+        for &v in g.in_neighbors(u) {
+            acc = acc.wrapping_add(v.index());
+        }
+        for &v in g.social_neighbors(u).iter() {
+            acc = acc.wrapping_add(v.index());
+        }
+    }
+    acc
+}
+
+/// Random membership probes (the inner loop of reciprocity / triangle
+/// counting).
+fn membership_probes(g: &impl SanRead, probes: usize, rng: &mut SplitRng) -> usize {
+    let n = g.num_social_nodes() as u64;
+    let mut hits = 0;
+    for _ in 0..probes {
+        let u = SocialId(rng.below(n) as u32);
+        let v = SocialId(rng.below(n) as u32);
+        if g.has_social_link(u, v) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_san_vs_csr(c: &mut Criterion) {
+    let san = build_random_san(10_000, 8, 5);
+    let csr: CsrSan = san.freeze();
+    let sources: Vec<SocialId> = {
+        let mut rng = SplitRng::new(6);
+        (0..8).map(|_| SocialId(rng.below(10_000) as u32)).collect()
+    };
+
+    let mut group = c.benchmark_group("graph/san_vs_csr");
+    group.sample_size(20);
+    group.bench_function("neighborhood_sweep/san", |b| {
+        b.iter(|| black_box(neighborhood_sweep(&san)));
+    });
+    group.bench_function("neighborhood_sweep/csr", |b| {
+        b.iter(|| black_box(neighborhood_sweep(&csr)));
+    });
+    group.bench_function("membership_10k_probes/san", |b| {
+        let mut rng = SplitRng::new(7);
+        b.iter(|| black_box(membership_probes(&san, 10_000, &mut rng)));
+    });
+    group.bench_function("membership_10k_probes/csr", |b| {
+        let mut rng = SplitRng::new(7);
+        b.iter(|| black_box(membership_probes(&csr, 10_000, &mut rng)));
+    });
+    group.bench_function("bfs_directed/san", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for &src in &sources {
+                reached += bfs_directed(&san, src).iter().flatten().count();
+            }
+            black_box(reached)
+        });
+    });
+    group.bench_function("bfs_directed/csr", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for &src in &sources {
+                reached += bfs_directed(&csr, src).iter().flatten().count();
+            }
+            black_box(reached)
+        });
+    });
+    group.bench_function("common_social_neighbors/san", |b| {
+        let mut rng = SplitRng::new(8);
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            let v = SocialId(rng.below(10_000) as u32);
+            black_box(SanRead::common_social_neighbors(&san, u, v))
+        });
+    });
+    group.bench_function("common_social_neighbors/csr", |b| {
+        let mut rng = SplitRng::new(8);
+        b.iter(|| {
+            let u = SocialId(rng.below(10_000) as u32);
+            let v = SocialId(rng.below(10_000) as u32);
+            black_box(SanRead::common_social_neighbors(&csr, u, v))
+        });
+    });
+    group.bench_function("freeze_10k_nodes", |b| {
+        b.iter(|| black_box(san.freeze().heap_bytes()));
+    });
+    group.finish();
+}
+
 fn bench_timeline_replay(c: &mut Criterion) {
     let (tl, _) = SanModel::new(SanModelParams::paper_default(60, 30))
         .unwrap()
@@ -90,6 +193,6 @@ fn bench_timeline_replay(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mutation, bench_queries, bench_timeline_replay
+    targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay
 }
 criterion_main!(benches);

@@ -5,9 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::San;
-use san_metrics::clustering::{
-    approx_average_clustering_k, average_clustering_exact, NodeSet,
-};
+use san_metrics::clustering::{approx_average_clustering_k, average_clustering_exact, NodeSet};
 use san_metrics::hyperanf::social_effective_diameter;
 use san_metrics::jdd::{social_assortativity, social_knn};
 use san_metrics::reciprocity::global_reciprocity;

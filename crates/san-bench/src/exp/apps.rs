@@ -24,7 +24,9 @@ pub fn fig19(ctx: &Ctx) {
     // Our model with fc = 0.1 (the paper's Fig. 19 setting) and fc = 0.
     let mut p_fc01 = SanModelParams::paper_default(days, per_day);
     p_fc01.closing = ClosingModel::RrSan { fc: 0.1 };
-    let (_, ours_fc01) = SanModel::new(p_fc01).expect("valid").generate(ctx.seed + 19);
+    let (_, ours_fc01) = SanModel::new(p_fc01)
+        .expect("valid")
+        .generate(ctx.seed + 19);
     let mut p_fc0 = SanModelParams::paper_default(days, per_day);
     p_fc0.closing = ClosingModel::RrSan { fc: 0.0 };
     let (_, ours_fc0) = SanModel::new(p_fc0).expect("valid").generate(ctx.seed + 19);

@@ -17,10 +17,13 @@ const STEP: u32 = 7;
 /// Expectation (paper): attribute density rises in Phase I, flat in II,
 /// slightly falls in III; attribute clustering is stable in Phase II.
 pub fn fig8(ctx: &Ctx) {
-    banner("Fig 8", "attribute density + attribute clustering evolution");
+    banner(
+        "Fig 8",
+        "attribute density + attribute clustering evolution",
+    );
     let mut dens = Vec::new();
     let mut clus = Vec::new();
-    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF16_8);
+    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF168);
     ctx.data.crawl_daily(|day, snap| {
         if day % STEP != 0 || day == 0 {
             return;
@@ -45,7 +48,10 @@ pub fn fig8(ctx: &Ctx) {
 /// clustering is lower with a steeper exponent; the subsampled curve
 /// overlays the original.
 pub fn fig9(ctx: &Ctx) {
-    banner("Fig 9", "clustering vs degree (social/attribute) + subsample check");
+    banner(
+        "Fig 9",
+        "clustering vs degree (social/attribute) + subsample check",
+    );
     let san = &ctx.crawl.san;
     let social = clustering_by_degree(san, NodeSet::Social);
     let attr = clustering_by_degree(san, NodeSet::Attr);
@@ -63,7 +69,7 @@ pub fn fig9(ctx: &Ctx) {
         );
     }
     println!("(b) subsampling validation (keep attributes w.p. 0.5)");
-    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF16_9);
+    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF169);
     let cmp = subsampling_validation(san, 0.5, &mut rng);
     println!(
         "mean |original - subsampled| over {} shared degrees = {:.5} (paper: curves overlap)",
@@ -87,8 +93,8 @@ pub fn fig10(ctx: &Ctx) {
     let pdf = log_binned_pdf(&dv.attr_of_social, 4);
     print_series("degree", "probability", &downsample(&pdf.points, 10));
 
-    let soc_of_attr = fit_degree_distribution(&dv.social_of_attr)
-        .expect("attribute nodes have members");
+    let soc_of_attr =
+        fit_degree_distribution(&dv.social_of_attr).expect("attribute nodes have members");
     println!(
         "(b) social degree of attribute nodes: best = {} | power-law alpha={:.3} KS={:.4} | lognormal KS={:.4}",
         soc_of_attr.family, soc_of_attr.alpha, soc_of_attr.ks_powerlaw, soc_of_attr.ks_lognormal
@@ -131,7 +137,10 @@ pub fn fig11(ctx: &Ctx) {
 /// Expectation (paper): neutral-to-slightly-negative, stable in Phase III
 /// (unlike the social assortativity, which keeps falling).
 pub fn fig12(ctx: &Ctx) {
-    banner("Fig 12", "attribute knn + attribute assortativity evolution");
+    banner(
+        "Fig 12",
+        "attribute knn + attribute assortativity evolution",
+    );
     let knn = attribute_knn(&ctx.crawl.san);
     println!("(a) attribute knn (social degree -> mean member attr degree)");
     print_series_u("social degree", "knn", &downsample(&knn, 15));

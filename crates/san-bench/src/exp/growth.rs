@@ -41,7 +41,10 @@ pub fn fig3(ctx: &Ctx) {
 /// §2.2 crawl-coverage claim: the BFS crawler over public in+out lists
 /// covers ≥ 70 % of the ground truth.
 pub fn coverage(ctx: &Ctx) {
-    banner("Coverage", "crawler coverage vs ground truth (>= 70% claim)");
+    banner(
+        "Coverage",
+        "crawler coverage vs ground truth (>= 70% claim)",
+    );
     let mut rows = Vec::new();
     ctx.data.crawl_daily(|day, snap| {
         rows.push((u64::from(day), snap.node_coverage));

@@ -15,7 +15,10 @@ use san_sim::vocab::find_label;
 /// reciprocation rate at every common-friend count; Employer communities
 /// cluster far more than City.
 pub fn fig13(ctx: &Ctx) {
-    banner("Fig 13", "attribute influence on reciprocity and clustering");
+    banner(
+        "Fig 13",
+        "attribute influence on reciprocity and clustering",
+    );
     // Halfway snapshot of the *ground truth* (same id space as the final).
     let halfway = ctx.data.timeline.snapshot_at(49);
     let cells = fine_grained_reciprocity(&halfway, &ctx.data.truth);
@@ -53,7 +56,10 @@ pub fn fig13(ctx: &Ctx) {
 /// Expectation (paper): Employer=Google and Major=Computer Science members
 /// have the highest degrees (early-adopter effect).
 pub fn fig14(ctx: &Ctx) {
-    banner("Fig 14", "degree percentiles for top Employer / Major values");
+    banner(
+        "Fig 14",
+        "degree percentiles for top Employer / Major values",
+    );
     let san = &ctx.crawl.san;
     // Map crawl-local attr ids through provenance into truth labels.
     let label_of = |crawl_attr: san_graph::AttrId| -> &str {
@@ -113,10 +119,8 @@ pub fn closure(ctx: &Ctx) {
     for ev in ctx.data.timeline.events() {
         use san_graph::SanEvent;
         if let SanEvent::SocialLink { day, src, dst } = *ev {
-            let qualifying = day > 49
-                && src.0 < n_half
-                && dst.0 < n_half
-                && !san.has_social_link(dst, src);
+            let qualifying =
+                day > 49 && src.0 < n_half && dst.0 < n_half && !san.has_social_link(dst, src);
             if qualifying {
                 let single = classify_closures(&san, &[(src, dst)]);
                 mix.total += single.total;

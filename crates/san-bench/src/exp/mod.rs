@@ -20,9 +20,9 @@ use crate::Ctx;
 
 /// Every experiment id, in paper order (what `all` runs).
 pub const ALL: &[&str] = &[
-    "fig2", "fig3", "coverage", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "closure", "fig16", "fig17", "fig18",
-    "fig19", "theory", "alg2",
+    "fig2", "fig3", "coverage", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "closure", "fig16", "fig17", "fig18", "fig19", "theory",
+    "alg2",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.

@@ -132,13 +132,20 @@ pub fn fig16(ctx: &Ctx) {
 /// Figure 17: joint degree distribution of attribute nodes and clustering
 /// coefficient distributions — our model vs Zhel.
 pub fn fig17(ctx: &Ctx) {
-    banner("Fig 17", "attribute knn + clustering distributions: ours vs Zhel");
+    banner(
+        "Fig 17",
+        "attribute knn + clustering distributions: ours vs Zhel",
+    );
     let per_day = ctx.scale;
     let (_, ours) = SanModel::new(SanModelParams::paper_default(GEN_DAYS, per_day))
         .expect("valid defaults")
         .generate(ctx.seed + 17);
     let (_, zhel) = generate_zhel(GEN_DAYS, per_day, ctx.seed + 17);
-    for (label, san) in [("google+", &ctx.crawl.san), ("ours", &ours), ("zhel", &zhel)] {
+    for (label, san) in [
+        ("google+", &ctx.crawl.san),
+        ("ours", &ours),
+        ("zhel", &zhel),
+    ] {
         println!("({label}) attribute knn");
         print_series_u("social degree", "knn", &downsample(&attribute_knn(san), 10));
         println!("({label}) clustering by degree");
@@ -176,7 +183,10 @@ pub fn fig18(ctx: &Ctx) {
 
     println!("(a) social in-degree with / without LAPA");
     let indeg = |san: &San| -> Vec<u64> {
-        san.social_nodes().skip(5).map(|u| san.in_degree(u) as u64).collect()
+        san.social_nodes()
+            .skip(5)
+            .map(|u| san.in_degree(u) as u64)
+            .collect()
     };
     for (label, san) in [("full model", &full), ("w/o LAPA", &no_lapa)] {
         let fit = fit_degree_distribution(&indeg(san)).expect("degrees");
@@ -200,11 +210,13 @@ pub fn fig18(ctx: &Ctx) {
 
 /// Theorems 1 and 2: predictions vs simulation.
 pub fn theory(ctx: &Ctx) {
-    banner("Theory", "Theorem 1 (lognormal out-degree) + Theorem 2 (attr exponent)");
+    banner(
+        "Theory",
+        "Theorem 1 (lognormal out-degree) + Theorem 2 (attr exponent)",
+    );
     // Theorem 1 at the paper_default operating point.
     let (mu_l, sigma_l, ms) = (8.0, 6.0, 8.0);
-    let (mu_pred, sigma_pred) =
-        predicted_outdegree_lognormal(mu_l, sigma_l, ms).expect("valid");
+    let (mu_pred, sigma_pred) = predicted_outdegree_lognormal(mu_l, sigma_l, ms).expect("valid");
     let (_, san) = SanModel::new(SanModelParams::paper_default(150, ctx.scale.max(20)))
         .expect("valid")
         .generate(ctx.seed + 100);
@@ -229,7 +241,9 @@ pub fn theory(ctx: &Ctx) {
             sigma: 0.8,
             p_new,
         };
-        let (_, san) = SanModel::new(params).expect("valid").generate(ctx.seed + 101);
+        let (_, san) = SanModel::new(params)
+            .expect("valid")
+            .generate(ctx.seed + 101);
         let degrees: Vec<u64> = san
             .attr_nodes()
             .map(|a| san.social_degree_of_attr(a) as u64)
@@ -248,7 +262,10 @@ pub fn theory(ctx: &Ctx) {
 /// Appendix A / Algorithm 2: estimator error vs sample budget against the
 /// Hoeffding bound.
 pub fn alg2(ctx: &Ctx) {
-    banner("Alg 2", "constant-time clustering estimator: error vs budget");
+    banner(
+        "Alg 2",
+        "constant-time clustering estimator: error vs budget",
+    );
     let san = &ctx.crawl.san;
     let exact = average_clustering_exact(san, NodeSet::Social);
     println!("exact average social clustering = {exact:.5}");

@@ -21,13 +21,16 @@ const STEP: u32 = 7;
 /// declines faster in III; density dips then grows, dropping again at the
 /// public release; diameters rise-fall-rise; clustering falls-rises-falls.
 pub fn fig4(ctx: &Ctx) {
-    banner("Fig 4", "evolution of reciprocity / density / diameter / clustering");
+    banner(
+        "Fig 4",
+        "evolution of reciprocity / density / diameter / clustering",
+    );
     let mut recip = Vec::new();
     let mut dens = Vec::new();
     let mut diam_social = Vec::new();
     let mut diam_attr = Vec::new();
     let mut clus = Vec::new();
-    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF16_4);
+    let mut rng = san_stats::SplitRng::new(ctx.seed ^ 0xF164);
     ctx.data.crawl_daily(|day, snap| {
         if day % STEP != 0 || day == 0 {
             return;
@@ -63,7 +66,10 @@ pub fn fig4(ctx: &Ctx) {
 /// Expectation (paper): both are best modelled by a discrete lognormal,
 /// not a power law.
 pub fn fig5(ctx: &Ctx) {
-    banner("Fig 5", "social degree distributions + best fits (lognormal expected)");
+    banner(
+        "Fig 5",
+        "social degree distributions + best fits (lognormal expected)",
+    );
     let dv = degree_vectors(&ctx.crawl.san);
     for (name, degrees) in [("outdegree", &dv.out), ("indegree", &dv.inc)] {
         let fit = fit_degree_distribution(degrees).expect("enough degrees at any scale");
@@ -72,18 +78,17 @@ pub fn fig5(ctx: &Ctx) {
             fit.family, fit.mu, fit.sigma, fit.ks_lognormal, fit.alpha, fit.ks_powerlaw
         );
         let pdf = log_binned_pdf(degrees, 4);
-        print_series(
-            "degree",
-            "probability",
-            &downsample(&pdf.points, 12),
-        );
+        print_series("degree", "probability", &downsample(&pdf.points, 12));
     }
 }
 
 /// Figure 6: evolution of the fitted lognormal parameters of the social
 /// degree distributions.
 pub fn fig6(ctx: &Ctx) {
-    banner("Fig 6", "evolution of lognormal (mu, sigma) for out/in-degree");
+    banner(
+        "Fig 6",
+        "evolution of lognormal (mu, sigma) for out/in-degree",
+    );
     let mut out_mu = Vec::new();
     let mut out_sigma = Vec::new();
     let mut in_mu = Vec::new();
@@ -117,7 +122,10 @@ pub fn fig6(ctx: &Ctx) {
 /// Expectation (paper): assortativity near zero (neutral) and declining —
 /// Google+ drifts toward a publisher-subscriber network.
 pub fn fig7(ctx: &Ctx) {
-    banner("Fig 7", "social knn + assortativity evolution (neutral, declining)");
+    banner(
+        "Fig 7",
+        "social knn + assortativity evolution (neutral, declining)",
+    );
     let knn = social_knn(&ctx.crawl.san);
     println!("(a) knn (outdegree -> mean indegree of targets)");
     print_series_u("outdegree", "knn", &downsample(&knn, 15));

@@ -18,6 +18,7 @@
 //!   users known at day `t − 1`.
 
 use crate::ids::{AttrId, SocialId};
+use crate::read::SanRead;
 use crate::san::San;
 use std::collections::VecDeque;
 
@@ -67,7 +68,7 @@ impl Crawler {
     /// # Panics
     /// Panics when `public.len()` differs from the ground-truth node count
     /// or a seed id is out of range.
-    pub fn crawl(&mut self, truth: &San, public: &[bool]) -> CrawlSnapshot {
+    pub fn crawl(&mut self, truth: &impl SanRead, public: &[bool]) -> CrawlSnapshot {
         let n = truth.num_social_nodes();
         assert_eq!(public.len(), n, "visibility vector must cover all users");
 
@@ -84,11 +85,7 @@ impl Crawler {
             if !public[u.index()] {
                 continue; // private: lists invisible, cannot expand through.
             }
-            for &v in truth
-                .out_neighbors(u)
-                .iter()
-                .chain(truth.in_neighbors(u))
-            {
+            for &v in truth.out_neighbors(u).iter().chain(truth.in_neighbors(u)) {
                 if !discovered[v.index()] {
                     discovered[v.index()] = true;
                     queue.push_back(v);
@@ -125,10 +122,10 @@ impl Crawler {
                 if nv == u32::MAX {
                     continue;
                 }
-                if public[old_u.index()] || public[v.index()] {
-                    if san.add_social_link(SocialId(new_u as u32), SocialId(nv)) {
-                        observed_links += 1;
-                    }
+                if (public[old_u.index()] || public[v.index()])
+                    && san.add_social_link(SocialId(new_u as u32), SocialId(nv))
+                {
+                    observed_links += 1;
                 }
             }
             // Attributes are profile data: only public users expose them.
@@ -222,7 +219,10 @@ mod tests {
         // u5 discovered (u4's out-list) but its attributes invisible:
         // Google keeps only u6; San Francisco keeps only u2.
         let total_attr_links = snap.san.num_attr_links();
-        assert_eq!(total_attr_links, fx.san.num_attr_links() - 1 /* u1 unreachable */ - 2);
+        assert_eq!(
+            total_attr_links,
+            fx.san.num_attr_links() - 1 /* u1 unreachable */ - 2
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! bound of 100") — [`to_undirected`] and [`bound_degrees`].
 
 use crate::ids::SocialId;
-use crate::san::San;
+use crate::read::SanRead;
 use san_stats::SplitRng;
 
 /// The four degree vectors of a SAN.
@@ -30,7 +30,7 @@ pub struct DegreeVectors {
 }
 
 /// Extracts all four degree vectors.
-pub fn degree_vectors(san: &San) -> DegreeVectors {
+pub fn degree_vectors(san: &impl SanRead) -> DegreeVectors {
     let out = san
         .social_nodes()
         .map(|u| san.out_degree(u) as u64)
@@ -57,7 +57,7 @@ pub fn degree_vectors(san: &San) -> DegreeVectors {
 
 /// Undirected adjacency view of the social graph: `adj[u]` lists every `v`
 /// such that `u → v` or `v → u`, sorted and deduplicated.
-pub fn to_undirected(san: &San) -> Vec<Vec<u32>> {
+pub fn to_undirected(san: &impl SanRead) -> Vec<Vec<u32>> {
     let n = san.num_social_nodes();
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (u, v) in san.social_links() {
@@ -120,7 +120,7 @@ pub fn undirected_edge_count(adj: &[Vec<u32>]) -> usize {
 
 /// Social nodes sorted by descending total (in+out) degree; useful for
 /// seeding crawls at well-connected users.
-pub fn nodes_by_total_degree(san: &San) -> Vec<SocialId> {
+pub fn nodes_by_total_degree(san: &impl SanRead) -> Vec<SocialId> {
     let mut nodes: Vec<SocialId> = san.social_nodes().collect();
     nodes.sort_by_key(|&u| std::cmp::Reverse(san.out_degree(u) + san.in_degree(u)));
     nodes
@@ -130,6 +130,7 @@ pub fn nodes_by_total_degree(san: &San) -> Vec<SocialId> {
 mod tests {
     use super::*;
     use crate::fixtures::figure1;
+    use crate::san::San;
 
     #[test]
     fn degree_vectors_figure1() {

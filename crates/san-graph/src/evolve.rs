@@ -118,6 +118,15 @@ impl SanTimeline {
         san
     }
 
+    /// Replays the log through day `day` and freezes the result into an
+    /// immutable [`CsrSan`](crate::CsrSan) — the snapshot form every
+    /// analytic consumes. One replay, one freeze, no retained mutable
+    /// state; the product is `Send + Sync`, so per-day sweeps can build
+    /// snapshots on worker threads.
+    pub fn snapshot_csr(&self, day: u32) -> crate::CsrSan {
+        self.snapshot_at(day).freeze()
+    }
+
     /// Replays the whole log.
     pub fn final_snapshot(&self) -> San {
         match self.max_day() {
@@ -162,9 +171,7 @@ impl SanTimeline {
 
     /// All social-link arrival events in order — the trace replayed by the
     /// attachment-model likelihood evaluation (Fig. 15).
-    pub fn social_link_arrivals(
-        &self,
-    ) -> impl Iterator<Item = (u32, SocialId, SocialId)> + '_ {
+    pub fn social_link_arrivals(&self) -> impl Iterator<Item = (u32, SocialId, SocialId)> + '_ {
         self.events.iter().filter_map(|ev| match *ev {
             SanEvent::SocialLink { day, src, dst } => Some((day, src, dst)),
             _ => None,
@@ -217,7 +224,11 @@ impl TimelineBuilder {
     /// # Panics
     /// Panics when `day` is earlier than the current day.
     pub fn advance_to_day(&mut self, day: u32) {
-        assert!(day >= self.day, "day must be monotone: {} -> {day}", self.day);
+        assert!(
+            day >= self.day,
+            "day must be monotone: {} -> {day}",
+            self.day
+        );
         self.day = day;
     }
 
@@ -272,7 +283,12 @@ impl TimelineBuilder {
     /// network (identical to `timeline.final_snapshot()` but avoids a
     /// replay).
     pub fn finish(self) -> (SanTimeline, San) {
-        (SanTimeline { events: self.events }, self.san)
+        (
+            SanTimeline {
+                events: self.events,
+            },
+            self.san,
+        )
     }
 }
 

@@ -17,6 +17,7 @@
 //! serde-(de)serialisable value for JSON persistence.
 
 use crate::ids::{AttrId, AttrType, SocialId};
+use crate::read::SanRead;
 use crate::san::San;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -56,8 +57,8 @@ impl fmt::Display for SanIoError {
 
 impl std::error::Error for SanIoError {}
 
-/// Serialises a SAN to the text format.
-pub fn to_text(san: &San) -> String {
+/// Serialises any SAN read view to the text format.
+pub fn to_text(san: &impl SanRead) -> String {
     let mut s = String::new();
     s.push_str("# san v1\n");
     s.push_str(&format!("social_nodes {}\n", san.num_social_nodes()));
@@ -227,7 +228,8 @@ mod tests {
         use std::collections::BTreeSet;
         a.num_social_nodes() == b.num_social_nodes()
             && a.num_attr_nodes() == b.num_attr_nodes()
-            && a.social_links().collect::<BTreeSet<_>>() == b.social_links().collect::<BTreeSet<_>>()
+            && a.social_links().collect::<BTreeSet<_>>()
+                == b.social_links().collect::<BTreeSet<_>>()
             && a.attr_links().collect::<BTreeSet<_>>() == b.attr_links().collect::<BTreeSet<_>>()
             && a.attr_nodes().all(|x| a.attr_type(x) == b.attr_type(x))
     }
@@ -257,7 +259,10 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert_eq!(from_text("social_nodes 2\n").unwrap_err(), SanIoError::BadHeader);
+        assert_eq!(
+            from_text("social_nodes 2\n").unwrap_err(),
+            SanIoError::BadHeader
+        );
         assert_eq!(from_text("").unwrap_err(), SanIoError::BadHeader);
     }
 

@@ -17,10 +17,31 @@
 //! * `Γs(u)` — social neighbours (union over both link sets and directions),
 //! * `Γs,in(u)`, `Γs,out(u)` — directed social neighbourhoods.
 //!
+//! ## The read/write split
+//!
+//! The paper's pipeline is write-once, read-many: the crawler/timeline
+//! builds 79 daily snapshots, then every measurement only *reads* them.
+//! The crate therefore separates the two concerns:
+//!
+//! * [`read::SanRead`] — the read-only trait every analytic downstream
+//!   (metrics, applications, model validation) is generic over;
+//! * [`san::San`] — the mutable adjacency-list SAN used while *growing*
+//!   a network (generators, crawler, builders); implements `SanRead`;
+//! * [`csr::CsrSan`] — an immutable compressed-sparse-row snapshot with
+//!   sorted neighbour rows: binary-search membership, cache-friendly
+//!   contiguous iteration, zero-allocation `Γs(u)`, and `Send + Sync`
+//!   sharing across threads. Produced by [`San::freeze`] or
+//!   [`evolve::SanTimeline::snapshot_csr`].
+//!
+//! Grow with `San`, freeze, measure the `CsrSan` — or measure the live
+//! `San` directly; both satisfy `SanRead`.
+//!
 //! This crate provides:
 //!
 //! * `San` — the mutable in-memory SAN with O(1)-amortised node/link
 //!   insertion and all the neighbourhood queries above,
+//! * [`csr::CsrSan`] — the frozen CSR snapshot form,
+//! * [`read::SanRead`] — the shared read abstraction,
 //! * [`builder::SanBuilder`] — out-of-order batch construction,
 //! * [`evolve::SanTimeline`] — a timestamped event log that can
 //!   replay the network to any day (the paper's 79 daily snapshots),
@@ -36,25 +57,31 @@
 
 pub mod builder;
 pub mod crawler;
+pub mod csr;
 pub mod degree;
 pub mod evolve;
 pub mod fixtures;
 pub mod ids;
 pub mod io;
+pub mod read;
 pub mod san;
 pub mod subsample;
 pub mod traverse;
 pub mod unionfind;
 
 pub use builder::SanBuilder;
+pub use csr::CsrSan;
 pub use evolve::{SanEvent, SanTimeline, TimelineBuilder};
 pub use ids::{AttrId, AttrType, SocialId};
+pub use read::SanRead;
 pub use san::San;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::builder::SanBuilder;
+    pub use crate::csr::CsrSan;
     pub use crate::evolve::{SanEvent, SanTimeline, TimelineBuilder};
     pub use crate::ids::{AttrId, AttrType, SocialId};
+    pub use crate::read::SanRead;
     pub use crate::san::San;
 }

@@ -1,7 +1,9 @@
 //! The core [`San`] structure: a directed social graph plus an undirected
 //! bipartite user–attribute graph, with the neighbourhood queries of §2.1.
 
+use crate::csr::CsrSan;
 use crate::ids::{AttrId, AttrType, SocialId};
+use crate::read::SanRead;
 use std::collections::HashSet;
 
 /// An in-memory Social-Attribute Network.
@@ -125,7 +127,10 @@ impl San {
     /// Panics if either endpoint does not exist.
     pub fn add_attr_link(&mut self, user: SocialId, attr: AttrId) -> bool {
         assert!(user.index() < self.out.len(), "unknown user {user}");
-        assert!(attr.index() < self.attr_members.len(), "unknown attr {attr}");
+        assert!(
+            attr.index() < self.attr_members.len(),
+            "unknown attr {attr}"
+        );
         if self.has_attr_link(user, attr) {
             return false;
         }
@@ -251,7 +256,11 @@ impl San {
     pub fn common_social_neighbors(&self, u: SocialId, v: SocialId) -> usize {
         let nu = self.social_neighbors(u);
         let nv = self.social_neighbors(v);
-        let (small, large) = if nu.len() <= nv.len() { (&nu, &nv) } else { (&nv, &nu) };
+        let (small, large) = if nu.len() <= nv.len() {
+            (&nu, &nv)
+        } else {
+            (&nv, &nu)
+        };
         let set: HashSet<SocialId> = large.iter().copied().collect();
         small
             .iter()
@@ -275,16 +284,30 @@ impl San {
 
     /// Iterates over all directed social links `(src, dst)`.
     pub fn social_links(&self) -> impl Iterator<Item = (SocialId, SocialId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, outs)| {
-            outs.iter().map(move |&v| (SocialId(u as u32), v))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, outs)| outs.iter().map(move |&v| (SocialId(u as u32), v)))
     }
 
     /// Iterates over all attribute links `(user, attr)`.
     pub fn attr_links(&self) -> impl Iterator<Item = (SocialId, AttrId)> + '_ {
-        self.node_attrs.iter().enumerate().flat_map(|(u, attrs)| {
-            attrs.iter().map(move |&a| (SocialId(u as u32), a))
-        })
+        self.node_attrs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, attrs)| attrs.iter().map(move |&a| (SocialId(u as u32), a)))
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing
+    // ------------------------------------------------------------------
+
+    /// Freezes the current state into an immutable [`CsrSan`] snapshot:
+    /// sorted, contiguous neighbour rows (binary-search membership,
+    /// cache-friendly iteration) that are `Send + Sync` for parallel
+    /// metric sweeps. The `San` itself is left untouched.
+    pub fn freeze(&self) -> CsrSan {
+        CsrSan::from_read(self)
     }
 
     // ------------------------------------------------------------------
@@ -357,6 +380,76 @@ impl San {
             return Err("attribute member mirror count mismatch".into());
         }
         Ok(())
+    }
+}
+
+/// The read-only view of a `San` is its inherent API verbatim; every
+/// method delegates, so generic analytics over [`SanRead`] and concrete
+/// callers observe identical results.
+impl SanRead for San {
+    #[inline]
+    fn num_social_nodes(&self) -> usize {
+        San::num_social_nodes(self)
+    }
+
+    #[inline]
+    fn num_attr_nodes(&self) -> usize {
+        San::num_attr_nodes(self)
+    }
+
+    #[inline]
+    fn num_social_links(&self) -> usize {
+        San::num_social_links(self)
+    }
+
+    #[inline]
+    fn num_attr_links(&self) -> usize {
+        San::num_attr_links(self)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, u: SocialId) -> &[SocialId] {
+        San::out_neighbors(self, u)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, u: SocialId) -> &[SocialId] {
+        San::in_neighbors(self, u)
+    }
+
+    #[inline]
+    fn attrs_of(&self, u: SocialId) -> &[AttrId] {
+        San::attrs_of(self, u)
+    }
+
+    #[inline]
+    fn members_of(&self, a: AttrId) -> &[SocialId] {
+        San::members_of(self, a)
+    }
+
+    #[inline]
+    fn attr_type(&self, a: AttrId) -> AttrType {
+        San::attr_type(self, a)
+    }
+
+    fn has_social_link(&self, src: SocialId, dst: SocialId) -> bool {
+        San::has_social_link(self, src, dst)
+    }
+
+    fn has_attr_link(&self, user: SocialId, attr: AttrId) -> bool {
+        San::has_attr_link(self, user, attr)
+    }
+
+    fn social_neighbors(&self, u: SocialId) -> std::borrow::Cow<'_, [SocialId]> {
+        std::borrow::Cow::Owned(San::social_neighbors(self, u))
+    }
+
+    fn common_attrs(&self, u: SocialId, v: SocialId) -> usize {
+        San::common_attrs(self, u, v)
+    }
+
+    fn common_social_neighbors(&self, u: SocialId, v: SocialId) -> usize {
+        San::common_social_neighbors(self, u, v)
     }
 }
 

@@ -7,6 +7,7 @@
 //! reproduces that operation on any SAN.
 
 use crate::ids::SocialId;
+use crate::read::SanRead;
 use crate::san::San;
 use san_stats::SplitRng;
 
@@ -17,7 +18,7 @@ use san_stats::SplitRng;
 ///
 /// # Panics
 /// Panics when `keep_prob` is outside `[0, 1]`.
-pub fn subsample_attributes(san: &San, keep_prob: f64, rng: &mut SplitRng) -> San {
+pub fn subsample_attributes(san: &impl SanRead, keep_prob: f64, rng: &mut SplitRng) -> San {
     assert!(
         (0.0..=1.0).contains(&keep_prob),
         "keep_prob must be in [0,1], got {keep_prob}"
@@ -42,7 +43,7 @@ pub fn subsample_attributes(san: &San, keep_prob: f64, rng: &mut SplitRng) -> Sa
 
 /// Fraction of social nodes that declare at least one attribute (the
 /// paper's "22 % of users declare at least one attribute" statistic).
-pub fn attribute_declaration_rate(san: &San) -> f64 {
+pub fn attribute_declaration_rate(san: &impl SanRead) -> f64 {
     if san.num_social_nodes() == 0 {
         return 0.0;
     }
@@ -54,7 +55,7 @@ pub fn attribute_declaration_rate(san: &San) -> f64 {
 }
 
 /// Convenience: ids of social nodes with at least one attribute.
-pub fn nodes_with_attributes(san: &San) -> Vec<SocialId> {
+pub fn nodes_with_attributes(san: &impl SanRead) -> Vec<SocialId> {
     san.social_nodes()
         .filter(|&u| san.attr_degree(u) > 0)
         .collect()

@@ -7,6 +7,7 @@
 //! crawl of §2.2 collects "a large Weakly Connected Component".
 
 use crate::ids::{AttrId, SocialId};
+use crate::read::SanRead;
 use crate::san::San;
 use crate::unionfind::UnionFind;
 use std::collections::VecDeque;
@@ -15,7 +16,7 @@ use std::collections::VecDeque;
 ///
 /// Returns `dist[v] = Some(d)` for nodes reachable from `src` via directed
 /// paths, `None` otherwise. `dist[src] = Some(0)`.
-pub fn bfs_directed(san: &San, src: SocialId) -> Vec<Option<u32>> {
+pub fn bfs_directed(san: &impl SanRead, src: SocialId) -> Vec<Option<u32>> {
     let mut dist = vec![None; san.num_social_nodes()];
     let mut queue = VecDeque::new();
     dist[src.index()] = Some(0);
@@ -33,7 +34,7 @@ pub fn bfs_directed(san: &San, src: SocialId) -> Vec<Option<u32>> {
 }
 
 /// Undirected single-source BFS (social links traversed both ways).
-pub fn bfs_undirected(san: &San, src: SocialId) -> Vec<Option<u32>> {
+pub fn bfs_undirected(san: &impl SanRead, src: SocialId) -> Vec<Option<u32>> {
     let mut dist = vec![None; san.num_social_nodes()];
     let mut queue = VecDeque::new();
     dist[src.index()] = Some(0);
@@ -54,7 +55,7 @@ pub fn bfs_undirected(san: &San, src: SocialId) -> Vec<Option<u32>> {
 ///
 /// Returns `(component_id_per_node, component_sizes)`; component ids are
 /// dense in `0..sizes.len()`.
-pub fn weakly_connected_components(san: &San) -> (Vec<usize>, Vec<usize>) {
+pub fn weakly_connected_components(san: &impl SanRead) -> (Vec<usize>, Vec<usize>) {
     let n = san.num_social_nodes();
     let mut uf = UnionFind::new(n);
     for (u, v) in san.social_links() {
@@ -76,7 +77,7 @@ pub fn weakly_connected_components(san: &San) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// The members of the largest WCC (ties broken by lowest component id).
-pub fn largest_wcc(san: &San) -> Vec<SocialId> {
+pub fn largest_wcc(san: &impl SanRead) -> Vec<SocialId> {
     if san.num_social_nodes() == 0 {
         return Vec::new();
     }
@@ -111,7 +112,7 @@ pub struct Subgraph {
 /// Keeps the social links with both endpoints in `keep`, the attribute nodes
 /// with at least one kept member, and the attribute links incident to kept
 /// users. Duplicate ids in `keep` are ignored.
-pub fn induced_subgraph(san: &San, keep: &[SocialId]) -> Subgraph {
+pub fn induced_subgraph(san: &impl SanRead, keep: &[SocialId]) -> Subgraph {
     let mut social_new = vec![u32::MAX; san.num_social_nodes()];
     let mut social_origin = Vec::new();
     for &u in keep {

@@ -183,6 +183,100 @@ proptest! {
         }
     }
 
+    /// `San::freeze()` round-trips: the frozen CsrSan agrees with the
+    /// mutable San on every `SanRead` query — counts, neighbourhoods
+    /// (as sets), degrees, membership, common-neighbour features, link
+    /// iteration, and attribute types.
+    #[test]
+    fn freeze_roundtrip_matches_san(san in arb_san(35, 7)) {
+        use std::collections::BTreeSet;
+        let csr = san.freeze();
+        prop_assert_eq!(SanRead::num_social_nodes(&csr), san.num_social_nodes());
+        prop_assert_eq!(SanRead::num_attr_nodes(&csr), san.num_attr_nodes());
+        prop_assert_eq!(SanRead::num_social_links(&csr), san.num_social_links());
+        prop_assert_eq!(SanRead::num_attr_links(&csr), san.num_attr_links());
+        for u in san.social_nodes() {
+            prop_assert_eq!(
+                SanRead::out_neighbors(&csr, u).iter().collect::<BTreeSet<_>>(),
+                san.out_neighbors(u).iter().collect::<BTreeSet<_>>()
+            );
+            prop_assert_eq!(
+                SanRead::in_neighbors(&csr, u).iter().collect::<BTreeSet<_>>(),
+                san.in_neighbors(u).iter().collect::<BTreeSet<_>>()
+            );
+            prop_assert_eq!(
+                SanRead::attrs_of(&csr, u).iter().collect::<BTreeSet<_>>(),
+                san.attrs_of(u).iter().collect::<BTreeSet<_>>()
+            );
+            prop_assert_eq!(SanRead::out_degree(&csr, u), san.out_degree(u));
+            prop_assert_eq!(SanRead::in_degree(&csr, u), san.in_degree(u));
+            prop_assert_eq!(SanRead::attr_degree(&csr, u), san.attr_degree(u));
+            prop_assert_eq!(
+                SanRead::social_neighbors(&csr, u).as_ref(),
+                san.social_neighbors(u).as_slice()
+            );
+        }
+        for a in san.attr_nodes() {
+            prop_assert_eq!(
+                SanRead::members_of(&csr, a).iter().collect::<BTreeSet<_>>(),
+                san.members_of(a).iter().collect::<BTreeSet<_>>()
+            );
+            prop_assert_eq!(SanRead::attr_type(&csr, a), san.attr_type(a));
+            prop_assert_eq!(
+                SanRead::social_degree_of_attr(&csr, a),
+                san.social_degree_of_attr(a)
+            );
+        }
+        for u in san.social_nodes() {
+            for v in san.social_nodes() {
+                prop_assert_eq!(
+                    SanRead::has_social_link(&csr, u, v),
+                    san.has_social_link(u, v)
+                );
+                prop_assert_eq!(SanRead::common_attrs(&csr, u, v), san.common_attrs(u, v));
+                prop_assert_eq!(
+                    SanRead::common_social_neighbors(&csr, u, v),
+                    san.common_social_neighbors(u, v)
+                );
+            }
+            for a in san.attr_nodes() {
+                prop_assert_eq!(
+                    SanRead::has_attr_link(&csr, u, a),
+                    san.has_attr_link(u, a)
+                );
+            }
+        }
+        prop_assert_eq!(
+            SanRead::social_links(&csr).collect::<BTreeSet<_>>(),
+            san.social_links().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            SanRead::attr_links(&csr).collect::<BTreeSet<_>>(),
+            san.attr_links().collect::<BTreeSet<_>>()
+        );
+    }
+
+    /// Generic analytics see identical results through the mutable San and
+    /// its frozen snapshot (BFS, WCC, degree vectors).
+    #[test]
+    fn analytics_agree_on_frozen_snapshot(san in arb_san(30, 4)) {
+        let csr = san.freeze();
+        let d_san = bfs_directed(&san, SocialId(0));
+        let d_csr = bfs_directed(&csr, SocialId(0));
+        prop_assert_eq!(d_san, d_csr);
+        let (_, mut sizes_san) = weakly_connected_components(&san);
+        let (_, mut sizes_csr) = weakly_connected_components(&csr);
+        sizes_san.sort_unstable();
+        sizes_csr.sort_unstable();
+        prop_assert_eq!(sizes_san, sizes_csr);
+        let dv_san = degree_vectors(&san);
+        let dv_csr = degree_vectors(&csr);
+        prop_assert_eq!(dv_san.out, dv_csr.out);
+        prop_assert_eq!(dv_san.inc, dv_csr.inc);
+        prop_assert_eq!(dv_san.attr_of_social, dv_csr.attr_of_social);
+        prop_assert_eq!(dv_san.social_of_attr, dv_csr.social_of_attr);
+    }
+
     /// Timeline replay at the final day reproduces the live structure.
     #[test]
     fn timeline_replay_matches_live(

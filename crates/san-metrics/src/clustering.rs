@@ -18,7 +18,7 @@
 //! With `K = ⌈ln(2ν)/(2ε²)⌉` the error is at most `ε` with probability
 //! `1 − 1/ν` (Theorem 3).
 
-use san_graph::{AttrId, AttrType, San, SocialId};
+use san_graph::{AttrId, AttrType, SanRead, SocialId};
 use san_stats::{hoeffding_samples, SplitRng};
 use std::collections::{BTreeMap, HashSet};
 
@@ -33,7 +33,7 @@ pub enum NodeSet {
 }
 
 /// Counts directed links among a set of social nodes.
-fn directed_links_among(san: &San, nodes: &[SocialId]) -> usize {
+fn directed_links_among(san: &impl SanRead, nodes: &[SocialId]) -> usize {
     if nodes.len() < 2 {
         return 0;
     }
@@ -50,7 +50,7 @@ fn directed_links_among(san: &San, nodes: &[SocialId]) -> usize {
 }
 
 /// Exact clustering coefficient of a social node.
-pub fn local_clustering_social(san: &San, u: SocialId) -> f64 {
+pub fn local_clustering_social(san: &impl SanRead, u: SocialId) -> f64 {
     let nbrs = san.social_neighbors(u);
     let d = nbrs.len();
     if d < 2 {
@@ -61,7 +61,7 @@ pub fn local_clustering_social(san: &San, u: SocialId) -> f64 {
 
 /// Exact clustering coefficient of an attribute node (community cohesion of
 /// the users sharing the attribute).
-pub fn local_clustering_attr(san: &San, a: AttrId) -> f64 {
+pub fn local_clustering_attr(san: &impl SanRead, a: AttrId) -> f64 {
     let members = san.members_of(a);
     let d = members.len();
     if d < 2 {
@@ -72,7 +72,7 @@ pub fn local_clustering_attr(san: &San, a: AttrId) -> f64 {
 
 /// Exact average clustering coefficient over `Ω` (O(Σ deg²); use
 /// [`approx_average_clustering`] for large networks).
-pub fn average_clustering_exact(san: &San, which: NodeSet) -> f64 {
+pub fn average_clustering_exact(san: &impl SanRead, which: NodeSet) -> f64 {
     match which {
         NodeSet::Social => {
             let n = san.num_social_nodes();
@@ -100,7 +100,7 @@ pub fn average_clustering_exact(san: &San, which: NodeSet) -> f64 {
 /// Samples `F(v, u, w)` for a uniform neighbour pair of centre `u`
 /// (Algorithm 2 lines 6–8). Returns 0 for centres with fewer than two
 /// neighbours (their triple set is empty and their `c(u)` is 0).
-fn sample_f(san: &San, nbrs: &[SocialId], rng: &mut SplitRng) -> u8 {
+fn sample_f(san: &impl SanRead, nbrs: &[SocialId], rng: &mut SplitRng) -> u8 {
     let d = nbrs.len();
     if d < 2 {
         return 0;
@@ -123,7 +123,7 @@ fn sample_f(san: &San, nbrs: &[SocialId], rng: &mut SplitRng) -> u8 {
 
 /// Algorithm 2 with an explicit sample budget `k`.
 pub fn approx_average_clustering_k(
-    san: &San,
+    san: &impl SanRead,
     which: NodeSet,
     k: usize,
     rng: &mut SplitRng,
@@ -157,7 +157,7 @@ pub fn approx_average_clustering_k(
 /// Algorithm 2 at the `(ε, ν)` operating point; the paper uses
 /// `ε = 0.002`, `ν = 100`.
 pub fn approx_average_clustering(
-    san: &San,
+    san: &impl SanRead,
     which: NodeSet,
     epsilon: f64,
     nu: f64,
@@ -169,7 +169,7 @@ pub fn approx_average_clustering(
 /// Exact per-degree clustering distribution (Fig. 9a): for each degree `d`
 /// (of `|Γs(u)|` for social nodes / social degree for attribute nodes),
 /// the mean clustering coefficient of the nodes with that degree.
-pub fn clustering_by_degree(san: &San, which: NodeSet) -> Vec<(u64, f64)> {
+pub fn clustering_by_degree(san: &impl SanRead, which: NodeSet) -> Vec<(u64, f64)> {
     let mut acc: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
     match which {
         NodeSet::Social => {
@@ -201,7 +201,7 @@ pub fn clustering_by_degree(san: &San, which: NodeSet) -> Vec<(u64, f64)> {
 /// Sampled per-degree clustering for large networks: computes exact `c(u)`
 /// for at most `max_nodes` uniformly sampled nodes and aggregates by degree.
 pub fn clustering_by_degree_sampled(
-    san: &San,
+    san: &impl SanRead,
     which: NodeSet,
     max_nodes: usize,
     rng: &mut SplitRng,
@@ -245,7 +245,7 @@ pub fn clustering_by_degree_sampled(
 /// Average attribute clustering coefficient per attribute type (Fig. 13b:
 /// Employer ≫ School > Major > City on Google+). Returns
 /// `(type, average, node count)` for every type present.
-pub fn attr_clustering_by_type(san: &San) -> Vec<(AttrType, f64, usize)> {
+pub fn attr_clustering_by_type(san: &impl SanRead) -> Vec<(AttrType, f64, usize)> {
     let mut acc: BTreeMap<AttrType, (f64, usize)> = BTreeMap::new();
     for a in san.attr_nodes() {
         let e = acc.entry(san.attr_type(a)).or_insert((0.0, 0));

@@ -15,7 +15,7 @@
 //! Both are deterministic given the RNG (node order is shuffled each
 //! round) and return dense community ids.
 
-use san_graph::{San, SocialId};
+use san_graph::{SanRead, SocialId};
 use san_stats::SplitRng;
 use std::collections::HashMap;
 
@@ -43,14 +43,14 @@ impl Communities {
 }
 
 /// Classical label propagation over the undirected social structure.
-pub fn label_propagation(san: &San, max_rounds: usize, rng: &mut SplitRng) -> Communities {
+pub fn label_propagation(san: &impl SanRead, max_rounds: usize, rng: &mut SplitRng) -> Communities {
     propagate(san, 0.0, max_rounds, rng)
 }
 
 /// Attribute-augmented label propagation: attribute co-members vote with
 /// `attr_weight` per shared attribute (0 recovers the classical variant).
 pub fn label_propagation_san(
-    san: &San,
+    san: &impl SanRead,
     attr_weight: f64,
     max_rounds: usize,
     rng: &mut SplitRng,
@@ -59,7 +59,12 @@ pub fn label_propagation_san(
     propagate(san, attr_weight, max_rounds, rng)
 }
 
-fn propagate(san: &San, attr_weight: f64, max_rounds: usize, rng: &mut SplitRng) -> Communities {
+fn propagate(
+    san: &impl SanRead,
+    attr_weight: f64,
+    max_rounds: usize,
+    rng: &mut SplitRng,
+) -> Communities {
     let n = san.num_social_nodes();
     let mut label: Vec<u32> = (0..n as u32).collect();
     let mut order: Vec<u32> = (0..n as u32).collect();
@@ -75,7 +80,7 @@ fn propagate(san: &San, attr_weight: f64, max_rounds: usize, rng: &mut SplitRng)
         for &ui in &order {
             let u = SocialId(ui);
             let mut votes: HashMap<u32, f64> = HashMap::new();
-            for w in san.social_neighbors(u) {
+            for &w in san.social_neighbors(u).iter() {
                 *votes.entry(label[w.index()]).or_insert(0.0) += 1.0;
             }
             if attr_weight > 0.0 {
@@ -124,7 +129,7 @@ fn propagate(san: &San, attr_weight: f64, max_rounds: usize, rng: &mut SplitRng)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::AttrType;
+    use san_graph::{AttrType, San};
 
     /// Two 6-cliques joined by a single bridge edge.
     fn two_cliques() -> (San, Vec<SocialId>) {
@@ -150,7 +155,10 @@ mod tests {
         let c = label_propagation(&san, 50, &mut rng);
         assert!(c.together(users[0], users[5]));
         assert!(c.together(users[6], users[11]));
-        assert!(!c.together(users[0], users[6]), "bridge must not merge cliques");
+        assert!(
+            !c.together(users[0], users[6]),
+            "bridge must not merge cliques"
+        );
         assert_eq!(c.count(), 2);
         assert_eq!(c.sizes.iter().sum::<usize>(), 12);
     }

@@ -12,7 +12,7 @@
 //! from fitting (the paper plots `k ≥ 1`).
 
 use san_graph::degree::degree_vectors;
-use san_graph::San;
+use san_graph::SanRead;
 use san_stats::fit::{fit_degree_distribution, DegreeFit};
 use san_stats::StatsError;
 use serde::{Deserialize, Serialize};
@@ -35,7 +35,7 @@ pub struct SanDegreeFits {
 /// Fails when any vector has fewer than two positive entries (tiny test
 /// graphs should call [`san_stats::fit::fit_degree_distribution`] on the
 /// vectors they care about instead).
-pub fn fit_san_degrees(san: &San) -> Result<SanDegreeFits, StatsError> {
+pub fn fit_san_degrees(san: &impl SanRead) -> Result<SanDegreeFits, StatsError> {
     let dv = degree_vectors(san);
     Ok(SanDegreeFits {
         out_degree: fit_degree_distribution(&dv.out)?,

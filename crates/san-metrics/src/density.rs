@@ -5,10 +5,10 @@
 //! the values are comparable with prior OSN studies). The attribute analogue
 //! is `|Ea|/|Va|`.
 
-use san_graph::San;
+use san_graph::SanRead;
 
 /// Social density `|Es| / |Vs|`; `0.0` for an empty network.
-pub fn social_density(san: &San) -> f64 {
+pub fn social_density(san: &impl SanRead) -> f64 {
     if san.num_social_nodes() == 0 {
         return 0.0;
     }
@@ -16,7 +16,7 @@ pub fn social_density(san: &San) -> f64 {
 }
 
 /// Attribute density `|Ea| / |Va|`; `0.0` when there are no attribute nodes.
-pub fn attr_density(san: &San) -> f64 {
+pub fn attr_density(san: &impl SanRead) -> f64 {
     if san.num_attr_nodes() == 0 {
         return 0.0;
     }

@@ -9,7 +9,7 @@
 //! [`evolve_metric`] produces the day-indexed series that the evolution
 //! figures (4, 6, 7b, 8, 11, 12b) plot.
 
-use san_graph::{San, SanTimeline};
+use san_graph::{CsrSan, SanTimeline};
 use serde::{Deserialize, Serialize};
 
 /// The three evolution phases of Google+.
@@ -102,8 +102,17 @@ impl MetricSeries {
     }
 }
 
-/// Evaluates `metric` on the end-of-day snapshot of every `step`-th day
-/// (always including the final day) in a single incremental replay.
+/// Evaluates `metric` on the frozen end-of-day snapshot of every
+/// `step`-th day (always including the final day) in a single incremental
+/// replay.
+///
+/// The metric sees an immutable [`CsrSan`] — the cache-friendly read form
+/// every analytic in this crate accepts. Freezing costs O(V + E) per
+/// sampled day, which expensive metrics (clustering, diameter, knn)
+/// repay immediately through the faster CSR read path; for metrics that
+/// only read counters (node/link totals, density), skip the freeze and
+/// drive [`SanTimeline::for_each_day`] or [`SanTimeline::day_counts`]
+/// directly instead.
 pub fn evolve_metric<F>(
     timeline: &SanTimeline,
     name: &str,
@@ -111,7 +120,7 @@ pub fn evolve_metric<F>(
     mut metric: F,
 ) -> MetricSeries
 where
-    F: FnMut(u32, &San) -> f64,
+    F: FnMut(u32, &CsrSan) -> f64,
 {
     assert!(step >= 1, "step must be at least 1");
     let mut series = MetricSeries {
@@ -122,7 +131,7 @@ where
     timeline.for_each_day(|day, san| {
         if day % step == 0 || Some(day) == max_day {
             series.days.push(day);
-            series.values.push(metric(day, san));
+            series.values.push(metric(day, &san.freeze()));
         }
     });
     series
@@ -130,14 +139,16 @@ where
 
 /// Parallel variant of [`evolve_metric`] for expensive per-day metrics.
 ///
-/// The sampled days are split into `threads` contiguous chunks; each worker
-/// replays the timeline once up to its chunk and evaluates the metric on
-/// its days. Worth it when the metric dominates the replay cost (diameter,
-/// exact clustering); for cheap metrics prefer the single-pass
-/// [`evolve_metric`].
-///
-/// `metric` must be `Sync` (it is shared across workers) and is handed an
-/// owned snapshot day index plus the network.
+/// One incremental replay freezes every sampled day into a [`CsrSan`]
+/// (they are `Send + Sync`), then the snapshots are fanned out across
+/// `threads` scoped workers evaluating `metric` — the read/write split in
+/// action: a single writer builds frozen snapshots, many readers measure
+/// them concurrently. Worth it when the metric dominates the replay cost
+/// (diameter, exact clustering); for cheap metrics prefer the single-pass
+/// [`evolve_metric`]. All sampled snapshots are held in memory at once —
+/// peak memory is O(days/step × E) — so on long timelines at high
+/// resolution, *raise* `step` to bound it (streaming snapshots through a
+/// bounded channel is a recorded ROADMAP follow-up).
 pub fn evolve_metric_parallel<F>(
     timeline: &SanTimeline,
     name: &str,
@@ -146,7 +157,7 @@ pub fn evolve_metric_parallel<F>(
     metric: F,
 ) -> MetricSeries
 where
-    F: Fn(u32, &San) -> f64 + Sync,
+    F: Fn(u32, &CsrSan) -> f64 + Sync,
 {
     assert!(step >= 1, "step must be at least 1");
     assert!(threads >= 1, "need at least one thread");
@@ -156,43 +167,33 @@ where
             ..MetricSeries::default()
         };
     };
-    let days: Vec<u32> = (0..=max_day)
-        .filter(|d| d % step == 0 || *d == max_day)
-        .collect();
-    let chunk_len = days.len().div_ceil(threads);
-    let chunks: Vec<&[u32]> = days.chunks(chunk_len.max(1)).collect();
+    // Single replay: freeze each sampled day.
+    let mut snapshots: Vec<(u32, CsrSan)> = Vec::new();
+    timeline.for_each_day(|day, san| {
+        if day % step == 0 || day == max_day {
+            snapshots.push((day, san.freeze()));
+        }
+    });
+    // Fan the frozen snapshots out across scoped workers.
+    let chunk_len = snapshots.len().div_ceil(threads).max(1);
     let mut results: Vec<Vec<(u32, f64)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = snapshots
+            .chunks(chunk_len)
             .map(|chunk| {
                 let metric = &metric;
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    if chunk.is_empty() {
-                        return out;
-                    }
-                    // One incremental replay per worker covering its days.
-                    let last = *chunk.last().expect("nonempty chunk");
-                    let mut idx = 0usize;
-                    timeline.for_each_day(|day, san| {
-                        if day > last {
-                            return;
-                        }
-                        if idx < chunk.len() && chunk[idx] == day {
-                            out.push((day, metric(day, san)));
-                            idx += 1;
-                        }
-                    });
-                    out
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(day, snap)| (*day, metric(*day, snap)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut series = MetricSeries {
         name: name.to_string(),
         ..MetricSeries::default()
@@ -209,7 +210,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::{SocialId, TimelineBuilder};
+    use san_graph::{SanRead, SocialId, TimelineBuilder};
 
     fn growing_timeline(days: u32) -> SanTimeline {
         let mut tb = TimelineBuilder::new();
@@ -306,6 +307,9 @@ mod tests {
     fn day_passed_to_metric() {
         let tl = growing_timeline(4);
         let series = evolve_metric(&tl, "day", 2, |day, _| day as f64);
-        assert_eq!(series.days, series.values.iter().map(|&v| v as u32).collect::<Vec<_>>());
+        assert_eq!(
+            series.days,
+            series.values.iter().map(|&v| v as u32).collect::<Vec<_>>()
+        );
     }
 }

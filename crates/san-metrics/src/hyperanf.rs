@@ -21,7 +21,7 @@
 //! directions): lifted distances equal attribute distances plus one, so the
 //! attribute diameter falls out of the same machinery.
 
-use san_graph::San;
+use san_graph::SanRead;
 use san_stats::SplitRng;
 
 /// A HyperLogLog cardinality counter with `2^b` registers.
@@ -34,7 +34,10 @@ pub struct HyperLogLog {
 impl HyperLogLog {
     /// Creates an empty counter; `b` must be in `4..=16`.
     pub fn new(b: u8) -> Self {
-        assert!((4..=16).contains(&b), "register exponent b={b} out of range");
+        assert!(
+            (4..=16).contains(&b),
+            "register exponent b={b} out of range"
+        );
         HyperLogLog {
             b,
             registers: vec![0; 1 << b],
@@ -197,7 +200,7 @@ pub fn effective_diameter_from_nf(nf: &[f64], q: f64) -> f64 {
 ///
 /// `b` controls HyperLogLog accuracy (the paper's tool uses comparable
 /// register budgets); `seed` fixes the hash salt.
-pub fn social_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 {
+pub fn social_effective_diameter(san: &impl SanRead, q: f64, b: u8, seed: u64) -> f64 {
     let adj: Vec<Vec<u32>> = san
         .social_nodes()
         .map(|u| san.out_neighbors(u).iter().map(|v| v.0).collect())
@@ -210,7 +213,7 @@ pub fn social_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 {
 /// Effective **attribute** diameter (§4.1): the 90th-percentile attribute
 /// distance `min dist between members + 1`, computed on the lifted graph
 /// and shifted back by one.
-pub fn attribute_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 {
+pub fn attribute_effective_diameter(san: &impl SanRead, q: f64, b: u8, seed: u64) -> f64 {
     let n = san.num_social_nodes();
     let m = san.num_attr_nodes();
     if m == 0 {
@@ -247,7 +250,7 @@ pub fn attribute_effective_diameter(san: &San, q: f64, b: u8, seed: u64) -> f64 
 /// Returns `hist[d] = number of (sampled source, target) pairs at distance
 /// d ≥ 1`.
 pub fn sampled_distance_histogram(
-    san: &San,
+    san: &impl SanRead,
     num_sources: usize,
     rng: &mut SplitRng,
 ) -> Vec<u64> {
@@ -367,7 +370,7 @@ mod tests {
         }
         let d = social_effective_diameter(&san, 1.0, 10, 1);
         // Max distance is 10; q=1.0 should approach it.
-        assert!(d >= 8.0 && d <= 10.5, "d={d}");
+        assert!((8.0..=10.5).contains(&d), "d={d}");
         let d90 = social_effective_diameter(&san, 0.9, 10, 1);
         assert!(d90 <= d, "d90={d90} d={d}");
         assert!(d90 >= 5.0, "d90={d90}");

@@ -12,7 +12,7 @@
 //! * [`top_attrs_by_type`] — most popular attribute values per category
 //!   (used to pick the Fig. 14 columns).
 
-use san_graph::{AttrId, AttrType, San, SocialId};
+use san_graph::{AttrId, AttrType, SanRead, SocialId};
 use serde::{Deserialize, Serialize};
 
 /// Degree quartiles of the members of one attribute.
@@ -31,7 +31,7 @@ pub struct AttrDegreeStats {
 }
 
 /// Computes out-degree quartiles of each attribute's members (Fig. 14).
-pub fn degree_percentiles_by_attr(san: &San, attrs: &[AttrId]) -> Vec<AttrDegreeStats> {
+pub fn degree_percentiles_by_attr(san: &impl SanRead, attrs: &[AttrId]) -> Vec<AttrDegreeStats> {
     attrs
         .iter()
         .map(|&a| {
@@ -103,7 +103,7 @@ impl ClosureMix {
 /// Classifies each `(src, dst)` link against the state of `san` (which must
 /// *not* yet contain the links — the classification is about the network
 /// the requester saw).
-pub fn classify_closures(san: &San, links: &[(SocialId, SocialId)]) -> ClosureMix {
+pub fn classify_closures(san: &impl SanRead, links: &[(SocialId, SocialId)]) -> ClosureMix {
     let mut mix = ClosureMix::default();
     for &(u, v) in links {
         mix.total += 1;
@@ -127,7 +127,7 @@ pub fn classify_closures(san: &San, links: &[(SocialId, SocialId)]) -> ClosureMi
 
 /// The `n` most popular attribute values of a given type, by member count
 /// (descending, ties by id).
-pub fn top_attrs_by_type(san: &San, ty: AttrType, n: usize) -> Vec<AttrId> {
+pub fn top_attrs_by_type(san: &impl SanRead, ty: AttrType, n: usize) -> Vec<AttrId> {
     let mut attrs: Vec<AttrId> = san
         .attr_nodes()
         .filter(|&a| san.attr_type(a) == ty)

@@ -12,14 +12,14 @@
 //! * **Attribute assortativity** is the Pearson correlation of
 //!   `(social degree of a, attribute degree of u)` over attribute links.
 
-use san_graph::San;
+use san_graph::SanRead;
 use std::collections::BTreeMap;
 
 /// Social degree-correlation function `knn` (Fig. 7a).
 ///
 /// Returns `(out-degree k, mean in-degree of the out-neighbours of nodes
 /// with out-degree k)`, pooled over all such links, sorted by `k`.
-pub fn social_knn(san: &San) -> Vec<(u64, f64)> {
+pub fn social_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
     let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
     for u in san.social_nodes() {
         let k = san.out_degree(u) as u64;
@@ -41,7 +41,7 @@ pub fn social_knn(san: &San) -> Vec<(u64, f64)> {
 /// Social assortativity coefficient `r ∈ [−1, 1]` (Fig. 7b): Pearson
 /// correlation of source out-degree and destination in-degree over all
 /// directed links. `0.0` for degenerate networks.
-pub fn social_assortativity(san: &San) -> f64 {
+pub fn social_assortativity(san: &impl SanRead) -> f64 {
     let mut xs = Vec::with_capacity(san.num_social_links());
     let mut ys = Vec::with_capacity(san.num_social_links());
     for (u, v) in san.social_links() {
@@ -54,7 +54,7 @@ pub fn social_assortativity(san: &San) -> f64 {
 /// Attribute `knn` (Fig. 12a): for each social degree `k` of attribute
 /// nodes, the average attribute degree of the social members, pooled over
 /// all membership links of attributes with that degree.
-pub fn attribute_knn(san: &San) -> Vec<(u64, f64)> {
+pub fn attribute_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
     let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
     for a in san.attr_nodes() {
         let k = san.social_degree_of_attr(a) as u64;
@@ -76,7 +76,7 @@ pub fn attribute_knn(san: &San) -> Vec<(u64, f64)> {
 /// Attribute assortativity coefficient (Fig. 12b): Pearson correlation of
 /// `(social degree of attribute, attribute degree of member)` over all
 /// attribute links.
-pub fn attribute_assortativity(san: &San) -> f64 {
+pub fn attribute_assortativity(san: &impl SanRead) -> f64 {
     let mut xs = Vec::with_capacity(san.num_attr_links());
     let mut ys = Vec::with_capacity(san.num_attr_links());
     for (u, a) in san.attr_links() {

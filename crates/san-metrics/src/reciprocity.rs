@@ -11,13 +11,13 @@
 //! social neighbours `s` and common attribute neighbours `a`; the headline
 //! result is that any shared attribute roughly doubles reciprocation.
 
-use san_graph::San;
+use san_graph::SanRead;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Fraction of directed links `u → v` for which `v → u` also exists.
 /// Returns `0.0` for a network without social links.
-pub fn global_reciprocity(san: &San) -> f64 {
+pub fn global_reciprocity(san: &impl SanRead) -> f64 {
     let mut total = 0usize;
     let mut mutual = 0usize;
     for (u, v) in san.social_links() {
@@ -73,7 +73,10 @@ impl ReciprocityCell {
 ///
 /// # Panics
 /// Panics if `later` has fewer social nodes than `earlier`.
-pub fn fine_grained_reciprocity(earlier: &San, later: &San) -> Vec<ReciprocityCell> {
+pub fn fine_grained_reciprocity(
+    earlier: &impl SanRead,
+    later: &impl SanRead,
+) -> Vec<ReciprocityCell> {
     assert!(
         later.num_social_nodes() >= earlier.num_social_nodes(),
         "later snapshot must contain the earlier one"

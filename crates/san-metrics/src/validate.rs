@@ -9,7 +9,7 @@
 
 use crate::clustering::{clustering_by_degree, NodeSet};
 use san_graph::subsample::subsample_attributes;
-use san_graph::San;
+use san_graph::SanRead;
 use san_stats::SplitRng;
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +48,7 @@ pub fn series_gap(a: &[(u64, f64)], b: &[(u64, f64)]) -> (f64, usize) {
 /// distribution: subsample attribute links with `keep_prob` (the paper uses
 /// 0.5) and compare the per-degree attribute clustering coefficients.
 pub fn subsampling_validation(
-    san: &San,
+    san: &impl SanRead,
     keep_prob: f64,
     rng: &mut SplitRng,
 ) -> SubsampleComparison {
@@ -67,7 +67,7 @@ pub fn subsampling_validation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::{AttrType, SocialId};
+    use san_graph::{AttrType, San};
 
     /// A SAN with many same-size attribute communities, so the per-degree
     /// clustering curve is robust to 50% subsampling.

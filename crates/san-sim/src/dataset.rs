@@ -71,8 +71,7 @@ impl GooglePlus {
     /// Creates the generator; validates engine parameters.
     pub fn new(mut params: GooglePlusParams) -> Result<Self, san_core::ModelError> {
         params.engine.days = params.days;
-        params.engine.arrivals_per_day =
-            arrivals_schedule(params.days, params.base_arrivals);
+        params.engine.arrivals_per_day = arrivals_schedule(params.days, params.base_arrivals);
         params.engine.reciprocate_schedule = Some(reciprocity_schedule(params.days));
         params.engine.attr_declare_prob = params.attr_declare_prob;
         params.engine.reciprocate_attr_boost = 1.6;
@@ -174,7 +173,12 @@ mod tests {
         assert_eq!(counts.len(), 99);
         // Arrival spikes: day 1 and day 80 add ~4x the Phase II rate.
         let added = |d: usize| counts[d].social_nodes - counts[d - 1].social_nodes;
-        assert!(added(1) >= 3 * added(40), "d1={} d40={}", added(1), added(40));
+        assert!(
+            added(1) >= 3 * added(40),
+            "d1={} d40={}",
+            added(1),
+            added(40)
+        );
         assert!(added(80) >= 3 * added(40));
         data.truth.check_consistency().unwrap();
     }

@@ -11,18 +11,11 @@
 //! biggest employer node, whose members are disproportionately early
 //! adopters with organically higher degrees — exactly the Fig. 14 effect.
 
-use san_graph::{AttrId, AttrType, San};
+use san_graph::{AttrId, AttrType, SanRead};
 
 /// The named values used by the paper's Fig. 14 columns, most popular
 /// first.
-pub const EMPLOYERS: [&str; 6] = [
-    "Google",
-    "Microsoft",
-    "IBM",
-    "Infosys",
-    "Intel",
-    "Oracle",
-];
+pub const EMPLOYERS: [&str; 6] = ["Google", "Microsoft", "IBM", "Infosys", "Intel", "Oracle"];
 
 /// Major names, most popular first (CS leads among early adopters).
 pub const MAJORS: [&str; 6] = [
@@ -58,7 +51,7 @@ pub const CITIES: [&str; 6] = [
 /// social degree (descending, ties by id) and assigned the named values in
 /// order; overflow nodes get `"<type>-<rank>"`. Returns one label per
 /// attribute node, indexable by [`AttrId::index`].
-pub fn label_attributes(san: &San) -> Vec<String> {
+pub fn label_attributes(san: &impl SanRead) -> Vec<String> {
     let mut labels = vec![String::new(); san.num_attr_nodes()];
     for ty in [
         AttrType::School,
@@ -102,7 +95,7 @@ pub fn find_label(labels: &[String], name: &str) -> Option<AttrId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use san_graph::SocialId;
+    use san_graph::{San, SocialId};
 
     fn san_with_two_employers() -> San {
         let mut san = San::new();

@@ -1,0 +1,349 @@
+//! Workhorse samplers shared across the workspace: exponential and
+//! geometric waiting times, a bounded Zipf law, and a Walker alias table
+//! for repeated draws from a fixed weight vector.
+
+use crate::error::StatsError;
+use crate::rng::SplitRng;
+
+/// Exponential distribution with a given mean (sleep times, lifetimes,
+/// reciprocation delays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution; the mean must be positive and finite.
+    pub fn new(mean: f64) -> Result<Exponential, StatsError> {
+        if mean <= 0.0 || !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be > 0 and finite",
+            });
+        }
+        Ok(Exponential { mean })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample(&self, rng: &mut SplitRng) -> f64 {
+        // 1 - f64() is in (0, 1], so ln is finite.
+        -self.mean * (1.0 - rng.f64()).ln()
+    }
+}
+
+/// Geometric distribution on `{1, 2, 3, …}` with success probability `p`
+/// (mean `1/p`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates the distribution; requires `0 < p ≤ 1`.
+    pub fn new(p: f64) -> Result<Geometric, StatsError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                constraint: "must be in (0, 1]",
+            });
+        }
+        Ok(Geometric { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `1/p`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Draws one sample by inversion (`1` when `p = 1`).
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u = 1.0 - rng.f64(); // in (0, 1]
+        let k = (u.ln() / (1.0 - self.p).ln()).floor() + 1.0;
+        if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+}
+
+/// Bounded Zipf law: `p(k) ∝ k^{−s}` on `{1, …, n}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    s: f64,
+    cdf_table: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the law on `{1, …, n}`; requires `n ≥ 1` and finite `s ≥ 0`.
+    pub fn new(s: f64, n: usize) -> Result<Zipf, StatsError> {
+        if s < 0.0 || !s.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "s",
+                value: s,
+                constraint: "must be >= 0 and finite",
+            });
+        }
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let mut cdf_table = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf_table.push(total);
+        }
+        for c in &mut cdf_table {
+            *c /= total;
+        }
+        Ok(Zipf { s, cdf_table })
+    }
+
+    /// The exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// The support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf_table.len()
+    }
+
+    /// Probability mass at `k` (0 outside `1..=n`).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k as usize > self.cdf_table.len() {
+            return 0.0;
+        }
+        let idx = (k - 1) as usize;
+        if idx == 0 {
+            self.cdf_table[0]
+        } else {
+            self.cdf_table[idx] - self.cdf_table[idx - 1]
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
+        let u = rng.f64();
+        let idx = self.cdf_table.partition_point(|&c| c <= u);
+        (idx.min(self.cdf_table.len() - 1) + 1) as u64
+    }
+}
+
+/// Walker alias table: O(n) construction, O(1) weighted index sampling.
+///
+/// The staple for repeated draws from a fixed weight vector (attribute
+/// popularity, degree-proportional choices over frozen snapshots).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability per slot.
+    prob: Vec<f64>,
+    /// Fallback index per slot.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table. Fails when the weights are empty, contain a
+    /// negative or non-finite entry, or sum to zero. Zero-weight entries
+    /// are valid and are never sampled.
+    pub fn new(weights: &[f64]) -> Result<AliasTable, StatsError> {
+        if weights.is_empty() {
+            return Err(StatsError::InsufficientData {
+                needed: "at least one weight",
+            });
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if w < 0.0 || !w.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    name: "weight",
+                    value: w,
+                    constraint: "must be finite and >= 0",
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 || total.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                name: "total weight",
+                value: total,
+                constraint: "must be > 0",
+            });
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let heaviest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] -= 1.0 - prob[s];
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Rounding leftovers: positive-weight slots saturate to 1;
+        // zero-weight slots must still never sample themselves.
+        for &i in large.iter().chain(small.iter()) {
+            if weights[i] > 0.0 {
+                prob[i] = 1.0;
+            } else {
+                prob[i] = 0.0;
+                alias[i] = heaviest;
+            }
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no slots (never constructed — kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index proportionally to the construction weights.
+    pub fn sample(&self, rng: &mut SplitRng) -> usize {
+        let slot = rng.below(self.prob.len() as u64) as usize;
+        if rng.f64() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_and_validation() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        let d = Exponential::new(4.0).unwrap();
+        let mut rng = SplitRng::new(41);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_support_and_mean() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        let d = Geometric::new(0.25).unwrap();
+        let mut rng = SplitRng::new(42);
+        let n = 100_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!(k >= 1);
+            sum += k;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+        // Degenerate p=1.
+        assert_eq!(Geometric::new(1.0).unwrap().sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn zipf_ranks_and_ratios() {
+        assert!(Zipf::new(-1.0, 5).is_err());
+        assert!(Zipf::new(1.0, 0).is_err());
+        let d = Zipf::new(1.0, 100).unwrap();
+        let total: f64 = (1..=100u64).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // p(1)/p(2) = 2 for s = 1.
+        assert!((d.pmf(1) / d.pmf(2) - 2.0).abs() < 1e-9);
+        let mut rng = SplitRng::new(43);
+        for _ in 0..10_000 {
+            let k = d.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let t = AliasTable::new(&weights).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let mut rng = SplitRng::new(44);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index sampled");
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "i={i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_validation() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+        assert!(AliasTable::new(&[1.0]).is_ok());
+    }
+
+    #[test]
+    fn alias_table_single_and_uniform() {
+        let t = AliasTable::new(&[2.5]).unwrap();
+        let mut rng = SplitRng::new(45);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        let t = AliasTable::new(&[1.0; 7]).unwrap();
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count={c}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Continuous and discrete lognormal distributions — the best-fit family
+//! for Google+ social out/in-degrees and attribute degrees (§3.5, §4.1,
+//! Fig. 5/10a).
+//!
+//! The discrete variant is defined by **rounding** a continuous lognormal
+//! to the nearest integer and conditioning on the result being ≥ 1:
+//!
+//! ```text
+//! P(K = k) ∝ Φ(z(k + ½)) − Φ(z(k − ½)),   z(x) = (ln x − µ)/σ,  k ≥ 1
+//! ```
+//!
+//! This makes the pmf, CDF and sampler exactly consistent with each other
+//! (sampling draws the continuous variable and rounds), matches the
+//! `p(k) ∝ (1/k)·exp(−(ln k − µ)²/2σ²)` shape the paper plots, and keeps
+//! tail evaluation numerically stable through the survival function.
+
+use crate::error::StatsError;
+use crate::rng::SplitRng;
+use crate::special::{normal_pdf, normal_sf};
+
+fn validate(mu: f64, sigma: f64) -> Result<(), StatsError> {
+    if !mu.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "mu",
+            value: mu,
+            constraint: "must be finite",
+        });
+    }
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "sigma",
+            value: sigma,
+            constraint: "must be > 0 and finite",
+        });
+    }
+    Ok(())
+}
+
+/// A continuous lognormal: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    /// Location of `ln X`.
+    pub mu: f64,
+    /// Scale of `ln X`.
+    pub sigma: f64,
+}
+
+impl Lognormal {
+    /// Creates the distribution; `sigma` must be positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Lognormal, StatsError> {
+        validate(mu, sigma)?;
+        Ok(Lognormal { mu, sigma })
+    }
+
+    /// Maximum-likelihood fit: `µ̂, σ̂` are the mean and (population)
+    /// standard deviation of `ln x` over the strictly positive samples.
+    ///
+    /// Fails with [`StatsError::InsufficientData`] when fewer than two
+    /// samples are positive; a degenerate spread is clamped to a small
+    /// positive `σ̂` so constant data still yields a usable distribution.
+    pub fn fit(samples: &[f64]) -> Result<Lognormal, StatsError> {
+        let logs: Vec<f64> = samples
+            .iter()
+            .copied()
+            .filter(|&x| x > 0.0 && x.is_finite())
+            .map(f64::ln)
+            .collect();
+        if logs.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least two positive samples",
+            });
+        }
+        let n = logs.len() as f64;
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|y| (y - mu) * (y - mu)).sum::<f64>() / n;
+        let sigma = var.sqrt().max(1e-3);
+        Ok(Lognormal { mu, sigma })
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        normal_pdf(z) / (x * self.sigma)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SplitRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+}
+
+/// The rounded-and-conditioned discrete lognormal on `k ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteLognormal {
+    mu: f64,
+    sigma: f64,
+    /// `P(X ≥ ½)` of the parent continuous variable — the conditioning
+    /// normaliser.
+    norm: f64,
+}
+
+impl DiscreteLognormal {
+    /// Creates the distribution; `sigma` must be positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<DiscreteLognormal, StatsError> {
+        validate(mu, sigma)?;
+        let norm = normal_sf((0.5f64.ln() - mu) / sigma);
+        Ok(DiscreteLognormal { mu, sigma, norm })
+    }
+
+    /// Location parameter `µ` of `ln X`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ` of `ln X`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    #[inline]
+    fn z(&self, x: f64) -> f64 {
+        (x.ln() - self.mu) / self.sigma
+    }
+
+    /// Probability mass at `k` (0 for `k = 0`).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let kf = k as f64;
+        let hi = normal_sf(self.z(kf - 0.5));
+        let lo = normal_sf(self.z(kf + 0.5));
+        ((hi - lo) / self.norm).max(0.0)
+    }
+
+    /// Cumulative distribution `P(K ≤ k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let tail = normal_sf(self.z(k as f64 + 0.5)) / self.norm;
+        (1.0 - tail).clamp(0.0, 1.0)
+    }
+
+    /// Natural log of the pmf, stable deep into the tails.
+    ///
+    /// When the survival-function difference underflows (bins far out in
+    /// the tail are narrower than f64 cancellation allows), the density
+    /// approximation `φ(z(k))·Δln(x)/σ` is used instead, which keeps
+    /// log-likelihood comparisons finite.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let p = self.pmf(k);
+        if p > 0.0 && p.is_finite() {
+            return p.ln();
+        }
+        let kf = k as f64;
+        let z = self.z(kf);
+        let dlnx = (kf + 0.5).ln() - (kf - 0.5).ln();
+        // ln( φ(z)·Δlnx/σ / norm )
+        (-0.5 * z * z) - (2.0 * std::f64::consts::PI).sqrt().ln() + dlnx.ln()
+            - self.sigma.ln()
+            - self.norm.ln()
+    }
+
+    /// Total log-likelihood of a positive sample set.
+    pub fn log_likelihood(&self, samples: &[u64]) -> f64 {
+        samples
+            .iter()
+            .filter(|&&k| k >= 1)
+            .map(|&k| self.ln_pmf(k))
+            .sum()
+    }
+
+    /// Draws one sample (always ≥ 1): rounds a parent-lognormal draw,
+    /// redrawing the (usually rare) results below ½.
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
+        loop {
+            let x = (self.mu + self.sigma * rng.standard_normal()).exp();
+            if x >= 0.5 {
+                if x >= u64::MAX as f64 {
+                    return u64::MAX;
+                }
+                return x.round() as u64;
+            }
+        }
+    }
+
+    /// Maximum-likelihood fit over samples ≥ 1 (log-moment estimator; the
+    /// discretisation bias is far below the statistical noise at the
+    /// workspace's sample sizes).
+    pub fn fit(samples: &[u64]) -> Result<DiscreteLognormal, StatsError> {
+        let logs: Vec<f64> = samples
+            .iter()
+            .copied()
+            .filter(|&k| k >= 1)
+            .map(|k| (k as f64).ln())
+            .collect();
+        if logs.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least two samples >= 1",
+            });
+        }
+        let n = logs.len() as f64;
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|y| (y - mu) * (y - mu)).sum::<f64>() / n;
+        DiscreteLognormal::new(mu, var.sqrt().max(1e-3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DiscreteLognormal::new(1.0, 0.0).is_err());
+        assert!(DiscreteLognormal::new(1.0, -1.0).is_err());
+        assert!(Lognormal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_normalised_and_consistent_with_cdf() {
+        let d = DiscreteLognormal::new(1.2, 0.8).unwrap();
+        let mut total = 0.0;
+        for k in 1..100_000u64 {
+            total += d.pmf(k);
+            if k <= 50 {
+                let cdf_direct: f64 = (1..=k).map(|j| d.pmf(j)).sum();
+                assert!(
+                    (cdf_direct - d.cdf(k)).abs() < 1e-10,
+                    "k={k}: {cdf_direct} vs {}",
+                    d.cdf(k)
+                );
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let d = DiscreteLognormal::new(0.7, 0.9).unwrap();
+        let mut rng = SplitRng::new(11);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!(k >= 1);
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        for k in 1..=6u64 {
+            let emp = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            let expect = d.pmf(k);
+            assert!((emp - expect).abs() < 0.01, "k={k}: emp={emp} pmf={expect}");
+        }
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let d = DiscreteLognormal::new(1.5, 1.0).unwrap();
+        let mut rng = SplitRng::new(12);
+        let samples: Vec<u64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = DiscreteLognormal::fit(&samples).unwrap();
+        assert!((fit.mu() - 1.5).abs() < 0.1, "mu={}", fit.mu());
+        assert!((fit.sigma() - 1.0).abs() < 0.1, "sigma={}", fit.sigma());
+    }
+
+    #[test]
+    fn continuous_fit_recovers_parameters() {
+        let d = Lognormal::new(2.0, 0.5).unwrap();
+        let mut rng = SplitRng::new(13);
+        let samples: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = Lognormal::fit(&samples).unwrap();
+        assert!((fit.mu - 2.0).abs() < 0.02, "mu={}", fit.mu);
+        assert!((fit.sigma - 0.5).abs() < 0.02, "sigma={}", fit.sigma);
+    }
+
+    #[test]
+    fn fit_requires_data() {
+        assert!(DiscreteLognormal::fit(&[]).is_err());
+        assert!(DiscreteLognormal::fit(&[0, 0]).is_err());
+        assert!(DiscreteLognormal::fit(&[5]).is_err());
+        assert!(Lognormal::fit(&[1.0]).is_err());
+        assert!(Lognormal::fit(&[-1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn constant_data_clamps_sigma() {
+        let fit = DiscreteLognormal::fit(&[4, 4, 4, 4]).unwrap();
+        assert!(fit.sigma() > 0.0);
+        assert!((fit.mu() - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pmf_finite_far_into_tail() {
+        let d = DiscreteLognormal::new(1.0, 0.8).unwrap();
+        for &k in &[1u64, 10, 1_000, 1_000_000, 1_000_000_000_000] {
+            let lp = d.ln_pmf(k);
+            assert!(lp.is_finite(), "k={k} ln_pmf={lp}");
+            assert!(lp < 0.0);
+        }
+        assert_eq!(d.ln_pmf(0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn continuous_pdf_shape() {
+        let d = Lognormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        // Mode of LN(0,1) is e^{-1}.
+        let mode = (-1.0f64).exp();
+        assert!(d.pdf(mode) > d.pdf(1.5));
+        assert!(d.pdf(mode) > d.pdf(0.1));
+    }
+}

@@ -1,0 +1,20 @@
+//! Probability distributions implemented from first principles.
+//!
+//! Everything the paper's pipeline samples from or fits lives here:
+//!
+//! * [`lognormal`] — continuous and discrete lognormal (the best-fit family
+//!   for Google+ social and attribute degrees, §3.5/§4.1),
+//! * [`powerlaw`] — the discrete power law with Clauset-style MLE (the
+//!   best-fit family for attribute-node social degrees, Theorem 2),
+//! * [`powerlaw_cutoff`] — power law with exponential cutoff (the sleep
+//!   machinery of Leskovec et al. referenced by the Zhel baseline),
+//! * [`trunc_normal`] — the truncated-normal lifetime distribution of §5.3
+//!   plus the Mills-ratio quantities `g(γ)` and `δ(γ)` of Theorem 1,
+//! * [`common`] — workhorse samplers: exponential, geometric, bounded
+//!   Zipf, and a Walker alias table for repeated weighted draws.
+
+pub mod common;
+pub mod lognormal;
+pub mod powerlaw;
+pub mod powerlaw_cutoff;
+pub mod trunc_normal;

@@ -1,0 +1,319 @@
+//! The discrete power law `p(k) = k^{−α} / ζ(α, x_min)` with Clauset-style
+//! maximum-likelihood fitting — the best-fit family for the social degree
+//! of attribute nodes (§4.1, Fig. 10b, Theorem 2).
+
+use crate::error::StatsError;
+use crate::rng::SplitRng;
+use crate::special::{hurwitz_zeta, hurwitz_zeta_ds};
+
+/// Number of exact-CDF table entries kept for fast sampling; the analytic
+/// zeta tail handles draws beyond the table (rare for any `α > 1.3`).
+const TABLE_LEN: usize = 1024;
+
+/// A discrete power law on `k ≥ x_min`.
+#[derive(Debug, Clone)]
+pub struct DiscretePowerLaw {
+    alpha: f64,
+    xmin: u64,
+    zeta_norm: f64,
+    /// `cdf_table[i] = P(K ≤ xmin + i)`, exact.
+    cdf_table: Vec<f64>,
+}
+
+impl DiscretePowerLaw {
+    /// Creates the distribution; requires `alpha > 1` (normalisability)
+    /// and `xmin ≥ 1`.
+    pub fn new(alpha: f64, xmin: u64) -> Result<DiscretePowerLaw, StatsError> {
+        if alpha <= 1.0 || !alpha.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be > 1 and finite",
+            });
+        }
+        if xmin == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "xmin",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let zeta_norm = hurwitz_zeta(alpha, xmin as f64);
+        let mut cdf_table = Vec::with_capacity(TABLE_LEN);
+        let mut cum = 0.0;
+        for i in 0..TABLE_LEN {
+            let k = xmin + i as u64;
+            cum += (k as f64).powf(-alpha) / zeta_norm;
+            cdf_table.push(cum.min(1.0));
+        }
+        Ok(DiscretePowerLaw {
+            alpha,
+            xmin,
+            zeta_norm,
+            cdf_table,
+        })
+    }
+
+    /// The exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The support lower bound `x_min`.
+    pub fn xmin(&self) -> u64 {
+        self.xmin
+    }
+
+    /// Probability mass at `k` (0 below `x_min`).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k < self.xmin {
+            return 0.0;
+        }
+        (k as f64).powf(-self.alpha) / self.zeta_norm
+    }
+
+    /// Natural log of the pmf (`−∞` below `x_min`).
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k < self.xmin {
+            return f64::NEG_INFINITY;
+        }
+        -self.alpha * (k as f64).ln() - self.zeta_norm.ln()
+    }
+
+    /// Survival function `P(K ≥ k)` (exact, via the zeta ratio).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k <= self.xmin {
+            return 1.0;
+        }
+        hurwitz_zeta(self.alpha, k as f64) / self.zeta_norm
+    }
+
+    /// Total log-likelihood of the samples at or above `x_min`; samples
+    /// below `x_min` contribute `−∞` (they are outside the support).
+    pub fn log_likelihood(&self, samples: &[u64]) -> f64 {
+        samples.iter().map(|&k| self.ln_pmf(k)).sum()
+    }
+
+    /// Draws one sample: an exact inverse-CDF lookup in the precomputed
+    /// head table, falling back to doubling + binary search on the zeta
+    /// tail for draws beyond it.
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
+        let u = rng.f64();
+        let table_top = *self.cdf_table.last().expect("nonempty table");
+        if u < table_top {
+            // partition_point: first index with cdf > u.
+            let idx = self.cdf_table.partition_point(|&c| c <= u);
+            return self.xmin + idx as u64;
+        }
+        // Tail: find smallest k with P(K >= k + 1) <= 1 - u.
+        let tail_target = 1.0 - u;
+        let mut lo = self.xmin + TABLE_LEN as u64; // sf(lo) > tail_target here
+        let mut hi = lo * 2;
+        while self.sf(hi) > tail_target {
+            lo = hi;
+            hi *= 2;
+            if hi > 1 << 60 {
+                break;
+            }
+        }
+        // Invariant: sf(lo) > tail_target >= sf(hi); the answer is the
+        // largest k with sf(k) > tail_target.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.sf(mid) > tail_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Discrete MLE for `α` over the samples `≥ xmin`: solves
+    /// `−ζ′(α, x_min)/ζ(α, x_min) = mean(ln k)` by bisection.
+    ///
+    /// Fails with [`StatsError::InsufficientData`] when fewer than two
+    /// samples reach `x_min`; a tail concentrated entirely at `x_min`
+    /// clamps to the upper bisection bound instead of diverging.
+    pub fn fit(samples: &[u64], xmin: u64) -> Result<DiscretePowerLaw, StatsError> {
+        if xmin == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "xmin",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let tail: Vec<u64> = samples.iter().copied().filter(|&k| k >= xmin).collect();
+        if tail.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least two samples >= xmin",
+            });
+        }
+        let mean_ln = tail.iter().map(|&k| (k as f64).ln()).sum::<f64>() / tail.len() as f64;
+        let a = xmin as f64;
+        // h(α) = E_model[ln K] − mean_ln, strictly decreasing in α.
+        let h = |alpha: f64| -hurwitz_zeta_ds(alpha, a) / hurwitz_zeta(alpha, a) - mean_ln;
+        let (mut lo, mut hi) = (1.000_001f64, 25.0f64);
+        if h(hi) > 0.0 {
+            // Degenerate tail (all mass at/near xmin): steepest allowed law.
+            return DiscretePowerLaw::new(hi, xmin);
+        }
+        if h(lo) < 0.0 {
+            // Heavier than any normalisable law fits; shallowest allowed.
+            return DiscretePowerLaw::new(lo, xmin);
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if h(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        DiscretePowerLaw::new(0.5 * (lo + hi), xmin)
+    }
+
+    /// Kolmogorov–Smirnov distance between this law and the empirical CDF
+    /// of the samples `≥ xmin` (both conditioned on the tail).
+    pub fn ks_distance(&self, samples: &[u64]) -> f64 {
+        let mut tail: Vec<u64> = samples
+            .iter()
+            .copied()
+            .filter(|&k| k >= self.xmin)
+            .collect();
+        if tail.is_empty() {
+            return 1.0;
+        }
+        tail.sort_unstable();
+        let n = tail.len() as f64;
+        let mut max_d: f64 = 0.0;
+        let mut i = 0;
+        while i < tail.len() {
+            let k = tail[i];
+            let mut j = i;
+            while j < tail.len() && tail[j] == k {
+                j += 1;
+            }
+            let emp = j as f64 / n;
+            let model = 1.0 - self.sf(k + 1);
+            max_d = max_d.max((model - emp).abs());
+            i = j;
+        }
+        max_d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DiscretePowerLaw::new(1.0, 1).is_err());
+        assert!(DiscretePowerLaw::new(0.5, 1).is_err());
+        assert!(DiscretePowerLaw::new(f64::NAN, 1).is_err());
+        assert!(DiscretePowerLaw::new(2.0, 0).is_err());
+    }
+
+    #[test]
+    fn pmf_normalised() {
+        for &(alpha, xmin) in &[(1.5, 1u64), (2.2, 1), (2.5, 5)] {
+            let d = DiscretePowerLaw::new(alpha, xmin).unwrap();
+            let head: f64 = (xmin..xmin + 200_000).map(|k| d.pmf(k)).sum();
+            let tail = d.sf(xmin + 200_000);
+            assert!(
+                (head + tail - 1.0).abs() < 1e-9,
+                "alpha={alpha}: head+tail={}",
+                head + tail
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_matches_pmf_and_support() {
+        let d = DiscretePowerLaw::new(2.2, 3).unwrap();
+        let mut rng = SplitRng::new(21);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!(k >= 3);
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        for k in 3..=8u64 {
+            let emp = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (emp - d.pmf(k)).abs() < 0.01,
+                "k={k}: emp={emp} pmf={}",
+                d.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn tail_sampling_hits_beyond_table() {
+        // Shallow exponent: the table holds well under all the mass, so
+        // the zeta-tail path is exercised.
+        let d = DiscretePowerLaw::new(1.2, 1).unwrap();
+        let mut rng = SplitRng::new(22);
+        let mut beyond = 0;
+        for _ in 0..2_000 {
+            if d.sample(&mut rng) > TABLE_LEN as u64 {
+                beyond += 1;
+            }
+        }
+        assert!(beyond > 0, "tail path never taken");
+    }
+
+    #[test]
+    fn mle_recovers_alpha() {
+        for &alpha in &[1.8, 2.2, 3.0] {
+            let d = DiscretePowerLaw::new(alpha, 1).unwrap();
+            let mut rng = SplitRng::new(23);
+            let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+            let fit = DiscretePowerLaw::fit(&samples, 1).unwrap();
+            assert!(
+                (fit.alpha() - alpha).abs() < 0.1,
+                "alpha={alpha} fit={}",
+                fit.alpha()
+            );
+        }
+    }
+
+    #[test]
+    fn fit_ignores_below_xmin_and_requires_tail() {
+        let d = DiscretePowerLaw::new(2.5, 5).unwrap();
+        let mut rng = SplitRng::new(24);
+        let mut samples: Vec<u64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        samples.extend([1u64; 5_000]); // noise below xmin
+        let fit = DiscretePowerLaw::fit(&samples, 5).unwrap();
+        assert!((fit.alpha() - 2.5).abs() < 0.15, "alpha={}", fit.alpha());
+        assert!(DiscretePowerLaw::fit(&[1, 2, 3], 10).is_err());
+    }
+
+    #[test]
+    fn degenerate_tail_clamps() {
+        let fit = DiscretePowerLaw::fit(&[1, 1, 1, 1], 1).unwrap();
+        assert!((fit.alpha() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_small_for_true_model_large_for_wrong() {
+        let d = DiscretePowerLaw::new(2.0, 1).unwrap();
+        let mut rng = SplitRng::new(25);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(d.ks_distance(&samples) < 0.02);
+        let wrong = DiscretePowerLaw::new(3.5, 1).unwrap();
+        assert!(wrong.ks_distance(&samples) > 0.1);
+        assert_eq!(d.ks_distance(&[]), 1.0);
+    }
+
+    #[test]
+    fn ln_pmf_matches_pmf() {
+        let d = DiscretePowerLaw::new(2.3, 2).unwrap();
+        for k in [2u64, 10, 1000] {
+            assert!((d.ln_pmf(k) - d.pmf(k).ln()).abs() < 1e-12);
+        }
+        assert_eq!(d.ln_pmf(1), f64::NEG_INFINITY);
+    }
+}

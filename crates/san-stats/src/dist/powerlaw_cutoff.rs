@@ -1,0 +1,137 @@
+//! Power law with exponential cutoff: `p(k) ∝ k^{−α}·e^{−k/λ}` on `k ≥ 1`.
+//!
+//! This is the sleep/gap distribution family of Leskovec et al.'s network
+//! evolution machinery, which the Zhel baseline (§6) inherits. The
+//! exponential cutoff makes every moment finite, so the pmf table can be
+//! truncated at a point of provably negligible tail mass.
+
+use crate::error::StatsError;
+use crate::rng::SplitRng;
+
+/// A discrete power law with exponential cutoff.
+#[derive(Debug, Clone)]
+pub struct PowerLawCutoff {
+    alpha: f64,
+    lambda: f64,
+    /// Exact CDF over the (truncated) support starting at 1.
+    cdf_table: Vec<f64>,
+}
+
+impl PowerLawCutoff {
+    /// Creates `p(k) ∝ k^{−α}·e^{−k/λ}`; requires `α ≥ 0` and `λ > 0`.
+    ///
+    /// (Unlike the pure power law, `α ≤ 1` is fine here — the cutoff
+    /// normalises the distribution.)
+    pub fn new(alpha: f64, lambda: f64) -> Result<PowerLawCutoff, StatsError> {
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be >= 0 and finite",
+            });
+        }
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                constraint: "must be > 0 and finite",
+            });
+        }
+        // Beyond ~50λ the residual mass is < e^{-50}; cap the table there.
+        let support = ((50.0 * lambda).ceil() as usize).clamp(64, 4_000_000);
+        let mut weights = Vec::with_capacity(support);
+        let mut total = 0.0;
+        for k in 1..=support {
+            let kf = k as f64;
+            let w = kf.powf(-alpha) * (-kf / lambda).exp();
+            total += w;
+            weights.push(total);
+        }
+        let cdf_table = weights.into_iter().map(|c| c / total).collect();
+        Ok(PowerLawCutoff {
+            alpha,
+            lambda,
+            cdf_table,
+        })
+    }
+
+    /// The power-law exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The cutoff scale `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass at `k` (0 outside the effective support).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let idx = (k - 1) as usize;
+        match idx {
+            0 => self.cdf_table[0],
+            _ if idx < self.cdf_table.len() => self.cdf_table[idx] - self.cdf_table[idx - 1],
+            _ => 0.0,
+        }
+    }
+
+    /// Draws one sample via inverse-CDF binary search.
+    pub fn sample(&self, rng: &mut SplitRng) -> u64 {
+        let u = rng.f64();
+        let idx = self.cdf_table.partition_point(|&c| c <= u);
+        (idx.min(self.cdf_table.len() - 1) + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PowerLawCutoff::new(-0.5, 1.0).is_err());
+        assert!(PowerLawCutoff::new(1.0, 0.0).is_err());
+        assert!(PowerLawCutoff::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_normalised() {
+        let d = PowerLawCutoff::new(1.5, 20.0).unwrap();
+        let total: f64 = (1..=5_000u64).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn cutoff_suppresses_tail_relative_to_pure_power_law() {
+        let d = PowerLawCutoff::new(1.5, 10.0).unwrap();
+        // Pure power-law ratio p(50)/p(5) = (50/5)^{-1.5} = 10^{-1.5}.
+        let pure_ratio = 10f64.powf(-1.5);
+        let ratio = d.pmf(50) / d.pmf(5);
+        assert!(ratio < pure_ratio * 0.2, "ratio={ratio}");
+    }
+
+    #[test]
+    fn sampler_matches_pmf_and_mean() {
+        let d = PowerLawCutoff::new(1.0, 8.0).unwrap();
+        let mut rng = SplitRng::new(31);
+        let n = 100_000;
+        let mut sum = 0u64;
+        let mut ones = 0usize;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!(k >= 1);
+            sum += k;
+            if k == 1 {
+                ones += 1;
+            }
+        }
+        let emp_mean = sum as f64 / n as f64;
+        let true_mean: f64 = (1..=2_000u64).map(|k| k as f64 * d.pmf(k)).sum();
+        assert!((emp_mean - true_mean).abs() < 0.05 * true_mean);
+        let emp_p1 = ones as f64 / n as f64;
+        assert!((emp_p1 - d.pmf(1)).abs() < 0.01);
+    }
+}

@@ -1,0 +1,197 @@
+//! The truncated normal distribution `N(µ, σ²)` conditioned on `X ≥ 0` —
+//! the lifetime distribution of the paper's generative model (§5.3), and
+//! the lever behind Theorem 1's lognormal out-degrees.
+//!
+//! With `γ = −µ/σ` (the truncation point in standard units), the classical
+//! moment formulas are
+//!
+//! ```text
+//! E[X]   = µ + σ·g(γ)          g(γ) = φ(γ) / (1 − Φ(γ))
+//! Var[X] = σ²·(1 − δ(γ))       δ(γ) = g(γ)·(g(γ) − γ)
+//! ```
+//!
+//! `g` is the Mills-ratio hazard of the standard normal; both functions are
+//! exported because Theorem 1 quotes them directly.
+
+use crate::error::StatsError;
+use crate::rng::SplitRng;
+use crate::special::{normal_pdf, normal_sf};
+
+/// The standard-normal hazard `g(γ) = φ(γ)/(1 − Φ(γ))`.
+///
+/// Evaluated through [`normal_sf`] so it stays accurate deep into the
+/// truncation regime (`γ ≫ 0`), where naive `1 − Φ` evaluation loses all
+/// precision.
+pub fn mills_g(gamma: f64) -> f64 {
+    normal_pdf(gamma) / normal_sf(gamma)
+}
+
+/// The variance-shrink factor `δ(γ) = g(γ)·(g(γ) − γ)` of the truncated
+/// normal; `Var = σ²(1 − δ)`.
+pub fn delta(gamma: f64) -> f64 {
+    let g = mills_g(gamma);
+    g * (g - gamma)
+}
+
+/// A normal distribution truncated to `[0, ∞)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates `N(mu, sigma²) | X ≥ 0`; `sigma` must be positive and both
+    /// parameters finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<TruncatedNormal, StatsError> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be > 0 and finite",
+            });
+        }
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "must be finite",
+            });
+        }
+        Ok(TruncatedNormal { mu, sigma })
+    }
+
+    /// Location parameter of the parent normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter of the parent normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The truncation point in standard units, `γ = −µ/σ`.
+    pub fn gamma(&self) -> f64 {
+        -self.mu / self.sigma
+    }
+
+    /// Analytic mean `µ + σ·g(γ)`.
+    pub fn mean(&self) -> f64 {
+        self.mu + self.sigma * mills_g(self.gamma())
+    }
+
+    /// Analytic variance `σ²·(1 − δ(γ))`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma * (1.0 - delta(self.gamma()))
+    }
+
+    /// Draws one sample.
+    ///
+    /// Shallow truncations (`γ ≤ 0.5`, ≥ 30 % acceptance) use plain
+    /// rejection of parent-normal draws; deep truncations use Robert's
+    /// exponential-proposal rejection on the standardised tail, which keeps
+    /// the expected number of draws O(1) for any `γ`.
+    pub fn sample(&self, rng: &mut SplitRng) -> f64 {
+        let gamma = self.gamma();
+        if gamma <= 0.5 {
+            loop {
+                let x = self.mu + self.sigma * rng.standard_normal();
+                if x >= 0.0 {
+                    return x;
+                }
+            }
+        }
+        // Robert (1995): sample Z ~ N(0,1) | Z >= gamma.
+        let a = (gamma + (gamma * gamma + 4.0).sqrt()) / 2.0;
+        loop {
+            let u1 = rng.f64();
+            let z = gamma - (1.0 - u1).ln() / a;
+            let d = z - a;
+            if rng.f64() <= (-0.5 * d * d).exp() {
+                return self.mu + self.sigma * z;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_cdf;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(TruncatedNormal::new(1.0, 0.0).is_err());
+        assert!(TruncatedNormal::new(1.0, -2.0).is_err());
+        assert!(TruncatedNormal::new(f64::NAN, 1.0).is_err());
+        assert!(TruncatedNormal::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mills_g_matches_definition_in_bulk() {
+        for &g in &[-2.0, -0.5, 0.0, 0.5, 1.5] {
+            let direct = normal_pdf(g) / (1.0 - normal_cdf(g));
+            assert!((mills_g(g) - direct).abs() < 1e-6, "gamma={g}");
+        }
+    }
+
+    #[test]
+    fn mills_g_tail_asymptote() {
+        // g(γ) → γ + 1/γ − ... for large γ; check it stays close.
+        for &g in &[4.0, 6.0, 8.0] {
+            let approx = g + 1.0 / g;
+            assert!(
+                (mills_g(g) - approx).abs() / approx < 0.02,
+                "gamma={g} g={}",
+                mills_g(g)
+            );
+        }
+    }
+
+    #[test]
+    fn delta_shrinks_variance_between_zero_and_one() {
+        for &g in &[-3.0, -1.0, 0.0, 1.0, 3.0, 6.0] {
+            let d = delta(g);
+            assert!((0.0..1.0).contains(&d), "gamma={g} delta={d}");
+        }
+    }
+
+    #[test]
+    fn untruncated_regime_matches_parent_moments() {
+        // mu >> 0: truncation is irrelevant.
+        let t = TruncatedNormal::new(50.0, 2.0).unwrap();
+        assert!((t.mean() - 50.0).abs() < 1e-6);
+        assert!((t.variance() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_match_moments_shallow_and_deep() {
+        for &(mu, sigma) in &[(8.0, 6.0), (0.0, 1.0), (-3.0, 1.0), (-6.0, 0.5)] {
+            let t = TruncatedNormal::new(mu, sigma).unwrap();
+            let mut rng = SplitRng::new(7);
+            let n = 50_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = t.sample(&mut rng);
+                assert!(x >= 0.0, "negative sample at mu={mu}");
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sum_sq / n as f64 - mean * mean;
+            let tol = 0.05 * t.mean().max(0.05);
+            assert!(
+                (mean - t.mean()).abs() < tol,
+                "mu={mu}: mean {mean} vs {}",
+                t.mean()
+            );
+            assert!(
+                (var - t.variance()).abs() < 0.1 * t.variance().max(0.05),
+                "mu={mu}: var {var} vs {}",
+                t.variance()
+            );
+        }
+    }
+}

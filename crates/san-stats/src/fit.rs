@@ -141,10 +141,7 @@ pub fn vuong_test(samples: &[u64]) -> Result<VuongResult, StatsError> {
     }
     let ln = DiscreteLognormal::fit(&kept)?;
     let pl = DiscretePowerLaw::fit(&kept, 1)?;
-    let diffs: Vec<f64> = kept
-        .iter()
-        .map(|&k| ln.ln_pmf(k) - pl.ln_pmf(k))
-        .collect();
+    let diffs: Vec<f64> = kept.iter().map(|&k| ln.ln_pmf(k) - pl.ln_pmf(k)).collect();
     let n = diffs.len() as f64;
     let mean = crate::summary::mean(&diffs);
     let sd = crate::summary::std_dev(&diffs);
@@ -238,7 +235,7 @@ mod tests {
         let mut rng = SplitRng::new(43);
         let mut samples: Vec<u64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
         let n_positive = samples.len();
-        samples.extend(std::iter::repeat(0).take(5_000));
+        samples.extend(std::iter::repeat_n(0, 5_000));
         let fit = fit_degree_distribution(&samples).unwrap();
         assert_eq!(fit.n, n_positive);
     }

@@ -26,10 +26,7 @@ pub fn empirical_pmf(samples: &[u64]) -> Vec<(u64, f64)> {
         *counts.entry(s).or_insert(0) += 1;
     }
     let n = samples.len() as f64;
-    counts
-        .into_iter()
-        .map(|(v, c)| (v, c as f64 / n))
-        .collect()
+    counts.into_iter().map(|(v, c)| (v, c as f64 / n)).collect()
 }
 
 /// Complementary cumulative distribution `P(X ≥ x)` over the observed
@@ -81,7 +78,11 @@ pub fn log_binned_pdf(samples: &[u64], bins_per_decade: usize) -> LogBinnedPdf {
         let idx = (x.ln() / ratio.ln()).floor() as usize;
         let idx = idx.min(counts.len() - 1);
         // Guard against floating point placing x just below edges[idx].
-        let idx = if x < edges[idx] && idx > 0 { idx - 1 } else { idx };
+        let idx = if x < edges[idx] && idx > 0 {
+            idx - 1
+        } else {
+            idx
+        };
         counts[idx] += 1;
     }
     let n = positive.len() as f64;

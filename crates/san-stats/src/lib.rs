@@ -73,7 +73,5 @@ pub mod prelude {
     pub use crate::histogram::{ccdf, empirical_pmf, log_binned_pdf};
     pub use crate::hoeffding::hoeffding_samples;
     pub use crate::rng::SplitRng;
-    pub use crate::summary::{
-        mean, median, ols, pearson, percentile, std_dev, variance, OlsFit,
-    };
+    pub use crate::summary::{mean, median, ols, pearson, percentile, std_dev, variance, OlsFit};
 }

@@ -126,7 +126,7 @@ impl SplitRng {
     /// weight is not strictly positive.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) || !total.is_finite() {
+        if total <= 0.0 || !total.is_finite() {
             return None;
         }
         let mut target = self.f64() * total;

@@ -135,7 +135,11 @@ pub fn ols(xs: &[f64], ys: &[f64]) -> Option<OlsFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy <= 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(OlsFit {
         slope,
         intercept,

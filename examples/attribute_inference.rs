@@ -29,9 +29,7 @@ fn main() {
         if n == 0 {
             continue;
         }
-        println!(
-            "  {ty:>9}: friend-vote {vote:.3}  prior {prior:.3}  ({n} users)"
-        );
+        println!("  {ty:>9}: friend-vote {vote:.3}  prior {prior:.3}  ({n} users)");
     }
 
     // 2. Communities with and without the attribute structure.

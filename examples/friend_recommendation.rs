@@ -27,8 +27,7 @@ fn main() {
         ("structure-only", RecommenderWeights::structure_only()),
         ("attribute-aware", RecommenderWeights::attribute_aware()),
     ] {
-        let (precision, users) =
-            evaluate_precision(&earlier, later, 5, weights, 400, &mut rng);
+        let (precision, users) = evaluate_precision(&earlier, later, 5, weights, 400, &mut rng);
         println!("{name:>16}: precision@5 = {precision:.4} over {users} active users");
     }
 

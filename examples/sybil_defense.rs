@@ -7,8 +7,7 @@
 //! ```
 
 use gplus_san::apps::sybil::{
-    attribute_discounted_attack_edges, compromise_uniform, sybil_curve,
-    SybilLimitConfig,
+    attribute_discounted_attack_edges, compromise_uniform, sybil_curve, SybilLimitConfig,
 };
 use gplus_san::graph::degree::{bound_degrees, to_undirected};
 use gplus_san::model::model::{SanModel, SanModelParams};

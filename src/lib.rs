@@ -14,8 +14,22 @@
 //! * [`apps`] (`san-apps`) — SybilLimit / anonymity / recommendation
 //!   application benchmarks (§6.2, §7).
 //!
+//! ## Read path: `SanRead` and frozen snapshots
+//!
+//! The pipeline is write-once, read-many: generators and the crawler
+//! *grow* a mutable [`graph::San`]; every analytic in [`metrics`] and
+//! [`apps`] then only *reads* it. All analytic entry points are generic
+//! over [`graph::SanRead`], with two interchangeable implementations:
+//!
+//! * [`graph::San`] — the mutable adjacency-list network,
+//! * [`graph::CsrSan`] — an immutable compressed-sparse-row snapshot
+//!   (`San::freeze()` / `SanTimeline::snapshot_csr(day)`): sorted
+//!   contiguous neighbour rows, binary-search membership, zero-allocation
+//!   `Γs(u)`, and `Send + Sync` sharing for parallel metric sweeps.
+//!
 //! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
-//! the experiment harness that regenerates every figure and table.
+//! the experiment harness that regenerates every figure and table (its
+//! `bench_graph` suite measures the San-vs-CsrSan read-path difference).
 
 pub use san_apps as apps;
 pub use san_core as model;

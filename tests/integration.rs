@@ -21,7 +21,11 @@ fn simulate_crawl_measure_pipeline() {
     let data = GooglePlus::at_scale(10).generate(3);
     let crawl = data.crawl_final();
     // Crawl quality (paper: >= 70% coverage).
-    assert!(crawl.node_coverage > 0.7, "coverage={}", crawl.node_coverage);
+    assert!(
+        crawl.node_coverage > 0.7,
+        "coverage={}",
+        crawl.node_coverage
+    );
     crawl.san.check_consistency().unwrap();
 
     // Degree families (paper Figs. 5/10): lognormal social degrees,
@@ -111,13 +115,12 @@ fn sybil_fidelity_ordering() {
     let counts = [n / 100, n / 50, n / 25];
     let cfg = SybilLimitConfig::default();
     let mut rng = SplitRng::new(11);
-    let curve =
-        |san: &gplus_san::graph::San, rng: &mut SplitRng| -> Vec<f64> {
-            sybil_curve(san, cfg, &counts, rng)
-                .into_iter()
-                .map(|r| r.sybil_identities as f64)
-                .collect()
-        };
+    let curve = |san: &gplus_san::graph::San, rng: &mut SplitRng| -> Vec<f64> {
+        sybil_curve(san, cfg, &counts, rng)
+            .into_iter()
+            .map(|r| r.sybil_identities as f64)
+            .collect()
+    };
     let g = curve(&google, &mut rng);
     let o = curve(&ours, &mut rng);
     let z = curve(&zhel, &mut rng);
@@ -166,6 +169,68 @@ fn recommendation_replay() {
         "attribute features must not hurt: attr={p_attr} struct={p_struct}"
     );
     assert!(p_attr > 0.0);
+}
+
+/// Frozen CSR snapshots are drop-in replacements for the mutable graph
+/// across the whole measurement surface: identical metrics, identical
+/// application results, and thread-shareable for parallel sweeps.
+#[test]
+fn frozen_snapshots_measure_identically_and_in_parallel() {
+    use gplus_san::graph::CsrSan;
+    use gplus_san::metrics::jdd::{social_assortativity, social_knn};
+    use gplus_san::metrics::{attr_density, social_density};
+
+    let data = GooglePlus::at_scale(8).generate(21);
+    let crawl = data.crawl_final();
+    let live = &crawl.san;
+    let frozen: CsrSan = live.freeze();
+
+    // Deterministic metrics agree exactly through either representation.
+    assert_eq!(global_reciprocity(live), global_reciprocity(&frozen));
+    assert_eq!(social_density(live), social_density(&frozen));
+    assert_eq!(attr_density(live), attr_density(&frozen));
+    assert_eq!(social_knn(live), social_knn(&frozen));
+    // Assortativity sums floats in link-iteration order, which differs
+    // between insertion-ordered and sorted CSR rows: equal to rounding.
+    assert!((social_assortativity(live) - social_assortativity(&frozen)).abs() < 1e-12);
+    assert_eq!(
+        average_clustering_exact(live, NodeSet::Social),
+        average_clustering_exact(&frozen, NodeSet::Social)
+    );
+    assert_eq!(
+        average_clustering_exact(live, NodeSet::Attr),
+        average_clustering_exact(&frozen, NodeSet::Attr)
+    );
+
+    // Seeded stochastic pipelines agree too (identical RNG consumption).
+    let mut rng_a = SplitRng::new(33);
+    let mut rng_b = SplitRng::new(33);
+    let counts = [live.num_social_nodes() / 50];
+    let cfg = SybilLimitConfig::default();
+    let a = sybil_curve(live, cfg, &counts, &mut rng_a);
+    let b = sybil_curve(&frozen, cfg, &counts, &mut rng_b);
+    assert_eq!(a[0].attack_edges, b[0].attack_edges);
+
+    // Timeline → CSR snapshots directly, fanned across threads (CsrSan is
+    // Send + Sync): a miniature parallel per-day metric sweep.
+    let days = [40u32, 70, 98];
+    let reciprocities: Vec<(u32, f64)> = std::thread::scope(|scope| {
+        let timeline = &data.timeline;
+        let handles: Vec<_> = days
+            .iter()
+            .map(|&day| scope.spawn(move || (day, global_reciprocity(&timeline.snapshot_csr(day)))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    for (day, r) in &reciprocities {
+        let serial = global_reciprocity(&data.timeline.snapshot_at(*day));
+        assert_eq!(*r, serial, "day {day}");
+    }
+    // Reciprocity declines across the sampled days (Fig. 4a shape).
+    assert!(reciprocities[2].1 < reciprocities[0].1);
 }
 
 /// Serialisation round-trip of a full crawled snapshot.

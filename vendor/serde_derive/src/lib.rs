@@ -1,0 +1,457 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! workspace-local `serde` stand-in.
+//!
+//! The registry is unreachable from the build environment, so instead of the
+//! real `serde_derive` (which depends on `syn`/`quote`) this crate parses the
+//! derive input by hand from the raw token stream. It supports exactly the
+//! shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes and longer),
+//! * enums with unit, tuple and struct variants,
+//!
+//! all without generic parameters. Field/variant attributes (doc comments
+//! included) are skipped; `#[serde(...)]` customisation is intentionally not
+//! supported — the workspace does not use it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips any number of leading `#[...]` attributes starting at `i`.
+fn skip_attrs(trees: &[TokenTree], mut i: usize) -> usize {
+    while i < trees.len() && is_punct(&trees[i], '#') {
+        i += 1; // '#'
+        if i < trees.len()
+            && matches!(&trees[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(trees: &[TokenTree], mut i: usize) -> usize {
+    if i < trees.len() {
+        if let TokenTree::Ident(id) = &trees[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if i < trees.len()
+                    && matches!(&trees[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type expression until a top-level comma (or end), starting at `i`.
+/// Angle-bracket depth is tracked so `Vec<(u32, u32)>` stays one field.
+fn skip_type(trees: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let trees: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        i = skip_attrs(&trees, i);
+        i = skip_vis(&trees, i);
+        if i >= trees.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &trees[i] else {
+            panic!("serde_derive: expected field name, got {:?}", trees[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            i < trees.len() && is_punct(&trees[i], ':'),
+            "serde_derive: expected ':' after field name"
+        );
+        i += 1;
+        i = skip_type(&trees, i);
+        if i < trees.len() && is_punct(&trees[i], ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant `( Ty, Ty, ... )`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = group.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < trees.len() {
+        i = skip_attrs(&trees, i);
+        i = skip_vis(&trees, i);
+        if i >= trees.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&trees, i);
+        if i < trees.len() && is_punct(&trees[i], ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let trees: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        i = skip_attrs(&trees, i);
+        if i >= trees.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &trees[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", trees[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if i < trees.len() && is_punct(&trees[i], ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&trees, 0);
+    i = skip_vis(&trees, i);
+    let TokenTree::Ident(kw) = &trees[i] else {
+        panic!("serde_derive: expected 'struct' or 'enum'");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &trees[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < trees.len() && is_punct(&trees[i], '<') {
+        panic!("serde_derive: generic types are not supported by the vendored shim");
+    }
+    match kw.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde_derive: malformed enum"),
+        },
+        other => panic!("serde_derive: cannot derive for '{other}'"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                format!(
+                                    "::serde::Value::Seq(vec![{}])",
+                                    binds
+                                        .iter()
+                                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"map for struct {name}\"))?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| {
+                    format!("::serde::Deserialize::from_value(::serde::seq_get(__s, {k})?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __s = __v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence for struct {name}\"))?;\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0})", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!("return Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?));")
+                            } else {
+                                let inits: Vec<String> = (0..*arity)
+                                    .map(|k| format!("::serde::Deserialize::from_value(::serde::seq_get(__s, {k})?)?"))
+                                    .collect();
+                                format!(
+                                    "let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence for variant {vn}\"))?;\n\
+                                     return Ok({name}::{vn}({}));",
+                                    inits.join(", ")
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {{ {body} }}"))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(__fm, \"{f}\")?)?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __fm = __payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map for variant {vn}\"))?;\n\
+                                     return Ok({name}::{vn} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let Some(__s) = __v.as_str() {{\n\
+                             match __s {{ {unit} _ => {{}} }}\n\
+                         }}\n\
+                         if let Some(__m) = __v.as_map() {{\n\
+                             if __m.len() == 1 {{\n\
+                                 let (__tag, __payload) = (&__m[0].0, &__m[0].1);\n\
+                                 let _ = __payload;\n\
+                                 match __tag.as_str() {{ {payload} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::expected(\"a variant of {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                payload = payload_arms.join("\n"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
