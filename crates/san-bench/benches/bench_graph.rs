@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::traverse::bfs_directed;
-use san_graph::{CsrSan, San, SanRead, SocialId};
+use san_graph::{CsrSan, San, SanRead, SanTimeline, SocialId};
+use san_metrics::evolution::evolve_metric_parallel;
+use san_metrics::reciprocity::global_reciprocity;
 use san_stats::SplitRng;
 
 fn build_random_san(n: u32, links_per_node: u32, seed: u64) -> San {
@@ -190,9 +192,62 @@ fn bench_timeline_replay(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Full-timeline evolution sweep on a ~10k-node, 98-day fixture: the access
+// pattern behind every evolution figure. Three strategies over the same
+// timeline and the same per-day metric (global reciprocity, an O(E) read):
+//
+//  * replay_per_day — `snapshot_csr(day)` for every day: replays the log
+//    prefix from day 0 and re-freezes from scratch each time (quadratic);
+//  * delta_freeze — `for_each_snapshot(1)`: each day's CSR is patched from
+//    the previous day's (near-linear, zero snapshot clones);
+//  * streamed_parallel — `evolve_metric_parallel(step=1, 4 threads)`:
+//    delta-frozen snapshots streamed through a bounded channel to workers.
+// ---------------------------------------------------------------------------
+
+fn ten_k_timeline() -> SanTimeline {
+    // 98 days × ~102 arrivals ≈ 10k social nodes.
+    let (tl, _) = SanModel::new(SanModelParams::paper_default(98, 102))
+        .unwrap()
+        .generate(9);
+    tl
+}
+
+fn bench_timeline_sweep(c: &mut Criterion) {
+    let tl = ten_k_timeline();
+    let max_day = tl.max_day().unwrap();
+    let mut group = c.benchmark_group("graph/timeline_sweep");
+    group.sample_size(10);
+    group.bench_function("replay_per_day/step1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for day in 0..=max_day {
+                acc += global_reciprocity(&tl.snapshot_csr(day));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("delta_freeze/step1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            tl.for_each_snapshot(1, |_, snap| acc += global_reciprocity(snap));
+            black_box(acc)
+        });
+    });
+    group.bench_function("streamed_parallel/step1_4threads", |b| {
+        b.iter(|| {
+            let series =
+                evolve_metric_parallel(&tl, "recip", 1, 4, |_, snap| global_reciprocity(snap));
+            black_box(series.values.len())
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay
+    targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay,
+        bench_timeline_sweep
 }
 criterion_main!(benches);

@@ -1,7 +1,12 @@
 //! §2.2 experiments: growth curves (Figs. 2–3) and crawl coverage.
+//!
+//! The crawled curves need a per-day BFS crawl (the crawler's view *is*
+//! the measurement), but the ground-truth overlays are counter-only, so
+//! they ride [`evolve_metric_counts`] — the non-freezing count path of the
+//! snapshot pipeline — instead of freezing or crawling anything.
 
 use crate::{banner, downsample, print_series_u, Ctx};
-use san_metrics::evolution::PhaseBounds;
+use san_metrics::evolution::{evolve_metric_counts, PhaseBounds};
 
 /// Figure 2: growth in the number of social and attribute nodes.
 ///
@@ -19,6 +24,7 @@ pub fn fig2(ctx: &Ctx) {
     print_series_u("day", "nodes", &downsample(&social, 20));
     println!("(b) attribute nodes");
     print_series_u("day", "nodes", &downsample(&attrs, 20));
+    print_truth_overlay(ctx, "nodes", |c| c.social_nodes as f64);
     phase_deltas("social nodes", &social);
 }
 
@@ -35,7 +41,22 @@ pub fn fig3(ctx: &Ctx) {
     print_series_u("day", "links", &downsample(&social, 20));
     println!("(b) attribute links");
     print_series_u("day", "links", &downsample(&attrs, 20));
+    print_truth_overlay(ctx, "links", |c| c.social_links as f64);
     phase_deltas("social links", &social);
+}
+
+/// Prints the ground-truth counterpart of a crawled growth curve through
+/// the non-freezing counter path of the snapshot pipeline.
+fn print_truth_overlay(ctx: &Ctx, unit: &str, counter: impl FnMut(&san_graph::DayCounts) -> f64) {
+    let truth = evolve_metric_counts(&ctx.data.timeline, "ground truth", 1, counter);
+    println!("(a, ground truth — counter path, zero freezes)");
+    let rows: Vec<(u64, f64)> = truth
+        .days
+        .iter()
+        .zip(&truth.values)
+        .map(|(d, v)| (u64::from(*d), *v))
+        .collect();
+    print_series_u("day", unit, &downsample(&rows, 20));
 }
 
 /// §2.2 crawl-coverage claim: the BFS crawler over public in+out lists

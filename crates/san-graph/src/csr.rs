@@ -26,22 +26,25 @@ use crate::san::San;
 use std::borrow::Cow;
 
 /// An immutable, cache-friendly SAN snapshot in CSR form.
+///
+/// Fields are `pub(crate)` so [`crate::delta::DeltaFreezer`] can patch a
+/// snapshot with one day's events without a full re-freeze.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrSan {
-    out_off: Vec<u32>,
-    out_dst: Vec<SocialId>,
-    in_off: Vec<u32>,
-    in_src: Vec<SocialId>,
-    ua_off: Vec<u32>,
-    ua_attr: Vec<AttrId>,
-    am_off: Vec<u32>,
-    am_user: Vec<SocialId>,
+    pub(crate) out_off: Vec<u32>,
+    pub(crate) out_dst: Vec<SocialId>,
+    pub(crate) in_off: Vec<u32>,
+    pub(crate) in_src: Vec<SocialId>,
+    pub(crate) ua_off: Vec<u32>,
+    pub(crate) ua_attr: Vec<AttrId>,
+    pub(crate) am_off: Vec<u32>,
+    pub(crate) am_user: Vec<SocialId>,
     /// Precomputed sorted `Γs(u)` (undirected union of out and in).
-    und_off: Vec<u32>,
-    und_nbr: Vec<SocialId>,
-    attr_types: Vec<AttrType>,
-    num_social_links: usize,
-    num_attr_links: usize,
+    pub(crate) und_off: Vec<u32>,
+    pub(crate) und_nbr: Vec<SocialId>,
+    pub(crate) attr_types: Vec<AttrType>,
+    pub(crate) num_social_links: usize,
+    pub(crate) num_attr_links: usize,
 }
 
 /// Builds one CSR from per-row sorted data produced by `row_of`.

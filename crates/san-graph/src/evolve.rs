@@ -76,6 +76,31 @@ pub struct DayCounts {
     pub attr_links: usize,
 }
 
+/// Advances `idx` past every event of `day` (the log is day-ordered) and
+/// returns that day's slice — the one grouping scan both sweep drivers
+/// share.
+fn take_day_slice<'a>(events: &'a [SanEvent], day: u32, idx: &mut usize) -> &'a [SanEvent] {
+    let start = *idx;
+    while *idx < events.len() && events[*idx].day() == day {
+        *idx += 1;
+    }
+    &events[start..*idx]
+}
+
+impl DayCounts {
+    /// Reads the aggregate counters of any SAN view as the end-of-`day`
+    /// totals — the one place the field-by-field assembly lives.
+    pub fn measure(day: u32, g: &impl crate::read::SanRead) -> DayCounts {
+        DayCounts {
+            day,
+            social_nodes: g.num_social_nodes(),
+            attr_nodes: g.num_attr_nodes(),
+            social_links: g.num_social_links(),
+            attr_links: g.num_attr_links(),
+        }
+    }
+}
+
 /// An immutable, day-ordered SAN growth log.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SanTimeline {
@@ -123,8 +148,65 @@ impl SanTimeline {
     /// analytic consumes. One replay, one freeze, no retained mutable
     /// state; the product is `Send + Sync`, so per-day sweeps can build
     /// snapshots on worker threads.
+    ///
+    /// This replays from day 0, so calling it for *every* day is
+    /// quadratic; all-day sweeps should use the incremental
+    /// [`snapshot_stream`](SanTimeline::snapshot_stream) /
+    /// [`for_each_snapshot`](SanTimeline::for_each_snapshot) pipeline
+    /// instead.
     pub fn snapshot_csr(&self, day: u32) -> crate::CsrSan {
         self.snapshot_at(day).freeze()
+    }
+
+    /// Streams `(day, CsrSan)` for every `step`-th day (day 0, `step`,
+    /// `2·step`, …, always including the final day) in one incremental
+    /// delta-freeze pass: each day's snapshot is produced by patching the
+    /// previous day's CSR arrays with that day's events
+    /// ([`DeltaFreezer`](crate::delta::DeltaFreezer)), so a full-timeline
+    /// sweep is near-linear in events instead of the quadratic
+    /// replay-per-day of calling
+    /// [`snapshot_csr`](SanTimeline::snapshot_csr) in a loop.
+    ///
+    /// Snapshots are yielded **in day order** as owned, `Send + Sync`
+    /// values (one flat-array copy each), so they can be handed to worker
+    /// threads; only the freezer's current state plus the yielded snapshot
+    /// are ever live — O(E) memory regardless of timeline length. An empty
+    /// timeline yields nothing.
+    ///
+    /// # Panics
+    /// Panics if `step == 0`.
+    pub fn snapshot_stream(&self, step: u32) -> SnapshotStream<'_> {
+        assert!(step >= 1, "step must be at least 1");
+        SnapshotStream {
+            events: &self.events,
+            idx: 0,
+            day: 0,
+            max_day: self.max_day(),
+            step,
+            freezer: crate::delta::DeltaFreezer::new(),
+        }
+    }
+
+    /// Borrowing form of [`snapshot_stream`](SanTimeline::snapshot_stream):
+    /// invokes `visit(day, &CsrSan)` with the delta-frozen end-of-day
+    /// snapshot of every sampled day, without cloning the snapshot at all.
+    /// This is the cheapest way to run a sequential full-resolution sweep.
+    ///
+    /// # Panics
+    /// Panics if `step == 0`.
+    pub fn for_each_snapshot<F: FnMut(u32, &crate::CsrSan)>(&self, step: u32, mut visit: F) {
+        assert!(step >= 1, "step must be at least 1");
+        let Some(max_day) = self.max_day() else {
+            return;
+        };
+        let mut freezer = crate::delta::DeltaFreezer::new();
+        let mut idx = 0;
+        for day in 0..=max_day {
+            freezer.apply_day(take_day_slice(&self.events, day, &mut idx));
+            if day % step == 0 || day == max_day {
+                visit(day, freezer.current());
+            }
+        }
     }
 
     /// Replays the whole log.
@@ -157,15 +239,7 @@ impl SanTimeline {
     /// Per-day cumulative node/link counts (Figures 2–3) in a single pass.
     pub fn day_counts(&self) -> Vec<DayCounts> {
         let mut out = Vec::new();
-        self.for_each_day(|day, san| {
-            out.push(DayCounts {
-                day,
-                social_nodes: san.num_social_nodes(),
-                attr_nodes: san.num_attr_nodes(),
-                social_links: san.num_social_links(),
-                attr_links: san.num_attr_links(),
-            });
-        });
+        self.for_each_day(|day, san| out.push(DayCounts::measure(day, san)));
         out
     }
 
@@ -191,6 +265,55 @@ impl SanTimeline {
             }
             SanEvent::AttrLink { user, attr, .. } => {
                 san.add_attr_link(user, attr);
+            }
+        }
+    }
+}
+
+/// Iterator over `(day, CsrSan)` snapshots of every sampled day, produced
+/// incrementally by a [`DeltaFreezer`](crate::delta::DeltaFreezer). Built
+/// by [`SanTimeline::snapshot_stream`].
+#[derive(Debug)]
+pub struct SnapshotStream<'a> {
+    events: &'a [SanEvent],
+    idx: usize,
+    day: u32,
+    max_day: Option<u32>,
+    step: u32,
+    freezer: crate::delta::DeltaFreezer,
+}
+
+impl SnapshotStream<'_> {
+    /// Owned snapshots cloned out of the freezer so far (the per-sweep
+    /// freeze budget the regression tests pin down).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.freezer.snapshots_taken()
+    }
+
+    /// Days advanced through the underlying freezer so far.
+    pub fn days_applied(&self) -> u64 {
+        self.freezer.days_applied()
+    }
+}
+
+impl Iterator for SnapshotStream<'_> {
+    type Item = (u32, crate::CsrSan);
+
+    fn next(&mut self) -> Option<(u32, crate::CsrSan)> {
+        loop {
+            let max_day = self.max_day?;
+            let day = self.day;
+            self.freezer
+                .apply_day(take_day_slice(self.events, day, &mut self.idx));
+            let sampled = day.is_multiple_of(self.step) || day == max_day;
+            if day == max_day {
+                // Exhausted; also guards `day + 1` against u32 overflow.
+                self.max_day = None;
+            } else {
+                self.day = day + 1;
+            }
+            if sampled {
+                return Some((day, self.freezer.snapshot()));
             }
         }
     }
@@ -422,6 +545,55 @@ mod tests {
         tl.for_each_day(|_, _| called = true);
         assert!(!called);
         assert!(tl.day_counts().is_empty());
+    }
+
+    #[test]
+    fn snapshot_stream_matches_replay_per_day() {
+        let tl = sample_timeline();
+        for step in [1u32, 2, 3] {
+            for (day, snap) in tl.snapshot_stream(step) {
+                assert_eq!(snap, tl.snapshot_csr(day), "step={step} day={day}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_stream_samples_steps_and_final_day() {
+        let tl = sample_timeline(); // max_day == 3
+        let days: Vec<u32> = tl.snapshot_stream(2).map(|(d, _)| d).collect();
+        assert_eq!(days, vec![0, 2, 3]);
+        let days: Vec<u32> = tl.snapshot_stream(7).map(|(d, _)| d).collect();
+        assert_eq!(days, vec![0, 3]);
+    }
+
+    #[test]
+    fn snapshot_stream_empty_timeline_yields_nothing() {
+        let tl = SanTimeline::default();
+        assert_eq!(tl.snapshot_stream(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn snapshot_stream_rejects_zero_step() {
+        sample_timeline().snapshot_stream(0);
+    }
+
+    #[test]
+    fn for_each_snapshot_matches_stream() {
+        let tl = sample_timeline();
+        let streamed: Vec<(u32, crate::CsrSan)> = tl.snapshot_stream(2).collect();
+        let mut visited = Vec::new();
+        tl.for_each_snapshot(2, |day, snap| visited.push((day, snap.clone())));
+        assert_eq!(visited, streamed);
+    }
+
+    #[test]
+    fn stream_freeze_budget_is_one_per_sampled_day() {
+        let tl = sample_timeline(); // days 0..=3
+        let mut stream = tl.snapshot_stream(2);
+        while stream.next().is_some() {}
+        assert_eq!(stream.days_applied(), 4); // every day advanced once
+        assert_eq!(stream.snapshots_taken(), 3); // only days 0, 2, 3 cloned
     }
 
     #[test]

@@ -45,6 +45,11 @@
 //! * [`builder::SanBuilder`] — out-of-order batch construction,
 //! * [`evolve::SanTimeline`] — a timestamped event log that can
 //!   replay the network to any day (the paper's 79 daily snapshots),
+//! * [`delta::DeltaFreezer`] — incremental delta-freeze: patches the
+//!   previous day's `CsrSan` with one day's events, making all-day
+//!   snapshot sweeps ([`evolve::SanTimeline::snapshot_stream`],
+//!   [`evolve::SanTimeline::for_each_snapshot`]) near-linear instead of
+//!   quadratic,
 //! * [`traverse`] — BFS distances, weakly connected components,
 //! * [`crawler`] — the snapshot-expanding BFS crawler of §2.2 (honouring
 //!   public/private visibility),
@@ -59,6 +64,7 @@ pub mod builder;
 pub mod crawler;
 pub mod csr;
 pub mod degree;
+pub mod delta;
 pub mod evolve;
 pub mod fixtures;
 pub mod ids;
@@ -71,7 +77,8 @@ pub mod unionfind;
 
 pub use builder::SanBuilder;
 pub use csr::CsrSan;
-pub use evolve::{SanEvent, SanTimeline, TimelineBuilder};
+pub use delta::DeltaFreezer;
+pub use evolve::{DayCounts, SanEvent, SanTimeline, SnapshotStream, TimelineBuilder};
 pub use ids::{AttrId, AttrType, SocialId};
 pub use read::SanRead;
 pub use san::San;
@@ -80,7 +87,8 @@ pub use san::San;
 pub mod prelude {
     pub use crate::builder::SanBuilder;
     pub use crate::csr::CsrSan;
-    pub use crate::evolve::{SanEvent, SanTimeline, TimelineBuilder};
+    pub use crate::delta::DeltaFreezer;
+    pub use crate::evolve::{DayCounts, SanEvent, SanTimeline, SnapshotStream, TimelineBuilder};
     pub use crate::ids::{AttrId, AttrType, SocialId};
     pub use crate::read::SanRead;
     pub use crate::san::San;

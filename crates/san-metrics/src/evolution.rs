@@ -8,9 +8,24 @@
 //! those boundaries; [`PhaseBounds`] captures the boundaries and
 //! [`evolve_metric`] produces the day-indexed series that the evolution
 //! figures (4, 6, 7b, 8, 11, 12b) plot.
+//!
+//! All sweeps ride the **snapshot pipeline**: every sampled day's
+//! [`CsrSan`] is produced by delta-freezing — patching the previous day's
+//! CSR arrays with that day's events
+//! ([`SanTimeline::for_each_snapshot`] /
+//! [`SanTimeline::snapshot_stream`]) — so a full-resolution sweep is
+//! near-linear in events, not quadratic. The parallel variant
+//! [`evolve_metric_parallel`] streams snapshots to workers through a
+//! bounded channel, so peak memory is O(threads × E) however long the
+//! timeline is. Metrics that only read aggregate counters should use
+//! [`evolve_metric_counts`], which never freezes at all.
 
+use san_graph::evolve::DayCounts;
 use san_graph::{CsrSan, SanTimeline};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
 
 /// The three evolution phases of Google+.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,15 +119,14 @@ impl MetricSeries {
 
 /// Evaluates `metric` on the frozen end-of-day snapshot of every
 /// `step`-th day (always including the final day) in a single incremental
-/// replay.
+/// delta-freeze pass ([`SanTimeline::for_each_snapshot`]).
 ///
 /// The metric sees an immutable [`CsrSan`] — the cache-friendly read form
-/// every analytic in this crate accepts. Freezing costs O(V + E) per
-/// sampled day, which expensive metrics (clustering, diameter, knn)
-/// repay immediately through the faster CSR read path; for metrics that
-/// only read counters (node/link totals, density), skip the freeze and
-/// drive [`SanTimeline::for_each_day`] or [`SanTimeline::day_counts`]
-/// directly instead.
+/// every analytic in this crate accepts. Each sampled snapshot is a patch
+/// of the previous day's CSR arrays, never a from-scratch freeze, and is
+/// borrowed straight from the freezer (no per-day clone). Metrics that
+/// only read aggregate counters (node/link totals, density) should use
+/// [`evolve_metric_counts`] instead, which never builds a CSR at all.
 pub fn evolve_metric<F>(
     timeline: &SanTimeline,
     name: &str,
@@ -121,6 +135,34 @@ pub fn evolve_metric<F>(
 ) -> MetricSeries
 where
     F: FnMut(u32, &CsrSan) -> f64,
+{
+    let mut series = MetricSeries {
+        name: name.to_string(),
+        ..MetricSeries::default()
+    };
+    timeline.for_each_snapshot(step, |day, snap| {
+        series.days.push(day);
+        series.values.push(metric(day, snap));
+    });
+    series
+}
+
+/// Evaluates a counter-only metric over the timeline without freezing a
+/// single snapshot.
+///
+/// The metric sees the end-of-day [`DayCounts`] (cumulative node/link
+/// totals) for every sampled day — enough for growth curves (Figs. 2–3),
+/// density, and average degree. One incremental replay, no CSR builds, no
+/// allocations per day; use this instead of [`evolve_metric`] whenever the
+/// metric never inspects neighbourhoods.
+pub fn evolve_metric_counts<F>(
+    timeline: &SanTimeline,
+    name: &str,
+    step: u32,
+    mut metric: F,
+) -> MetricSeries
+where
+    F: FnMut(&DayCounts) -> f64,
 {
     assert!(step >= 1, "step must be at least 1");
     let mut series = MetricSeries {
@@ -131,7 +173,7 @@ where
     timeline.for_each_day(|day, san| {
         if day % step == 0 || Some(day) == max_day {
             series.days.push(day);
-            series.values.push(metric(day, &san.freeze()));
+            series.values.push(metric(&DayCounts::measure(day, san)));
         }
     });
     series
@@ -139,16 +181,21 @@ where
 
 /// Parallel variant of [`evolve_metric`] for expensive per-day metrics.
 ///
-/// One incremental replay freezes every sampled day into a [`CsrSan`]
-/// (they are `Send + Sync`), then the snapshots are fanned out across
+/// The producer (caller thread) streams delta-frozen `(day, CsrSan)`
+/// snapshots through a **bounded channel** of capacity `2 × threads` to
 /// `threads` scoped workers evaluating `metric` — the read/write split in
-/// action: a single writer builds frozen snapshots, many readers measure
-/// them concurrently. Worth it when the metric dominates the replay cost
-/// (diameter, exact clustering); for cheap metrics prefer the single-pass
-/// [`evolve_metric`]. All sampled snapshots are held in memory at once —
-/// peak memory is O(days/step × E) — so on long timelines at high
-/// resolution, *raise* `step` to bound it (streaming snapshots through a
-/// bounded channel is a recorded ROADMAP follow-up).
+/// action: a single writer patches snapshots forward, many readers measure
+/// them concurrently. When workers fall behind, the producer blocks on the
+/// full channel, so peak memory is O(threads × E) — independent of
+/// timeline length and of `step` — instead of the O(days/step × E) of
+/// materialising every sampled snapshot up front. Worth it when the metric
+/// dominates the patch cost (diameter, exact clustering); for cheap
+/// metrics prefer the single-pass [`evolve_metric`], and for counter-only
+/// metrics [`evolve_metric_counts`].
+///
+/// The returned series is in day order regardless of which worker finished
+/// first, and is identical to the sequential [`evolve_metric`] result for
+/// any pure `metric`.
 pub fn evolve_metric_parallel<F>(
     timeline: &SanTimeline,
     name: &str,
@@ -161,48 +208,59 @@ where
 {
     assert!(step >= 1, "step must be at least 1");
     assert!(threads >= 1, "need at least one thread");
-    let Some(max_day) = timeline.max_day() else {
-        return MetricSeries {
-            name: name.to_string(),
-            ..MetricSeries::default()
-        };
-    };
-    // Single replay: freeze each sampled day.
-    let mut snapshots: Vec<(u32, CsrSan)> = Vec::new();
-    timeline.for_each_day(|day, san| {
-        if day % step == 0 || day == max_day {
-            snapshots.push((day, san.freeze()));
-        }
-    });
-    // Fan the frozen snapshots out across scoped workers.
-    let chunk_len = snapshots.len().div_ceil(threads).max(1);
-    let mut results: Vec<Vec<(u32, f64)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = snapshots
-            .chunks(chunk_len)
-            .map(|chunk| {
-                let metric = &metric;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|(day, snap)| (*day, metric(*day, snap)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
-    });
     let mut series = MetricSeries {
         name: name.to_string(),
         ..MetricSeries::default()
     };
-    for chunk in results {
-        for (day, value) in chunk {
-            series.days.push(day);
-            series.values.push(value);
+    if timeline.max_day().is_none() {
+        return series;
+    }
+    // Bounded hand-off: producer blocks once 2×threads snapshots are in
+    // flight. Workers share the receiver behind a mutex (dropped before
+    // the metric runs, so consumption itself is concurrent).
+    let (tx, rx) = sync_channel::<(u32, CsrSan)>(2 * threads);
+    let rx = Mutex::new(rx);
+    let results = Mutex::new(Vec::<(u32, f64)>::new());
+    // A panicking metric must not wedge the producer against a full
+    // channel: workers catch the panic, keep draining without computing,
+    // and the payload is re-thrown after the scope joins.
+    let panicked = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let received = rx.lock().expect("receiver lock").recv();
+                let Ok((day, snap)) = received else {
+                    break; // channel closed and drained: sweep done
+                };
+                if panicked.lock().expect("panic slot").is_some() {
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| metric(day, &snap))) {
+                    Ok(value) => results.lock().expect("results lock").push((day, value)),
+                    Err(payload) => *panicked.lock().expect("panic slot") = Some(payload),
+                }
+            });
         }
+        for item in timeline.snapshot_stream(step) {
+            // Stop patching/cloning the remaining days once a worker has
+            // caught a metric panic — the sweep is dead either way.
+            if panicked.lock().expect("panic slot").is_some() {
+                break;
+            }
+            if tx.send(item).is_err() {
+                break; // unreachable while workers hold the receiver
+            }
+        }
+        drop(tx); // close the channel so workers exit their recv loops
+    });
+    if let Some(payload) = panicked.into_inner().expect("panic slot") {
+        resume_unwind(payload);
+    }
+    let mut rows = results.into_inner().expect("results lock");
+    rows.sort_unstable_by_key(|&(day, _)| day);
+    for (day, value) in rows {
+        series.days.push(day);
+        series.values.push(value);
     }
     series
 }
@@ -301,6 +359,52 @@ mod tests {
         let tl = SanTimeline::default();
         let s = evolve_metric_parallel(&tl, "x", 1, 4, |_, _| 0.0);
         assert!(s.days.is_empty());
+    }
+
+    #[test]
+    fn parallel_more_threads_than_samples() {
+        let tl = growing_timeline(2);
+        let s = evolve_metric_parallel(&tl, "n", 1, 8, |_, san| san.num_social_nodes() as f64);
+        assert_eq!(s.days, vec![0, 1, 2]);
+        assert_eq!(s.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_propagates_metric_panic() {
+        let tl = growing_timeline(12);
+        let result = std::panic::catch_unwind(|| {
+            evolve_metric_parallel(&tl, "boom", 1, 3, |day, _| {
+                assert!(day != 5, "metric exploded");
+                0.0
+            })
+        });
+        assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
+    #[test]
+    fn counts_path_matches_freezing_path() {
+        let tl = growing_timeline(17);
+        for step in [1, 3, 7] {
+            let frozen = evolve_metric(&tl, "links", step, |_, s| s.num_social_links() as f64);
+            let counted = evolve_metric_counts(&tl, "links", step, |c| c.social_links as f64);
+            assert_eq!(counted.days, frozen.days, "step={step}");
+            assert_eq!(counted.values, frozen.values, "step={step}");
+        }
+    }
+
+    #[test]
+    fn counts_path_empty_timeline() {
+        let tl = SanTimeline::default();
+        let s = evolve_metric_counts(&tl, "x", 1, |_| 1.0);
+        assert!(s.days.is_empty());
+    }
+
+    #[test]
+    fn counts_path_day_counts_fields() {
+        let tl = growing_timeline(6);
+        let s = evolve_metric_counts(&tl, "nodes", 2, |c| c.social_nodes as f64);
+        assert_eq!(s.days, vec![0, 2, 4, 6]);
+        assert_eq!(s.values, vec![1.0, 3.0, 5.0, 7.0]);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //!
 //! Beyond the paper's figures, [`community`] provides classical and
 //! attribute-augmented label propagation (the §3.4 "dynamic community
-//! detection" direction), and [`evolution::evolve_metric_parallel`] fans a
-//! per-day sweep across threads for expensive metrics.
+//! detection" direction). Per-day sweeps ride the incremental snapshot
+//! pipeline: [`evolution::evolve_metric`] patches each sampled day's CSR
+//! forward from the previous day (no replay-per-day), and
+//! [`evolution::evolve_metric_parallel`] streams those snapshots through a
+//! bounded channel to worker threads with O(threads × E) peak memory.
 //!
 //! All heavy metrics take an explicit RNG so runs are deterministic, and all
 //! approximation knobs (`ε`, `ν`, HyperANF register width) default to the
@@ -42,7 +45,9 @@ pub use clustering::{
 };
 pub use degree_dist::{fit_san_degrees, SanDegreeFits};
 pub use density::{attr_density, social_density};
-pub use evolution::{evolve_metric, MetricSeries, Phase, PhaseBounds};
+pub use evolution::{
+    evolve_metric, evolve_metric_counts, evolve_metric_parallel, MetricSeries, Phase, PhaseBounds,
+};
 pub use hyperanf::{
     attribute_effective_diameter, effective_diameter_from_nf, social_effective_diameter,
     HyperLogLog,

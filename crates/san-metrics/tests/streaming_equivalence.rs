@@ -1,0 +1,141 @@
+//! Integration lockdown for the streamed snapshot pipeline: the
+//! bounded-channel [`evolve_metric_parallel`] must return *exactly* the
+//! same [`MetricSeries`] as the sequential [`evolve_metric`] for real
+//! metrics (clustering, reciprocity) across every `threads × step`
+//! combination, including the always-sample-final-day edge case and the
+//! empty timeline. Run it with `--test-threads` > 1 in CI so several
+//! bounded channels contend for cores at once.
+
+use san_graph::{AttrType, SanTimeline, SocialId, TimelineBuilder};
+use san_metrics::clustering::{average_clustering_exact, NodeSet};
+use san_metrics::evolution::{evolve_metric, evolve_metric_counts, evolve_metric_parallel};
+use san_metrics::reciprocity::global_reciprocity;
+use san_stats::SplitRng;
+
+/// A 45-day timeline with reciprocal links, triangles and attribute links,
+/// so clustering and reciprocity are non-trivial on most sampled days.
+/// `max_day` is deliberately not a multiple of any tested step.
+fn rich_timeline(days: u32, seed: u64) -> SanTimeline {
+    let mut rng = SplitRng::new(seed);
+    let mut tb = TimelineBuilder::new();
+    let mut users: Vec<SocialId> = Vec::new();
+    let attr = {
+        let first = tb.add_social_node();
+        users.push(first);
+        tb.add_attr_node(AttrType::Employer)
+    };
+    for day in 1..=days {
+        tb.advance_to_day(day);
+        for _ in 0..1 + (day % 3) {
+            let u = tb.add_social_node();
+            // Attach to a few random earlier users; reciprocate half.
+            for _ in 0..2 {
+                let v = users[rng.below(users.len() as u64) as usize];
+                if tb.add_social_link(u, v) && rng.chance(0.5) {
+                    tb.add_social_link(v, u);
+                }
+            }
+            if rng.chance(0.3) {
+                tb.add_attr_link(u, attr);
+            }
+            users.push(u);
+        }
+        // Occasionally close a triangle among existing users.
+        if users.len() >= 3 && rng.chance(0.6) {
+            let a = users[rng.below(users.len() as u64) as usize];
+            let b = users[rng.below(users.len() as u64) as usize];
+            if a != b {
+                tb.add_social_link(a, b);
+            }
+        }
+    }
+    tb.finish().0
+}
+
+#[test]
+fn streamed_parallel_matches_sequential_clustering() {
+    let tl = rich_timeline(45, 11);
+    for step in [1u32, 3, 7] {
+        let seq = evolve_metric(&tl, "clustering", step, |_, snap| {
+            average_clustering_exact(snap, NodeSet::Social)
+        });
+        for threads in [1usize, 2, 8] {
+            let par = evolve_metric_parallel(&tl, "clustering", step, threads, |_, snap| {
+                average_clustering_exact(snap, NodeSet::Social)
+            });
+            assert_eq!(par, seq, "clustering step={step} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn streamed_parallel_matches_sequential_reciprocity() {
+    let tl = rich_timeline(45, 23);
+    for step in [1u32, 3, 7] {
+        let seq = evolve_metric(&tl, "reciprocity", step, |_, snap| global_reciprocity(snap));
+        for threads in [1usize, 2, 8] {
+            let par = evolve_metric_parallel(&tl, "reciprocity", step, threads, |_, snap| {
+                global_reciprocity(snap)
+            });
+            assert_eq!(par, seq, "reciprocity step={step} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn final_day_always_sampled() {
+    // max_day = 45: not a multiple of 7, so the final sample is the forced
+    // one; both variants must include it (and only once).
+    let tl = rich_timeline(45, 31);
+    for threads in [1usize, 2, 8] {
+        let par = evolve_metric_parallel(&tl, "recip", 7, threads, |_, s| global_reciprocity(s));
+        assert_eq!(par.days.last(), Some(&45), "threads={threads}");
+        assert_eq!(
+            par.days.iter().filter(|&&d| d == 45).count(),
+            1,
+            "final day sampled exactly once (threads={threads})"
+        );
+        assert_eq!(par.days, vec![0, 7, 14, 21, 28, 35, 42, 45]);
+    }
+}
+
+#[test]
+fn empty_timeline_yields_empty_series() {
+    let tl = SanTimeline::default();
+    for threads in [1usize, 2, 8] {
+        let par = evolve_metric_parallel(&tl, "x", 1, threads, |_, s| global_reciprocity(s));
+        assert!(par.days.is_empty(), "threads={threads}");
+        assert!(par.values.is_empty(), "threads={threads}");
+    }
+    let seq = evolve_metric(&tl, "x", 1, |_, s| global_reciprocity(s));
+    assert!(seq.days.is_empty());
+}
+
+/// Regression: the sweep's freeze budget. Replay-per-day used to freeze on
+/// every *sampled* day from scratch after an O(prefix) replay; the stream
+/// must invoke the metric exactly once per sampled day, and the count-only
+/// path must produce the same series for counter metrics while never
+/// building a CSR at all.
+#[test]
+fn freeze_budget_one_metric_call_per_sampled_day() {
+    let tl = rich_timeline(30, 7);
+    let mut calls = 0u32;
+    let series = evolve_metric(&tl, "links", 7, |_, snap| {
+        calls += 1;
+        san_graph::SanRead::num_social_links(snap) as f64
+    });
+    // Days 0, 7, 14, 21, 28 + forced final day 30.
+    assert_eq!(series.days, vec![0, 7, 14, 21, 28, 30]);
+    assert_eq!(calls, 6, "one freeze-backed metric call per sampled day");
+
+    // The stream API itself reports the same budget.
+    let mut stream = tl.snapshot_stream(7);
+    while stream.next().is_some() {}
+    assert_eq!(stream.snapshots_taken(), 6);
+    assert_eq!(stream.days_applied(), 31);
+
+    // Counter metrics step off the freezing path entirely and agree.
+    let counted = evolve_metric_counts(&tl, "links", 7, |c| c.social_links as f64);
+    assert_eq!(counted.days, series.days);
+    assert_eq!(counted.values, series.values);
+}

@@ -57,8 +57,9 @@ fn main() {
         frozen.heap_bytes() / 1024,
     );
 
-    // Parallel per-day sweep of an expensive metric: one replay freezes
-    // the sampled days into CsrSan snapshots, four threads measure them.
+    // Parallel per-day sweep of an expensive metric: delta-frozen
+    // snapshots stream through a bounded channel to four workers, so peak
+    // memory stays O(threads × E) however long the timeline is.
     let clus = evolve_metric_parallel(&data.timeline, "attr clustering", 14, 4, |_, snap| {
         average_clustering_exact(snap, NodeSet::Attr)
     });
