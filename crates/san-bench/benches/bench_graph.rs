@@ -4,10 +4,13 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::traverse::bfs_directed;
-use san_graph::{CsrSan, San, SanRead, SanTimeline, SocialId};
+use san_graph::{CsrSan, San, SanRead, SanTimeline, ShardedCsrSan, SocialId};
+use san_metrics::clustering::{average_clustering_exact, average_clustering_sharded, NodeSet};
 use san_metrics::evolution::evolve_metric_parallel;
+use san_metrics::hyperanf::{social_effective_diameter, social_effective_diameter_sharded};
 use san_metrics::reciprocity::global_reciprocity;
 use san_stats::SplitRng;
+use std::sync::Arc;
 
 fn build_random_san(n: u32, links_per_node: u32, seed: u64) -> San {
     let mut rng = SplitRng::new(seed);
@@ -244,10 +247,48 @@ fn bench_timeline_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Intra-snapshot parallelism on the final day of the 10k-node/98-day
+// fixture: the per-node sweeps that stop scaling once one thread must walk
+// a whole snapshot. Single-threaded CsrSan baselines vs the shard-parallel
+// drivers at K ∈ {1, 2, 4, 8} — K = 1 isolates the driver overhead, the
+// larger K show the range-partitioned speedup (ROADMAP records the
+// medians). Sharding the snapshot itself is O(K log V) binary searches and
+// is included in the per-iteration cost.
+// ---------------------------------------------------------------------------
+
+fn bench_sharded_sweep(c: &mut Criterion) {
+    let tl = ten_k_timeline();
+    let final_day = Arc::new(tl.snapshot_csr(tl.max_day().unwrap()));
+    let mut group = c.benchmark_group("graph/sharded_sweep");
+    group.sample_size(10);
+    group.bench_function("clustering/seq", |b| {
+        b.iter(|| black_box(average_clustering_exact(&*final_day, NodeSet::Social)));
+    });
+    group.bench_function("hyperanf/seq", |b| {
+        b.iter(|| black_box(social_effective_diameter(&*final_day, 0.9, 7, 11)));
+    });
+    for &k in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("clustering/sharded", k), &k, |b, &k| {
+            b.iter(|| {
+                let sharded = ShardedCsrSan::new(Arc::clone(&final_day), k);
+                black_box(average_clustering_sharded(&sharded, NodeSet::Social))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hyperanf/sharded", k), &k, |b, &k| {
+            b.iter(|| {
+                let sharded = ShardedCsrSan::new(Arc::clone(&final_day), k);
+                black_box(social_effective_diameter_sharded(&sharded, 0.9, 7, 11))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay,
-        bench_timeline_sweep
+        bench_timeline_sweep, bench_sharded_sweep
 }
 criterion_main!(benches);

@@ -196,20 +196,33 @@ impl CsrSan {
         self.undirected_neighbors(u).len()
     }
 
-    /// Approximate heap footprint in bytes (offsets + payloads), useful for
-    /// capacity planning in benches and sharding experiments.
+    /// Approximate heap footprint in bytes, used for capacity planning in
+    /// benches and by the sharding layer
+    /// ([`ShardedCsrSan::shard_bytes`](crate::shard::ShardedCsrSan::shard_bytes)).
+    ///
+    /// Every flat array of the snapshot is accounted for — the five offset
+    /// tables, the four social-id payloads (out, in, membership,
+    /// undirected), the attribute column, and the attribute-type table; the
+    /// `heap_bytes_sums_every_array` test recomputes the total from the
+    /// individual arrays so a future field can't silently go unmetered.
     pub fn heap_bytes(&self) -> usize {
-        use std::mem::size_of;
-        (self.out_off.len()
-            + self.in_off.len()
-            + self.ua_off.len()
-            + self.am_off.len()
-            + self.und_off.len())
-            * size_of::<u32>()
-            + (self.out_dst.len() + self.in_src.len() + self.am_user.len() + self.und_nbr.len())
-                * size_of::<SocialId>()
-            + self.ua_attr.len() * size_of::<AttrId>()
-            + self.attr_types.len() * size_of::<AttrType>()
+        fn bytes_of<T>(v: &[T]) -> usize {
+            std::mem::size_of_val(v)
+        }
+        // Offset tables (u32 each, one sentinel slot per table).
+        bytes_of(&self.out_off)
+            + bytes_of(&self.in_off)
+            + bytes_of(&self.ua_off)
+            + bytes_of(&self.am_off)
+            + bytes_of(&self.und_off)
+            // Social-id payload rows.
+            + bytes_of(&self.out_dst)
+            + bytes_of(&self.in_src)
+            + bytes_of(&self.am_user)
+            + bytes_of(&self.und_nbr)
+            // Attribute column and type table.
+            + bytes_of(&self.ua_attr)
+            + bytes_of(&self.attr_types)
     }
 }
 
@@ -447,6 +460,30 @@ mod tests {
         // At minimum the payload arrays exist: 2 * links * 4 bytes.
         assert!(bytes >= 2 * SanRead::num_social_links(&csr) * 4);
         assert!(bytes < 1 << 20);
+    }
+
+    /// Audit: `heap_bytes` equals the independently-summed sizes of every
+    /// flat array the struct holds, derived from the public counts — so the
+    /// accounting breaks loudly if an array is added without metering it.
+    #[test]
+    fn heap_bytes_sums_every_array() {
+        use std::mem::size_of;
+        let san = random_san(40, 250, 6, 70, 8);
+        let csr = san.freeze();
+        let n = csr.num_social_nodes();
+        let m = csr.num_attr_nodes();
+        let es = SanRead::num_social_links(&csr);
+        let ea = SanRead::num_attr_links(&csr);
+        let und: usize = (0..n as u32)
+            .map(|u| csr.undirected_degree(SocialId(u)))
+            .sum();
+        let offsets = 4 * (n + 1) + (m + 1); // out/in/ua/und + am tables
+        let social_payload = es /* out_dst */ + es /* in_src */ + ea /* am_user */ + und;
+        let expect = offsets * size_of::<u32>()
+            + social_payload * size_of::<SocialId>()
+            + ea * size_of::<AttrId>() /* ua_attr */
+            + m * size_of::<AttrType>();
+        assert_eq!(csr.heap_bytes(), expect);
     }
 
     #[test]

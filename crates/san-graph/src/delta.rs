@@ -14,7 +14,11 @@
 //! `delta_equivalence` property suite pins this down).
 //!
 //! Two internal buffers are double-buffered (`cur`/`scratch`) so steady
-//! state allocates nothing once row capacity has been reached.
+//! state allocates nothing once row capacity has been reached; the current
+//! day additionally sits behind an [`Arc`], so
+//! [`DeltaFreezer::snapshot`] hands consumers a shared view without any
+//! flat-array clone, and the double-buffer is reclaimed whenever the
+//! handed-out day has been dropped by the time the next day is applied.
 //!
 //! Prefer the timeline conveniences
 //! [`SanTimeline::snapshot_stream`](crate::evolve::SanTimeline::snapshot_stream)
@@ -26,20 +30,31 @@ use crate::csr::CsrSan;
 use crate::evolve::SanEvent;
 use crate::ids::{AttrId, AttrType, SocialId};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Builds the frozen snapshot of every day by patching the previous day's
 /// [`CsrSan`] with that day's events.
 ///
 /// Feed it one day at a time through [`DeltaFreezer::apply_day`]; read the
-/// current frozen state with [`DeltaFreezer::current`] or take an owned
-/// copy with [`DeltaFreezer::snapshot`].
+/// current frozen state with [`DeltaFreezer::current`] or take a shared
+/// handle with [`DeltaFreezer::snapshot`].
+///
+/// The current day lives behind an [`Arc`], so handing a snapshot to
+/// consumers (worker threads, sharded views) is **allocation-free** — one
+/// atomic increment, no flat-array clone. As long as no handed-out `Arc`
+/// outlives the next [`apply_day`](DeltaFreezer::apply_day) (the
+/// sequential-sweep case), the freezer reclaims the buffers and steady
+/// state allocates nothing; when a consumer still holds the day (the
+/// parallel hand-off case), the next patch simply builds into fresh
+/// buffers instead — paying the old clone cost only when sharing actually
+/// happens.
 ///
 /// Event semantics mirror replay through [`San`](crate::San) exactly:
 /// self-loops and duplicate links (within the day or against earlier days)
 /// are ignored, and links to unknown endpoints panic.
 #[derive(Debug, Clone, Default)]
 pub struct DeltaFreezer {
-    cur: CsrSan,
+    cur: Arc<CsrSan>,
     scratch: CsrSan,
     // Per-day scratch state, cleared on every apply_day.
     out_add: Vec<(u32, SocialId)>,
@@ -155,7 +170,7 @@ impl DeltaFreezer {
     /// forward from it.
     pub fn from_snapshot(csr: CsrSan) -> DeltaFreezer {
         DeltaFreezer {
-            cur: csr,
+            cur: Arc::new(csr),
             ..DeltaFreezer::default()
         }
     }
@@ -166,10 +181,11 @@ impl DeltaFreezer {
         &self.cur
     }
 
-    /// An owned copy of the current frozen state (one flat-array memcpy).
-    pub fn snapshot(&mut self) -> CsrSan {
+    /// A shared handle to the current frozen state — one atomic increment,
+    /// no flat-array clone (the Arc-shared day hand-off).
+    pub fn snapshot(&mut self) -> Arc<CsrSan> {
         self.snapshots_taken += 1;
-        self.cur.clone()
+        Arc::clone(&self.cur)
     }
 
     /// Days fed through [`apply_day`](DeltaFreezer::apply_day) so far.
@@ -177,8 +193,8 @@ impl DeltaFreezer {
         self.days_applied
     }
 
-    /// Owned snapshots handed out by [`snapshot`](DeltaFreezer::snapshot) —
-    /// the "how many freezes did this sweep actually pay for" counter the
+    /// Shared snapshots handed out by [`snapshot`](DeltaFreezer::snapshot) —
+    /// the "how many hand-offs did this sweep actually pay for" counter the
     /// regression tests assert on.
     pub fn snapshots_taken(&self) -> u64 {
         self.snapshots_taken
@@ -250,10 +266,10 @@ impl DeltaFreezer {
         self.ua_add.sort_unstable();
         self.am_add.sort_unstable();
         self.und_add.sort_unstable();
-        // Patch every CSR from `cur` into `scratch`, then swap. Untouched
+        // Patch every CSR from `cur` into `scratch`, then publish. Untouched
         // structures still need their offset tables re-extended when rows
         // were added, so each of the five goes through the same path.
-        let (cur, s) = (&self.cur, &mut self.scratch);
+        let (cur, s) = (&*self.cur, &mut self.scratch);
         patch_csr_into(
             &cur.out_off,
             &cur.out_dst,
@@ -299,7 +315,15 @@ impl DeltaFreezer {
         s.attr_types.extend_from_slice(&self.attr_type_add);
         s.num_social_links = social_links;
         s.num_attr_links = attr_links;
-        std::mem::swap(&mut self.cur, &mut self.scratch);
+        // Publish the new day. If nobody kept yesterday's Arc, reclaim its
+        // buffers as the next scratch (steady state: zero allocations, the
+        // old double-buffer behaviour); if a consumer still holds it, fall
+        // back to a fresh scratch — the only case that ever pays a new
+        // allocation, and exactly the case the old clone-per-day always
+        // paid for.
+        let next = Arc::new(std::mem::take(&mut self.scratch));
+        let prev = std::mem::replace(&mut self.cur, next);
+        self.scratch = Arc::try_unwrap(prev).unwrap_or_default();
     }
 
     /// Link membership against current snapshot + this day's pending adds.

@@ -158,7 +158,7 @@ impl SanTimeline {
         self.snapshot_at(day).freeze()
     }
 
-    /// Streams `(day, CsrSan)` for every `step`-th day (day 0, `step`,
+    /// Streams `(day, Arc<CsrSan>)` for every `step`-th day (day 0, `step`,
     /// `2·step`, …, always including the final day) in one incremental
     /// delta-freeze pass: each day's snapshot is produced by patching the
     /// previous day's CSR arrays with that day's events
@@ -167,11 +167,14 @@ impl SanTimeline {
     /// replay-per-day of calling
     /// [`snapshot_csr`](SanTimeline::snapshot_csr) in a loop.
     ///
-    /// Snapshots are yielded **in day order** as owned, `Send + Sync`
-    /// values (one flat-array copy each), so they can be handed to worker
-    /// threads; only the freezer's current state plus the yielded snapshot
-    /// are ever live — O(E) memory regardless of timeline length. An empty
-    /// timeline yields nothing.
+    /// Snapshots are yielded **in day order** as `Arc`-shared,
+    /// `Send + Sync` handles — the hand-off itself is allocation-free (no
+    /// flat-array clone), so they can be given to worker threads or
+    /// wrapped into a [`ShardedCsrSan`](crate::shard::ShardedCsrSan) for
+    /// intra-snapshot parallelism. Only the freezer's current state plus
+    /// whatever snapshots consumers still hold are live — O(E) memory for
+    /// a sequential sweep regardless of timeline length. An empty timeline
+    /// yields nothing.
     ///
     /// # Panics
     /// Panics if `step == 0`.
@@ -270,9 +273,10 @@ impl SanTimeline {
     }
 }
 
-/// Iterator over `(day, CsrSan)` snapshots of every sampled day, produced
-/// incrementally by a [`DeltaFreezer`](crate::delta::DeltaFreezer). Built
-/// by [`SanTimeline::snapshot_stream`].
+/// Iterator over `(day, Arc<CsrSan>)` snapshots of every sampled day,
+/// produced incrementally by a
+/// [`DeltaFreezer`](crate::delta::DeltaFreezer). Built by
+/// [`SanTimeline::snapshot_stream`].
 #[derive(Debug)]
 pub struct SnapshotStream<'a> {
     events: &'a [SanEvent],
@@ -284,8 +288,8 @@ pub struct SnapshotStream<'a> {
 }
 
 impl SnapshotStream<'_> {
-    /// Owned snapshots cloned out of the freezer so far (the per-sweep
-    /// freeze budget the regression tests pin down).
+    /// Shared snapshots handed out of the freezer so far (the per-sweep
+    /// hand-off budget the regression tests pin down).
     pub fn snapshots_taken(&self) -> u64 {
         self.freezer.snapshots_taken()
     }
@@ -297,9 +301,9 @@ impl SnapshotStream<'_> {
 }
 
 impl Iterator for SnapshotStream<'_> {
-    type Item = (u32, crate::CsrSan);
+    type Item = (u32, std::sync::Arc<crate::CsrSan>);
 
-    fn next(&mut self) -> Option<(u32, crate::CsrSan)> {
+    fn next(&mut self) -> Option<(u32, std::sync::Arc<crate::CsrSan>)> {
         loop {
             let max_day = self.max_day?;
             let day = self.day;
@@ -552,7 +556,7 @@ mod tests {
         let tl = sample_timeline();
         for step in [1u32, 2, 3] {
             for (day, snap) in tl.snapshot_stream(step) {
-                assert_eq!(snap, tl.snapshot_csr(day), "step={step} day={day}");
+                assert_eq!(*snap, tl.snapshot_csr(day), "step={step} day={day}");
             }
         }
     }
@@ -564,6 +568,19 @@ mod tests {
         assert_eq!(days, vec![0, 2, 3]);
         let days: Vec<u32> = tl.snapshot_stream(7).map(|(d, _)| d).collect();
         assert_eq!(days, vec![0, 3]);
+    }
+
+    #[test]
+    fn held_snapshot_survives_stream_advance() {
+        // The Arc hand-off must never mutate a handed-out day in place:
+        // a snapshot kept across later apply_day calls stays bit-identical
+        // to the replay of its own day.
+        let tl = sample_timeline();
+        let mut stream = tl.snapshot_stream(1);
+        let (d0, s0) = stream.next().unwrap();
+        let expect = tl.snapshot_csr(d0);
+        while stream.next().is_some() {}
+        assert_eq!(*s0, expect);
     }
 
     #[test]
@@ -581,7 +598,10 @@ mod tests {
     #[test]
     fn for_each_snapshot_matches_stream() {
         let tl = sample_timeline();
-        let streamed: Vec<(u32, crate::CsrSan)> = tl.snapshot_stream(2).collect();
+        let streamed: Vec<(u32, crate::CsrSan)> = tl
+            .snapshot_stream(2)
+            .map(|(day, snap)| (day, (*snap).clone()))
+            .collect();
         let mut visited = Vec::new();
         tl.for_each_snapshot(2, |day, snap| visited.push((day, snap.clone())));
         assert_eq!(visited, streamed);

@@ -49,7 +49,12 @@
 //!   previous day's `CsrSan` with one day's events, making all-day
 //!   snapshot sweeps ([`evolve::SanTimeline::snapshot_stream`],
 //!   [`evolve::SanTimeline::for_each_snapshot`]) near-linear instead of
-//!   quadratic,
+//!   quadratic; sampled days are handed off as `Arc<CsrSan>` with no
+//!   flat-array clone,
+//! * [`shard::ShardedCsrSan`] — a snapshot range-partitioned into `K`
+//!   node-contiguous, edge-balanced [`shard::CsrShard`] views with
+//!   `map_shards`/`fold_shards` drivers, so one frozen day can saturate
+//!   every core (intra-snapshot parallelism),
 //! * [`traverse`] — BFS distances, weakly connected components,
 //! * [`crawler`] — the snapshot-expanding BFS crawler of §2.2 (honouring
 //!   public/private visibility),
@@ -71,6 +76,7 @@ pub mod ids;
 pub mod io;
 pub mod read;
 pub mod san;
+pub mod shard;
 pub mod subsample;
 pub mod traverse;
 pub mod unionfind;
@@ -82,6 +88,7 @@ pub use evolve::{DayCounts, SanEvent, SanTimeline, SnapshotStream, TimelineBuild
 pub use ids::{AttrId, AttrType, SocialId};
 pub use read::SanRead;
 pub use san::San;
+pub use shard::{CsrShard, ShardedCsrSan};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -92,4 +99,5 @@ pub mod prelude {
     pub use crate::ids::{AttrId, AttrType, SocialId};
     pub use crate::read::SanRead;
     pub use crate::san::San;
+    pub use crate::shard::{CsrShard, ShardedCsrSan};
 }

@@ -12,6 +12,15 @@
 //! default implementation in terms of them. Implementations with better
 //! representations (sorted CSR rows, precomputed unions) override the
 //! defaults — see [`CsrSan`](crate::CsrSan).
+//!
+//! Implementations may also narrow the *iteration* surface to a node
+//! range: [`CsrShard`](crate::shard::CsrShard) overrides
+//! [`SanRead::social_nodes`] / [`SanRead::social_links`] /
+//! [`SanRead::attr_nodes`] / [`SanRead::attr_links`] (and the two link
+//! counters) to cover only the shard it owns, while every query *by id*
+//! still sees the whole snapshot. Per-node sweeps written against this
+//! trait then decompose across shards for free: run the sweep on each
+//! shard, merge the partials.
 
 use crate::ids::{AttrId, AttrType, SocialId};
 use std::borrow::Cow;

@@ -1,0 +1,734 @@
+//! Range-partitioned [`CsrSan`] shards for intra-snapshot parallelism.
+//!
+//! A frozen snapshot's flat CSR arrays are the natural unit for
+//! range-partitioning: [`ShardedCsrSan`] cuts the social node space into
+//! `K` **node-contiguous shards balanced by edge count** (boundaries are
+//! placed on the CSR row offsets, so a handful of hubs never land in one
+//! shard together with an equal *node* share of the tail), and partitions
+//! the attribute node space the same way by membership count. Every shard
+//! is a zero-copy [`CsrShard`] view borrowing the shared column arrays of
+//! the one underlying snapshot behind an [`Arc`].
+//!
+//! The contracts:
+//!
+//! * **The whole is the graph.** `ShardedCsrSan` implements [`SanRead`] by
+//!   delegating to the inner [`CsrSan`], so every existing analytic runs on
+//!   it unchanged.
+//! * **A shard is the graph restricted to its node range.** [`CsrShard`]
+//!   also implements [`SanRead`]: *iteration* ([`SanRead::social_nodes`],
+//!   [`SanRead::social_links`], [`SanRead::attr_nodes`],
+//!   [`SanRead::attr_links`]) and the link counters cover only the owned
+//!   ranges, while *queries by id* (neighbour rows, membership, attribute
+//!   types) remain global — exactly what a per-node sweep needs to count
+//!   cross-shard triangles or probe reverse links that live in another
+//!   shard. `num_social_nodes`/`num_attr_nodes` stay global too: they are
+//!   the **id-space size**, so algorithms that allocate arrays indexed by
+//!   node id keep working on a shard view.
+//! * **Partials merge in shard order.** [`ShardedCsrSan::map_shards`] runs
+//!   one closure per shard on scoped threads and returns the results in
+//!   shard order; [`ShardedCsrSan::fold_shards`] folds them in that order
+//!   with an explicit associative merge. Because shards are node-contiguous
+//!   and ordered, concatenating per-shard vectors reproduces the global
+//!   node order exactly, and integer partials (link/triangle tallies) merge
+//!   bit-for-bit; float partials agree with the sequential sum up to
+//!   summation regrouping (the shard-equivalence suite pins ≤ 1e-12).
+//!
+//! Empty shards are legal (they occur when `K` exceeds the node count or
+//! the degree sequence is extremely skewed) and every driver handles them.
+
+use crate::csr::CsrSan;
+use crate::ids::{AttrId, AttrType, SocialId};
+use crate::read::SanRead;
+use std::borrow::Cow;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A [`CsrSan`] range-partitioned into `K` node-contiguous shards balanced
+/// by edge count.
+///
+/// Construction is O(K log V) binary searches over the already-frozen row
+/// offsets — no graph data is copied or moved. The snapshot itself sits
+/// behind an [`Arc`], so a sharded view can be built directly from the
+/// allocation-free hand-off of
+/// [`SanTimeline::snapshot_stream`](crate::evolve::SanTimeline::snapshot_stream).
+#[derive(Debug, Clone)]
+pub struct ShardedCsrSan {
+    csr: Arc<CsrSan>,
+    /// `K + 1` social-node boundaries: shard `i` owns `[bounds[i], bounds[i+1])`.
+    social_bounds: Vec<u32>,
+    /// `K + 1` attribute-node boundaries, balanced by membership count.
+    attr_bounds: Vec<u32>,
+}
+
+/// Places `k + 1` boundaries over `rows` rows such that each slice carries
+/// roughly `1/k` of the total monotone `weight`. `weight(rows)` must be the
+/// grand total and `weight(0)` zero.
+fn balance_bounds(rows: usize, k: usize, weight: impl Fn(usize) -> u64) -> Vec<u32> {
+    let total = weight(rows);
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0u32);
+    for i in 1..k {
+        let target = total * i as u64 / k as u64;
+        // First row index whose cumulative weight reaches the target.
+        let (mut lo, mut hi) = (*bounds.last().unwrap() as usize, rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if weight(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        bounds.push(lo as u32);
+    }
+    bounds.push(rows as u32);
+    bounds
+}
+
+impl ShardedCsrSan {
+    /// Partitions a shared snapshot into `shards` node-contiguous shards.
+    ///
+    /// Social boundaries balance the **directed link endpoints**
+    /// (out-degree + in-degree, read straight off the CSR row offsets);
+    /// attribute boundaries balance membership counts. Shards may be empty
+    /// when `shards` exceeds the node count.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(csr: Arc<CsrSan>, shards: usize) -> ShardedCsrSan {
+        assert!(shards >= 1, "need at least one shard");
+        let n = csr.num_social_nodes();
+        let m = csr.num_attr_nodes();
+        let social_bounds = balance_bounds(n, shards, |i| {
+            u64::from(csr.out_off[i]) + u64::from(csr.in_off[i])
+        });
+        let attr_bounds = balance_bounds(m, shards, |i| u64::from(csr.am_off[i]));
+        ShardedCsrSan {
+            csr,
+            social_bounds,
+            attr_bounds,
+        }
+    }
+
+    /// Convenience: freeze ownership of a snapshot and partition it.
+    pub fn from_csr(csr: CsrSan, shards: usize) -> ShardedCsrSan {
+        ShardedCsrSan::new(Arc::new(csr), shards)
+    }
+
+    /// Number of shards `K`.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.social_bounds.len() - 1
+    }
+
+    /// The underlying snapshot.
+    #[inline]
+    pub fn csr(&self) -> &CsrSan {
+        &self.csr
+    }
+
+    /// A clone of the shared snapshot handle (one atomic increment).
+    pub fn share(&self) -> Arc<CsrSan> {
+        Arc::clone(&self.csr)
+    }
+
+    /// The `i`-th shard view.
+    ///
+    /// # Panics
+    /// Panics when `i >= num_shards()`.
+    pub fn shard(&self, i: usize) -> CsrShard<'_> {
+        assert!(i < self.num_shards(), "shard {i} out of range");
+        CsrShard {
+            csr: &self.csr,
+            index: i,
+            social_start: self.social_bounds[i],
+            social_end: self.social_bounds[i + 1],
+            attr_start: self.attr_bounds[i],
+            attr_end: self.attr_bounds[i + 1],
+        }
+    }
+
+    /// Iterates over all shard views in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = CsrShard<'_>> {
+        (0..self.num_shards()).map(|i| self.shard(i))
+    }
+
+    /// The owned social-node range of every shard, in shard order. The
+    /// ranges are contiguous and cover `0..num_social_nodes` exactly, so
+    /// they can carve a node-indexed buffer into disjoint mutable chunks.
+    pub fn social_ranges(&self) -> Vec<Range<usize>> {
+        self.shards()
+            .map(|s| {
+                let r = s.social_range();
+                r.start as usize..r.end as usize
+            })
+            .collect()
+    }
+
+    /// Approximate heap bytes attributable to each shard (its share of the
+    /// row payloads plus offset-table slots) — the capacity-planning view:
+    /// the per-shard figures sum to [`CsrSan::heap_bytes`] up to the
+    /// constant global tables (attribute types) that no shard owns alone.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards().map(|s| s.shard_bytes()).collect()
+    }
+
+    /// Runs `f` once per shard on scoped threads and returns the results
+    /// **in shard order** (not completion order), so downstream merges are
+    /// deterministic.
+    ///
+    /// One thread per shard: `K` is chosen by the caller to match the
+    /// machine, and shards are edge-balanced, so finer-grained work
+    /// stealing would buy little.
+    pub fn map_shards<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(CsrShard<'_>) -> T + Sync,
+    {
+        let k = self.num_shards();
+        if k == 1 {
+            // No hand-off worth paying for.
+            return vec![f(self.shard(0))];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..k)
+                .map(|i| {
+                    let shard = self.shard(i);
+                    let f = &f;
+                    scope.spawn(move || f(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// [`map_shards`](ShardedCsrSan::map_shards), then folds the per-shard
+    /// partials **in shard order** with an explicit merge. `merge` must be
+    /// associative for the result to be independent of `K`; with shard
+    /// ranges in node order, concatenation and integer sums reproduce the
+    /// sequential answer exactly.
+    pub fn fold_shards<T, A, F, M>(&self, f: F, init: A, merge: M) -> A
+    where
+        T: Send,
+        F: Fn(CsrShard<'_>) -> T + Sync,
+        M: FnMut(A, T) -> A,
+    {
+        self.map_shards(f).into_iter().fold(init, merge)
+    }
+}
+
+/// A zero-copy view of one node-contiguous shard of a [`ShardedCsrSan`].
+///
+/// Implements [`SanRead`] *over its node range*: iteration and link
+/// counters cover the owned ranges only, queries by id see the whole
+/// snapshot (see the [module docs](self) for the exact contract).
+#[derive(Debug, Clone, Copy)]
+pub struct CsrShard<'a> {
+    csr: &'a CsrSan,
+    index: usize,
+    social_start: u32,
+    social_end: u32,
+    attr_start: u32,
+    attr_end: u32,
+}
+
+impl CsrShard<'_> {
+    /// This shard's position in `0..K`.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The owned social-node id range.
+    #[inline]
+    pub fn social_range(&self) -> Range<u32> {
+        self.social_start..self.social_end
+    }
+
+    /// The owned attribute-node id range.
+    #[inline]
+    pub fn attr_range(&self) -> Range<u32> {
+        self.attr_start..self.attr_end
+    }
+
+    /// Number of owned social nodes.
+    #[inline]
+    pub fn owned_social_nodes(&self) -> usize {
+        (self.social_end - self.social_start) as usize
+    }
+
+    /// Number of directed social links whose **source** this shard owns —
+    /// the edge-balance figure the partitioner equalises (together with the
+    /// in-links) and the benches report.
+    #[inline]
+    pub fn owned_social_links(&self) -> usize {
+        (self.csr.out_off[self.social_end as usize] - self.csr.out_off[self.social_start as usize])
+            as usize
+    }
+
+    /// Number of attribute links whose **user** this shard owns.
+    #[inline]
+    pub fn owned_attr_links(&self) -> usize {
+        (self.csr.ua_off[self.social_end as usize] - self.csr.ua_off[self.social_start as usize])
+            as usize
+    }
+
+    /// True when the shard owns no social and no attribute nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.social_start == self.social_end && self.attr_start == self.attr_end
+    }
+
+    /// Approximate heap bytes of this shard's slice of the snapshot: the
+    /// owned rows of every social CSR (out, in, undirected, user→attr), the
+    /// owned membership rows (attr→user), and the owned offset-table slots.
+    pub fn shard_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let c = self.csr;
+        let (s0, s1) = (self.social_start as usize, self.social_end as usize);
+        let (a0, a1) = (self.attr_start as usize, self.attr_end as usize);
+        let row_payload = |off: &[u32], lo: usize, hi: usize| (off[hi] - off[lo]) as usize;
+        let social_payload = row_payload(&c.out_off, s0, s1)
+            + row_payload(&c.in_off, s0, s1)
+            + row_payload(&c.und_off, s0, s1);
+        let offsets = 4 * (s1 - s0) + (a1 - a0); // out/in/und/ua + am slots
+        social_payload * size_of::<SocialId>()
+            + row_payload(&c.ua_off, s0, s1) * size_of::<AttrId>()
+            + row_payload(&c.am_off, a0, a1) * size_of::<SocialId>()
+            + (a1 - a0) * size_of::<AttrType>()
+            + offsets * size_of::<u32>()
+    }
+}
+
+impl SanRead for CsrShard<'_> {
+    /// Global id-space size (see module docs), **not** the owned count —
+    /// use [`CsrShard::owned_social_nodes`] for that.
+    #[inline]
+    fn num_social_nodes(&self) -> usize {
+        self.csr.num_social_nodes()
+    }
+
+    /// Global id-space size of the attribute layer.
+    #[inline]
+    fn num_attr_nodes(&self) -> usize {
+        self.csr.num_attr_nodes()
+    }
+
+    /// Directed links originating in the owned range (what
+    /// [`SanRead::social_links`] iterates here).
+    #[inline]
+    fn num_social_links(&self) -> usize {
+        self.owned_social_links()
+    }
+
+    /// Attribute links whose user is in the owned range (what
+    /// [`SanRead::attr_links`] iterates here).
+    #[inline]
+    fn num_attr_links(&self) -> usize {
+        self.owned_attr_links()
+    }
+
+    #[inline]
+    fn out_neighbors(&self, u: SocialId) -> &[SocialId] {
+        self.csr.out_neighbors(u)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, u: SocialId) -> &[SocialId] {
+        self.csr.in_neighbors(u)
+    }
+
+    #[inline]
+    fn attrs_of(&self, u: SocialId) -> &[AttrId] {
+        self.csr.attrs_of(u)
+    }
+
+    #[inline]
+    fn members_of(&self, a: AttrId) -> &[SocialId] {
+        self.csr.members_of(a)
+    }
+
+    #[inline]
+    fn attr_type(&self, a: AttrId) -> AttrType {
+        self.csr.attr_type(a)
+    }
+
+    #[inline]
+    fn has_social_link(&self, src: SocialId, dst: SocialId) -> bool {
+        self.csr.has_social_link(src, dst)
+    }
+
+    #[inline]
+    fn has_attr_link(&self, user: SocialId, attr: AttrId) -> bool {
+        self.csr.has_attr_link(user, attr)
+    }
+
+    #[inline]
+    fn social_neighbors(&self, u: SocialId) -> Cow<'_, [SocialId]> {
+        Cow::Borrowed(self.csr.undirected_neighbors(u))
+    }
+
+    #[inline]
+    fn common_attrs(&self, u: SocialId, v: SocialId) -> usize {
+        self.csr.common_attrs(u, v)
+    }
+
+    #[inline]
+    fn common_social_neighbors(&self, u: SocialId, v: SocialId) -> usize {
+        self.csr.common_social_neighbors(u, v)
+    }
+
+    /// Only the owned social nodes.
+    fn social_nodes(&self) -> impl Iterator<Item = SocialId> + '_ {
+        self.social_range().map(SocialId)
+    }
+
+    /// Only the owned attribute nodes.
+    fn attr_nodes(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.attr_range().map(AttrId)
+    }
+
+    /// Only the links originating in the owned range.
+    fn social_links(&self) -> impl Iterator<Item = (SocialId, SocialId)> + '_ {
+        self.social_range().flat_map(move |u| {
+            let u = SocialId(u);
+            self.csr.out_neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Only the attribute links of owned users.
+    fn attr_links(&self) -> impl Iterator<Item = (SocialId, AttrId)> + '_ {
+        self.social_range().flat_map(move |u| {
+            let u = SocialId(u);
+            self.csr.attrs_of(u).iter().map(move |&a| (u, a))
+        })
+    }
+}
+
+impl SanRead for ShardedCsrSan {
+    #[inline]
+    fn num_social_nodes(&self) -> usize {
+        self.csr.num_social_nodes()
+    }
+
+    #[inline]
+    fn num_attr_nodes(&self) -> usize {
+        self.csr.num_attr_nodes()
+    }
+
+    #[inline]
+    fn num_social_links(&self) -> usize {
+        SanRead::num_social_links(&*self.csr)
+    }
+
+    #[inline]
+    fn num_attr_links(&self) -> usize {
+        SanRead::num_attr_links(&*self.csr)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, u: SocialId) -> &[SocialId] {
+        self.csr.out_neighbors(u)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, u: SocialId) -> &[SocialId] {
+        self.csr.in_neighbors(u)
+    }
+
+    #[inline]
+    fn attrs_of(&self, u: SocialId) -> &[AttrId] {
+        self.csr.attrs_of(u)
+    }
+
+    #[inline]
+    fn members_of(&self, a: AttrId) -> &[SocialId] {
+        self.csr.members_of(a)
+    }
+
+    #[inline]
+    fn attr_type(&self, a: AttrId) -> AttrType {
+        self.csr.attr_type(a)
+    }
+
+    #[inline]
+    fn has_social_link(&self, src: SocialId, dst: SocialId) -> bool {
+        self.csr.has_social_link(src, dst)
+    }
+
+    #[inline]
+    fn has_attr_link(&self, user: SocialId, attr: AttrId) -> bool {
+        self.csr.has_attr_link(user, attr)
+    }
+
+    #[inline]
+    fn social_neighbors(&self, u: SocialId) -> Cow<'_, [SocialId]> {
+        Cow::Borrowed(self.csr.undirected_neighbors(u))
+    }
+
+    #[inline]
+    fn common_attrs(&self, u: SocialId, v: SocialId) -> usize {
+        self.csr.common_attrs(u, v)
+    }
+
+    #[inline]
+    fn common_social_neighbors(&self, u: SocialId, v: SocialId) -> usize {
+        self.csr.common_social_neighbors(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+    use crate::san::San;
+    use san_stats::SplitRng;
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = assert_send_sync::<ShardedCsrSan>();
+    const _: () = assert_send_sync::<CsrShard<'static>>();
+
+    fn random_csr(n: u32, links: usize, attrs: u32, attr_links: usize, seed: u64) -> CsrSan {
+        let mut rng = SplitRng::new(seed);
+        let mut san = San::new();
+        for _ in 0..n {
+            san.add_social_node();
+        }
+        for i in 0..attrs {
+            san.add_attr_node(AttrType::PAPER_TYPES[(i % 4) as usize]);
+        }
+        for _ in 0..links {
+            let u = SocialId(rng.below(u64::from(n)) as u32);
+            let v = SocialId(rng.below(u64::from(n)) as u32);
+            if u != v {
+                san.add_social_link(u, v);
+            }
+        }
+        for _ in 0..attr_links {
+            let u = SocialId(rng.below(u64::from(n)) as u32);
+            let a = AttrId(rng.below(u64::from(attrs)) as u32);
+            san.add_attr_link(u, a);
+        }
+        san.freeze()
+    }
+
+    /// Shards partition both id spaces exactly, for every K, including
+    /// K > node count (empty shards).
+    #[test]
+    fn shards_partition_id_spaces() {
+        let csr = random_csr(40, 200, 6, 50, 1);
+        for k in [1usize, 2, 3, 7, 64] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            assert_eq!(sharded.num_shards(), k);
+            let mut social: Vec<u32> = Vec::new();
+            let mut attrs: Vec<u32> = Vec::new();
+            for s in sharded.shards() {
+                social.extend(s.social_range());
+                attrs.extend(s.attr_range());
+            }
+            assert_eq!(social, (0..40).collect::<Vec<_>>(), "k={k}");
+            assert_eq!(attrs, (0..6).collect::<Vec<_>>(), "k={k}");
+        }
+    }
+
+    /// Edge-count balance: with uniform random links, no shard should carry
+    /// a grossly outsized share of directed link endpoints.
+    #[test]
+    fn shards_balance_edges_not_nodes() {
+        // One hub with ~half of all links plus a uniform tail.
+        let mut san = San::new();
+        for _ in 0..100 {
+            san.add_social_node();
+        }
+        for v in 1..100u32 {
+            san.add_social_link(SocialId(0), SocialId(v));
+        }
+        let mut rng = SplitRng::new(7);
+        for _ in 0..99 {
+            let u = SocialId(1 + rng.below(99) as u32);
+            let v = SocialId(1 + rng.below(99) as u32);
+            if u != v {
+                san.add_social_link(u, v);
+            }
+        }
+        let csr = san.freeze();
+        let total: usize = 2 * SanRead::num_social_links(&csr);
+        let sharded = ShardedCsrSan::from_csr(csr, 4);
+        // The hub (node 0) must sit alone-ish: its shard should not also
+        // absorb a quarter of the remaining nodes' edges.
+        let weights: Vec<usize> = sharded
+            .shards()
+            .map(|s| {
+                s.social_range()
+                    .map(|u| {
+                        let u = SocialId(u);
+                        s.out_neighbors(u).len() + s.in_neighbors(u).len()
+                    })
+                    .sum()
+            })
+            .collect();
+        assert_eq!(weights.iter().sum::<usize>(), total);
+        let max = *weights.iter().max().unwrap();
+        // Perfect balance is total/4; the hub alone holds ~total/2 of the
+        // endpoints, so the best achievable max share is ~1/2. Node-count
+        // partitioning would give the hub's shard ~1/2 + 1/4.
+        assert!(
+            max <= total * 2 / 3,
+            "weights {weights:?} not edge-balanced (total {total})"
+        );
+        // And the hub's shard must be node-light.
+        let hub_shard = sharded.shard(0);
+        assert!(hub_shard.owned_social_nodes() < 50);
+    }
+
+    #[test]
+    fn shard_view_restricts_iteration_but_not_queries() {
+        let fx = figure1();
+        let sharded = ShardedCsrSan::from_csr(fx.san.freeze(), 2);
+        let whole = sharded.csr().clone();
+        let mut links = Vec::new();
+        for s in sharded.shards() {
+            // Iteration: only owned nodes.
+            for u in s.social_nodes() {
+                assert!(s.social_range().contains(&u.0));
+            }
+            links.extend(s.social_links());
+            // Queries by id work for *any* node, owned or not.
+            for u in SanRead::social_nodes(&whole) {
+                assert_eq!(s.out_neighbors(u), SanRead::out_neighbors(&whole, u));
+                assert_eq!(
+                    s.social_neighbors(u).as_ref(),
+                    SanRead::social_neighbors(&whole, u).as_ref()
+                );
+            }
+            assert_eq!(s.num_social_nodes(), whole.num_social_nodes());
+        }
+        let mut expect: Vec<_> = SanRead::social_links(&whole).collect();
+        expect.sort_unstable();
+        links.sort_unstable();
+        assert_eq!(links, expect);
+    }
+
+    #[test]
+    fn shard_link_counters_sum_to_whole() {
+        let csr = random_csr(30, 150, 5, 40, 3);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let links: usize = sharded.shards().map(|s| s.num_social_links()).sum();
+            let alinks: usize = sharded.shards().map(|s| s.num_attr_links()).sum();
+            assert_eq!(links, SanRead::num_social_links(&csr), "k={k}");
+            assert_eq!(alinks, SanRead::num_attr_links(&csr), "k={k}");
+        }
+    }
+
+    #[test]
+    fn whole_view_delegates_everywhere() {
+        let csr = random_csr(25, 100, 4, 30, 9);
+        let sharded = ShardedCsrSan::from_csr(csr.clone(), 3);
+        assert_eq!(sharded.num_social_nodes(), csr.num_social_nodes());
+        assert_eq!(
+            SanRead::num_social_links(&sharded),
+            SanRead::num_social_links(&csr)
+        );
+        for u in SanRead::social_nodes(&csr) {
+            assert_eq!(
+                SanRead::out_neighbors(&sharded, u),
+                SanRead::out_neighbors(&csr, u)
+            );
+            for v in SanRead::social_nodes(&csr) {
+                assert_eq!(
+                    SanRead::has_social_link(&sharded, u, v),
+                    SanRead::has_social_link(&csr, u, v)
+                );
+                assert_eq!(
+                    SanRead::common_social_neighbors(&sharded, u, v),
+                    SanRead::common_social_neighbors(&csr, u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_fold_run_in_shard_order() {
+        let csr = random_csr(50, 300, 8, 60, 5);
+        let sharded = ShardedCsrSan::from_csr(csr, 5);
+        let indices = sharded.map_shards(|s| s.index());
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        let degree_sum: usize = sharded.fold_shards(
+            |s| {
+                s.social_range()
+                    .map(|u| s.out_neighbors(SocialId(u)).len())
+                    .sum::<usize>()
+            },
+            0usize,
+            |acc, part| acc + part,
+        );
+        assert_eq!(degree_sum, SanRead::num_social_links(sharded.csr()));
+    }
+
+    #[test]
+    fn shard_bytes_accounts_for_the_whole_snapshot() {
+        let csr = random_csr(60, 400, 7, 80, 11);
+        let whole = csr.heap_bytes();
+        for k in [1usize, 2, 4, 9] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let per_shard = sharded.shard_bytes();
+            assert_eq!(per_shard.len(), k);
+            let sum: usize = per_shard.iter().sum();
+            // Shards split payloads and offset slots exactly; the whole
+            // additionally carries one sentinel slot per offset table
+            // (5 tables × 4 bytes).
+            assert_eq!(sum + 5 * 4, whole, "k={k}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_yields_empty_shards() {
+        let mut san = San::new();
+        for _ in 0..3 {
+            san.add_social_node();
+        }
+        san.add_social_link(SocialId(0), SocialId(1));
+        let sharded = ShardedCsrSan::from_csr(san.freeze(), 7);
+        assert_eq!(sharded.num_shards(), 7);
+        let nonempty = sharded.shards().filter(|s| !s.is_empty()).count();
+        assert!(nonempty <= 3);
+        let owned: usize = sharded.shards().map(|s| s.owned_social_nodes()).sum();
+        assert_eq!(owned, 3);
+        // Drivers still work with empty shards present.
+        let total_links: usize = sharded
+            .map_shards(|s| s.social_links().count())
+            .into_iter()
+            .sum();
+        assert_eq!(total_links, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_shards() {
+        let sharded = ShardedCsrSan::from_csr(San::new().freeze(), 4);
+        assert_eq!(sharded.num_shards(), 4);
+        assert!(sharded.shards().all(|s| s.is_empty()));
+        assert_eq!(sharded.map_shards(|s| s.owned_social_links()), vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedCsrSan::from_csr(San::new().freeze(), 0);
+    }
+
+    #[test]
+    fn social_ranges_cover_buffer_exactly() {
+        let csr = random_csr(33, 120, 4, 20, 13);
+        let sharded = ShardedCsrSan::from_csr(csr, 4);
+        let ranges = sharded.social_ranges();
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 33);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}

@@ -68,7 +68,7 @@ proptest! {
         if let Some(max_day) = tl.max_day() {
             let mut sampled = Vec::new();
             for (day, snap) in tl.snapshot_stream(step_raw) {
-                prop_assert_eq!(&snap, &tl.snapshot_csr(day), "step={} day={}", step_raw, day);
+                prop_assert_eq!(&*snap, &tl.snapshot_csr(day), "step={} day={}", step_raw, day);
                 sampled.push(day);
             }
             let expect: Vec<u32> = (0..=max_day)
@@ -192,7 +192,7 @@ fn hand_built_log_with_rejected_events_matches_replay() {
     ];
     let tl = SanTimeline::from_events(events);
     for (day, snap) in tl.snapshot_stream(1) {
-        assert_eq!(snap, tl.snapshot_csr(day), "day {day}");
+        assert_eq!(*snap, tl.snapshot_csr(day), "day {day}");
     }
 }
 

@@ -18,7 +18,7 @@
 //! With `K = ⌈ln(2ν)/(2ε²)⌉` the error is at most `ε` with probability
 //! `1 − 1/ν` (Theorem 3).
 
-use san_graph::{AttrId, AttrType, SanRead, SocialId};
+use san_graph::{AttrId, AttrType, SanRead, ShardedCsrSan, SocialId};
 use san_stats::{hoeffding_samples, SplitRng};
 use std::collections::{BTreeMap, HashSet};
 
@@ -95,6 +95,40 @@ pub fn average_clustering_exact(san: &impl SanRead, which: NodeSet) -> f64 {
                 / n as f64
         }
     }
+}
+
+/// Shard-parallel exact average clustering over `Ω`.
+///
+/// Decomposition: each shard sums the exact `c(u)` of the nodes it owns —
+/// the shard view answers neighbourhood queries globally, so triangles
+/// whose corners live in *other* shards are counted exactly as in the
+/// sequential sweep — and the per-shard sums merge by addition in shard
+/// order before the single division by `|Ω|`. The result matches
+/// [`average_clustering_exact`] up to float-summation regrouping (the
+/// shard-equivalence suite pins ≤ 1e-12).
+pub fn average_clustering_sharded(g: &ShardedCsrSan, which: NodeSet) -> f64 {
+    let n = match which {
+        NodeSet::Social => g.csr().num_social_nodes(),
+        NodeSet::Attr => g.csr().num_attr_nodes(),
+    };
+    if n == 0 {
+        return 0.0;
+    }
+    let sum = g.fold_shards(
+        |shard| match which {
+            NodeSet::Social => shard
+                .social_nodes()
+                .map(|u| local_clustering_social(&shard, u))
+                .sum::<f64>(),
+            NodeSet::Attr => shard
+                .attr_nodes()
+                .map(|a| local_clustering_attr(&shard, a))
+                .sum::<f64>(),
+        },
+        0.0f64,
+        |acc, part| acc + part,
+    );
+    sum / n as f64
 }
 
 /// Samples `F(v, u, w)` for a uniform neighbour pair of centre `u`
@@ -390,6 +424,30 @@ mod tests {
             .find(|(ty, _, _)| *ty == AttrType::City)
             .unwrap();
         assert_eq!(city.1, 0.0); // SF members {u2, u5}: no links.
+    }
+
+    #[test]
+    fn sharded_average_matches_exact_for_every_k() {
+        let fx = figure1();
+        let csr = fx.san.freeze();
+        for which in [NodeSet::Social, NodeSet::Attr] {
+            let exact = average_clustering_exact(&csr, which);
+            for k in [1usize, 2, 3, 7, 16] {
+                let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+                let got = average_clustering_sharded(&sharded, which);
+                assert!(
+                    (got - exact).abs() < 1e-12,
+                    "which={which:?} k={k} got={got} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_average_empty_graph() {
+        let sharded = ShardedCsrSan::from_csr(San::new().freeze(), 4);
+        assert_eq!(average_clustering_sharded(&sharded, NodeSet::Social), 0.0);
+        assert_eq!(average_clustering_sharded(&sharded, NodeSet::Attr), 0.0);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! [`san_stats::fit`] over all four vectors; zero-degree nodes are excluded
 //! from fitting (the paper plots `k ≥ 1`).
 
-use san_graph::degree::degree_vectors;
-use san_graph::SanRead;
+use san_graph::degree::{degree_vectors, DegreeVectors};
+use san_graph::{SanRead, ShardedCsrSan};
 use san_stats::fit::{fit_degree_distribution, DegreeFit};
 use san_stats::StatsError;
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,46 @@ pub struct SanDegreeFits {
 /// vectors they care about instead).
 pub fn fit_san_degrees(san: &impl SanRead) -> Result<SanDegreeFits, StatsError> {
     let dv = degree_vectors(san);
+    Ok(SanDegreeFits {
+        out_degree: fit_degree_distribution(&dv.out)?,
+        in_degree: fit_degree_distribution(&dv.inc)?,
+        attr_degree: fit_degree_distribution(&dv.attr_of_social)?,
+        attr_social_degree: fit_degree_distribution(&dv.social_of_attr)?,
+    })
+}
+
+/// Shard-parallel extraction of the four degree vectors.
+///
+/// Decomposition: each shard extracts the vectors for the social and
+/// attribute nodes it owns (degrees are O(1) row-length reads); because
+/// shards are node-contiguous and merged in shard order, concatenation
+/// reproduces the global node order exactly, so the result is
+/// **element-for-element identical** to
+/// [`san_graph::degree::degree_vectors`].
+pub fn degree_vectors_sharded(g: &ShardedCsrSan) -> DegreeVectors {
+    g.fold_shards(
+        |shard| {
+            // `degree_vectors` is generic over SanRead, and the shard view
+            // iterates exactly its owned ranges: the sequential extractor
+            // *is* the per-shard partial.
+            degree_vectors(&shard)
+        },
+        DegreeVectors::default(),
+        |mut acc, part| {
+            acc.out.extend(part.out);
+            acc.inc.extend(part.inc);
+            acc.attr_of_social.extend(part.attr_of_social);
+            acc.social_of_attr.extend(part.social_of_attr);
+            acc
+        },
+    )
+}
+
+/// Shard-parallel variant of [`fit_san_degrees`]: extracts the degree
+/// vectors across shards, then fits. The vectors are identical to the
+/// sequential extraction, so the fits are too.
+pub fn fit_san_degrees_sharded(g: &ShardedCsrSan) -> Result<SanDegreeFits, StatsError> {
+    let dv = degree_vectors_sharded(g);
     Ok(SanDegreeFits {
         out_degree: fit_degree_distribution(&dv.out)?,
         in_degree: fit_degree_distribution(&dv.inc)?,
@@ -98,6 +138,33 @@ mod tests {
             "alpha={}",
             fits.attr_social_degree.alpha
         );
+    }
+
+    #[test]
+    fn sharded_degree_vectors_identical() {
+        let san = synthetic_google_like(400, 3);
+        let csr = san.freeze();
+        let seq = degree_vectors(&csr);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let dv = degree_vectors_sharded(&sharded);
+            assert_eq!(dv.out, seq.out, "k={k}");
+            assert_eq!(dv.inc, seq.inc, "k={k}");
+            assert_eq!(dv.attr_of_social, seq.attr_of_social, "k={k}");
+            assert_eq!(dv.social_of_attr, seq.social_of_attr, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_fits_match_sequential() {
+        let san = synthetic_google_like(800, 5);
+        let csr = san.freeze();
+        let seq = fit_san_degrees(&csr).unwrap();
+        let sharded = ShardedCsrSan::from_csr(csr, 4);
+        let fits = fit_san_degrees_sharded(&sharded).unwrap();
+        assert_eq!(fits.out_degree.family, seq.out_degree.family);
+        assert_eq!(fits.out_degree.mu, seq.out_degree.mu);
+        assert_eq!(fits.attr_social_degree.alpha, seq.attr_social_degree.alpha);
     }
 
     #[test]

@@ -15,17 +15,22 @@
 //! ([`SanTimeline::for_each_snapshot`] /
 //! [`SanTimeline::snapshot_stream`]) — so a full-resolution sweep is
 //! near-linear in events, not quadratic. The parallel variant
-//! [`evolve_metric_parallel`] streams snapshots to workers through a
-//! bounded channel, so peak memory is O(threads × E) however long the
-//! timeline is. Metrics that only read aggregate counters should use
-//! [`evolve_metric_counts`], which never freezes at all.
+//! [`evolve_metric_parallel`] streams `Arc`-shared snapshots to workers
+//! through a bounded channel (no flat-array clone per day), so peak memory
+//! is O(threads × E) however long the timeline is;
+//! [`evolve_metric_sharded`] adds the second axis — each worker
+//! range-partitions its day into a
+//! [`ShardedCsrSan`](san_graph::ShardedCsrSan) so one expensive snapshot
+//! can saturate the machine (days × shards). Metrics that only read
+//! aggregate counters should use [`evolve_metric_counts`], which never
+//! freezes at all.
 
 use san_graph::evolve::DayCounts;
-use san_graph::{CsrSan, SanTimeline};
+use san_graph::{CsrSan, SanTimeline, ShardedCsrSan};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The three evolution phases of Google+.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -179,32 +184,18 @@ where
     series
 }
 
-/// Parallel variant of [`evolve_metric`] for expensive per-day metrics.
-///
-/// The producer (caller thread) streams delta-frozen `(day, CsrSan)`
-/// snapshots through a **bounded channel** of capacity `2 × threads` to
-/// `threads` scoped workers evaluating `metric` — the read/write split in
-/// action: a single writer patches snapshots forward, many readers measure
-/// them concurrently. When workers fall behind, the producer blocks on the
-/// full channel, so peak memory is O(threads × E) — independent of
-/// timeline length and of `step` — instead of the O(days/step × E) of
-/// materialising every sampled snapshot up front. Worth it when the metric
-/// dominates the patch cost (diameter, exact clustering); for cheap
-/// metrics prefer the single-pass [`evolve_metric`], and for counter-only
-/// metrics [`evolve_metric_counts`].
-///
-/// The returned series is in day order regardless of which worker finished
-/// first, and is identical to the sequential [`evolve_metric`] result for
-/// any pure `metric`.
-pub fn evolve_metric_parallel<F>(
+/// The shared streamed-parallel driver behind [`evolve_metric_parallel`]
+/// and [`evolve_metric_sharded`]: delta-frozen `Arc<CsrSan>` days fan out
+/// through a bounded channel to `threads` scoped workers running `eval`.
+fn stream_metric_parallel<F>(
     timeline: &SanTimeline,
     name: &str,
     step: u32,
     threads: usize,
-    metric: F,
+    eval: F,
 ) -> MetricSeries
 where
-    F: Fn(u32, &CsrSan) -> f64 + Sync,
+    F: Fn(u32, Arc<CsrSan>) -> f64 + Sync,
 {
     assert!(step >= 1, "step must be at least 1");
     assert!(threads >= 1, "need at least one thread");
@@ -217,8 +208,10 @@ where
     }
     // Bounded hand-off: producer blocks once 2×threads snapshots are in
     // flight. Workers share the receiver behind a mutex (dropped before
-    // the metric runs, so consumption itself is concurrent).
-    let (tx, rx) = sync_channel::<(u32, CsrSan)>(2 * threads);
+    // the metric runs, so consumption itself is concurrent). Each item is
+    // an Arc hand-off, not a flat-array clone; the freezer only allocates
+    // a fresh buffer for days whose Arc a worker still holds.
+    let (tx, rx) = sync_channel::<(u32, Arc<CsrSan>)>(2 * threads);
     let rx = Mutex::new(rx);
     let results = Mutex::new(Vec::<(u32, f64)>::new());
     // A panicking metric must not wedge the producer against a full
@@ -235,15 +228,15 @@ where
                 if panicked.lock().expect("panic slot").is_some() {
                     continue;
                 }
-                match catch_unwind(AssertUnwindSafe(|| metric(day, &snap))) {
+                match catch_unwind(AssertUnwindSafe(|| eval(day, snap))) {
                     Ok(value) => results.lock().expect("results lock").push((day, value)),
                     Err(payload) => *panicked.lock().expect("panic slot") = Some(payload),
                 }
             });
         }
         for item in timeline.snapshot_stream(step) {
-            // Stop patching/cloning the remaining days once a worker has
-            // caught a metric panic — the sweep is dead either way.
+            // Stop patching the remaining days once a worker has caught a
+            // metric panic — the sweep is dead either way.
             if panicked.lock().expect("panic slot").is_some() {
                 break;
             }
@@ -263,6 +256,69 @@ where
         series.values.push(value);
     }
     series
+}
+
+/// Parallel variant of [`evolve_metric`] for expensive per-day metrics —
+/// **snapshot-level** parallelism (one day per worker).
+///
+/// The producer (caller thread) streams delta-frozen `(day, Arc<CsrSan>)`
+/// snapshots through a **bounded channel** of capacity `2 × threads` to
+/// `threads` scoped workers evaluating `metric` — the read/write split in
+/// action: a single writer patches snapshots forward, many readers measure
+/// them concurrently. When workers fall behind, the producer blocks on the
+/// full channel, so peak memory is O(threads × E) — independent of
+/// timeline length and of `step` — instead of the O(days/step × E) of
+/// materialising every sampled snapshot up front. Worth it when the metric
+/// dominates the patch cost (diameter, exact clustering); for cheap
+/// metrics prefer the single-pass [`evolve_metric`], for counter-only
+/// metrics [`evolve_metric_counts`], and when a *single* day should
+/// saturate the machine, [`evolve_metric_sharded`].
+///
+/// The returned series is in day order regardless of which worker finished
+/// first, and is identical to the sequential [`evolve_metric`] result for
+/// any pure `metric`.
+pub fn evolve_metric_parallel<F>(
+    timeline: &SanTimeline,
+    name: &str,
+    step: u32,
+    threads: usize,
+    metric: F,
+) -> MetricSeries
+where
+    F: Fn(u32, &CsrSan) -> f64 + Sync,
+{
+    stream_metric_parallel(timeline, name, step, threads, |day, snap| {
+        metric(day, &snap)
+    })
+}
+
+/// Evolution sweep with **days × shards** parallelism: `threads` workers
+/// each take one sampled day at a time (as in [`evolve_metric_parallel`])
+/// and range-partition it into a `shards`-way [`ShardedCsrSan`] for the
+/// metric to sweep with intra-snapshot parallelism
+/// ([`ShardedCsrSan::map_shards`] / `fold_shards`).
+///
+/// Pick the split to match the workload: long timelines with cheap days
+/// want `threads > 1, shards = 1`; short timelines with expensive days
+/// (effective diameter, exact clustering on the final snapshot) want
+/// `threads = 1, shards = cores`; in between, `threads × shards ≈ cores`.
+/// The hand-off is `Arc`-shared end to end — the freezer's day goes to the
+/// worker and into the sharded view without ever cloning a flat array.
+pub fn evolve_metric_sharded<F>(
+    timeline: &SanTimeline,
+    name: &str,
+    step: u32,
+    threads: usize,
+    shards: usize,
+    metric: F,
+) -> MetricSeries
+where
+    F: Fn(u32, &ShardedCsrSan) -> f64 + Sync,
+{
+    assert!(shards >= 1, "need at least one shard");
+    stream_metric_parallel(timeline, name, step, threads, |day, snap| {
+        metric(day, &ShardedCsrSan::new(snap, shards))
+    })
 }
 
 #[cfg(test)]
@@ -352,6 +408,37 @@ mod tests {
             assert_eq!(par.days, seq.days, "threads={threads}");
             assert_eq!(par.values, seq.values, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_sequential_over_threads_and_shards() {
+        let tl = growing_timeline(30);
+        let seq = evolve_metric(&tl, "links", 3, |_, s| s.num_social_links() as f64);
+        for threads in [1usize, 2] {
+            for shards in [1usize, 2, 4] {
+                // Per-shard link counters summed across shards must equal
+                // the whole-day counter on every sampled day.
+                let par = evolve_metric_sharded(&tl, "links", 3, threads, shards, |_, g| {
+                    g.fold_shards(|s| s.num_social_links(), 0usize, |a, p| a + p) as f64
+                });
+                assert_eq!(par.days, seq.days, "threads={threads} shards={shards}");
+                assert_eq!(par.values, seq.values, "threads={threads} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_empty_timeline() {
+        let tl = SanTimeline::default();
+        let s = evolve_metric_sharded(&tl, "x", 1, 2, 4, |_, _| 0.0);
+        assert!(s.days.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn sharded_sweep_rejects_zero_shards() {
+        let tl = growing_timeline(3);
+        evolve_metric_sharded(&tl, "x", 1, 1, 0, |_, _| 0.0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! directions): lifted distances equal attribute distances plus one, so the
 //! attribute diameter falls out of the same machinery.
 
-use san_graph::SanRead;
+use san_graph::{SanRead, ShardedCsrSan, SocialId};
 use san_stats::SplitRng;
 
 /// A HyperLogLog cardinality counter with `2^b` registers.
@@ -163,6 +163,147 @@ pub fn neighborhood_function(
         series.push(estimate_total(&counters));
     }
     series
+}
+
+/// Carves `buf` into disjoint mutable chunks matching contiguous `ranges`
+/// (which must cover `0..buf.len()` exactly — what
+/// [`ShardedCsrSan::social_ranges`] yields), so scoped shard workers can
+/// write their own node range without locks.
+fn split_chunks<'a, T>(
+    mut buf: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let (head, tail) = buf.split_at_mut(r.len());
+        out.push(head);
+        buf = tail;
+    }
+    debug_assert!(buf.is_empty(), "ranges must cover the buffer exactly");
+    out
+}
+
+/// Shard-parallel HyperANF over the directed social graph.
+///
+/// Decomposition: every synchronous round writes `c_u(t+1)` for the nodes
+/// a shard owns into that shard's disjoint chunk of the double buffer,
+/// reading the previous round's counters globally (`c_v(t)` of an
+/// out-neighbour in another shard is just a shared read) — so the register
+/// evolution is **bit-for-bit identical** to [`neighborhood_function`]
+/// over the same adjacency. Per-node estimates are likewise filled into a
+/// shard-chunked buffer and then summed sequentially in node order, which
+/// keeps the reported series (and therefore the interpolated diameter)
+/// bit-identical too, not merely close.
+pub fn neighborhood_function_sharded(
+    g: &ShardedCsrSan,
+    b: u8,
+    max_iters: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let csr = g.csr();
+    let n = csr.num_social_nodes();
+    if n == 0 {
+        return vec![0.0];
+    }
+    let ranges = g.social_ranges();
+    let mut counters: Vec<HyperLogLog> = (0..n)
+        .map(|u| {
+            let mut c = HyperLogLog::new(b);
+            c.insert_hash(hash_node(u as u64, seed));
+            c
+        })
+        .collect();
+    let mut next = counters.clone();
+    let mut estimates = vec![0.0f64; n];
+
+    // One hop for the nodes of one chunk: copy each node's own counter
+    // (reusing the slot's register buffer — no per-round allocation),
+    // union the out-neighbours' previous-round counters. Returns the
+    // chunk's convergence flag.
+    let union_chunk =
+        |chunk: &mut [HyperLogLog], range: std::ops::Range<usize>, cur: &[HyperLogLog]| -> bool {
+            let mut changed = false;
+            for (slot, u) in chunk.iter_mut().zip(range) {
+                slot.registers.copy_from_slice(&cur[u].registers);
+                for &v in csr.out_neighbors(SocialId(u as u32)) {
+                    if slot.union_with(&cur[v.index()]) {
+                        changed = true;
+                    }
+                }
+            }
+            changed
+        };
+    let estimate_chunk = |chunk: &mut [f64], range: std::ops::Range<usize>, cur: &[HyperLogLog]| {
+        for (slot, u) in chunk.iter_mut().zip(range) {
+            *slot = cur[u].estimate();
+        }
+    };
+
+    // One hop for every owned node. Returns the convergence flag (any
+    // register changed anywhere). A single non-empty chunk (K = 1, or
+    // every other shard empty) runs inline — no hand-off worth paying for.
+    let run_round = |cur: &[HyperLogLog], next: &mut Vec<HyperLogLog>| -> bool {
+        let chunks = split_chunks(&mut next[..], &ranges);
+        if chunks.iter().filter(|c| !c.is_empty()).count() <= 1 {
+            return chunks
+                .into_iter()
+                .zip(&ranges)
+                .map(|(chunk, range)| union_chunk(chunk, range.clone(), cur))
+                .fold(false, |acc, changed| acc | changed);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .zip(&ranges)
+                .filter(|(chunk, _)| !chunk.is_empty())
+                .map(|(chunk, range)| scope.spawn(|| union_chunk(chunk, range.clone(), cur)))
+                .collect();
+            handles.into_iter().fold(false, |acc, h| {
+                acc | h.join().expect("hyperanf shard worker panicked")
+            })
+        })
+    };
+
+    // N(t) = Σ_u |c_u(t)|: per-node estimates in parallel, one sequential
+    // node-order sum (so the float result matches the sequential code).
+    let estimate_total = |cur: &[HyperLogLog], est: &mut Vec<f64>| -> f64 {
+        let chunks = split_chunks(&mut est[..], &ranges);
+        if chunks.iter().filter(|c| !c.is_empty()).count() <= 1 {
+            for (chunk, range) in chunks.into_iter().zip(&ranges) {
+                estimate_chunk(chunk, range.clone(), cur);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (chunk, range) in chunks
+                    .into_iter()
+                    .zip(&ranges)
+                    .filter(|(chunk, _)| !chunk.is_empty())
+                {
+                    scope.spawn(|| estimate_chunk(chunk, range.clone(), cur));
+                }
+            });
+        }
+        est.iter().sum()
+    };
+
+    let mut series = vec![estimate_total(&counters, &mut estimates)];
+    for _ in 0..max_iters {
+        let any_changed = run_round(&counters, &mut next);
+        std::mem::swap(&mut counters, &mut next);
+        if !any_changed {
+            break;
+        }
+        series.push(estimate_total(&counters, &mut estimates));
+    }
+    series
+}
+
+/// Shard-parallel effective social diameter: [`neighborhood_function_sharded`]
+/// plus the same interpolation as [`social_effective_diameter`] — identical
+/// output, one snapshot saturating `K` cores.
+pub fn social_effective_diameter_sharded(g: &ShardedCsrSan, q: f64, b: u8, seed: u64) -> f64 {
+    let nf = neighborhood_function_sharded(g, b, 256, seed);
+    effective_diameter_from_nf(&nf, q)
 }
 
 /// Interpolated effective diameter at quantile `q` from a neighbourhood
@@ -440,6 +581,48 @@ mod tests {
     fn attribute_diameter_no_attrs() {
         let san = path_graph(3);
         assert_eq!(attribute_effective_diameter(&san, 0.9, 8, 1), 0.0);
+    }
+
+    #[test]
+    fn sharded_nf_and_diameter_bit_identical() {
+        // A random-ish graph with reciprocal edges and a few components.
+        let mut san = San::new();
+        let ids: Vec<SocialId> = (0..60).map(|_| san.add_social_node()).collect();
+        for i in 0..59 {
+            san.add_social_link(ids[i], ids[i + 1]);
+            if i % 3 == 0 {
+                san.add_social_link(ids[i + 1], ids[i]);
+            }
+            if i % 7 == 0 && i + 5 < 60 {
+                san.add_social_link(ids[i], ids[i + 5]);
+            }
+        }
+        let csr = san.freeze();
+        let seq_d = social_effective_diameter(&csr, 0.9, 8, 42);
+        let adj: Vec<Vec<u32>> = (0..60u32)
+            .map(|u| {
+                san_graph::SanRead::out_neighbors(&csr, SocialId(u))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect();
+        let init = vec![true; 60];
+        let seq_nf = neighborhood_function(&adj, &init, &init, 8, 256, 42);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = san_graph::ShardedCsrSan::from_csr(csr.clone(), k);
+            let nf = neighborhood_function_sharded(&sharded, 8, 256, 42);
+            assert_eq!(nf, seq_nf, "k={k}");
+            let d = social_effective_diameter_sharded(&sharded, 0.9, 8, 42);
+            assert_eq!(d, seq_d, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_nf_empty_graph() {
+        let sharded = san_graph::ShardedCsrSan::from_csr(San::new().freeze(), 4);
+        assert_eq!(neighborhood_function_sharded(&sharded, 8, 64, 1), vec![0.0]);
+        assert_eq!(social_effective_diameter_sharded(&sharded, 0.9, 8, 1), 0.0);
     }
 
     #[test]

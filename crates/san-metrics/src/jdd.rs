@@ -12,14 +12,13 @@
 //! * **Attribute assortativity** is the Pearson correlation of
 //!   `(social degree of a, attribute degree of u)` over attribute links.
 
-use san_graph::SanRead;
+use san_graph::{SanRead, ShardedCsrSan};
 use std::collections::BTreeMap;
 
-/// Social degree-correlation function `knn` (Fig. 7a).
-///
-/// Returns `(out-degree k, mean in-degree of the out-neighbours of nodes
-/// with out-degree k)`, pooled over all such links, sorted by `k`.
-pub fn social_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
+/// The `out-degree k → (Σ in-degree, count)` accumulator over whatever
+/// node range the view iterates — shared by the sequential and sharded
+/// `knn` so their definitions cannot drift apart.
+fn social_knn_acc(san: &impl SanRead) -> BTreeMap<u64, (f64, u64)> {
     let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
     for u in san.social_nodes() {
         let k = san.out_degree(u) as u64;
@@ -32,29 +31,42 @@ pub fn social_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
             e.1 += 1;
         }
     }
-    acc.into_iter()
-        .filter(|(_, (_, n))| *n > 0)
-        .map(|(k, (sum, n))| (k, sum / n as f64))
-        .collect()
+    acc
 }
 
-/// Social assortativity coefficient `r ∈ [−1, 1]` (Fig. 7b): Pearson
-/// correlation of source out-degree and destination in-degree over all
-/// directed links. `0.0` for degenerate networks.
-pub fn social_assortativity(san: &impl SanRead) -> f64 {
+/// Social degree-correlation function `knn` (Fig. 7a).
+///
+/// Returns `(out-degree k, mean in-degree of the out-neighbours of nodes
+/// with out-degree k)`, pooled over all such links, sorted by `k`.
+pub fn social_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
+    knn_acc_to_vec(social_knn_acc(san))
+}
+
+/// The `(source out-degree, destination in-degree)` sample pairs of
+/// whatever link range the view iterates — shared by the sequential and
+/// sharded assortativity.
+fn social_assortativity_samples(san: &impl SanRead) -> (Vec<f64>, Vec<f64>) {
     let mut xs = Vec::with_capacity(san.num_social_links());
     let mut ys = Vec::with_capacity(san.num_social_links());
     for (u, v) in san.social_links() {
         xs.push(san.out_degree(u) as f64);
         ys.push(san.in_degree(v) as f64);
     }
+    (xs, ys)
+}
+
+/// Social assortativity coefficient `r ∈ [−1, 1]` (Fig. 7b): Pearson
+/// correlation of source out-degree and destination in-degree over all
+/// directed links. `0.0` for degenerate networks.
+pub fn social_assortativity(san: &impl SanRead) -> f64 {
+    let (xs, ys) = social_assortativity_samples(san);
     san_stats::pearson(&xs, &ys)
 }
 
-/// Attribute `knn` (Fig. 12a): for each social degree `k` of attribute
-/// nodes, the average attribute degree of the social members, pooled over
-/// all membership links of attributes with that degree.
-pub fn attribute_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
+/// The `social degree k → (Σ attribute degree, count)` accumulator over
+/// whatever attribute range the view iterates — shared by the sequential
+/// and sharded attribute `knn`.
+fn attribute_knn_acc(san: &impl SanRead) -> BTreeMap<u64, (f64, u64)> {
     let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
     for a in san.attr_nodes() {
         let k = san.social_degree_of_attr(a) as u64;
@@ -67,10 +79,14 @@ pub fn attribute_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
             e.1 += 1;
         }
     }
-    acc.into_iter()
-        .filter(|(_, (_, n))| *n > 0)
-        .map(|(k, (sum, n))| (k, sum / n as f64))
-        .collect()
+    acc
+}
+
+/// Attribute `knn` (Fig. 12a): for each social degree `k` of attribute
+/// nodes, the average attribute degree of the social members, pooled over
+/// all membership links of attributes with that degree.
+pub fn attribute_knn(san: &impl SanRead) -> Vec<(u64, f64)> {
+    knn_acc_to_vec(attribute_knn_acc(san))
 }
 
 /// Attribute assortativity coefficient (Fig. 12b): Pearson correlation of
@@ -83,6 +99,74 @@ pub fn attribute_assortativity(san: &impl SanRead) -> f64 {
         xs.push(san.social_degree_of_attr(a) as f64);
         ys.push(san.attr_degree(u) as f64);
     }
+    san_stats::pearson(&xs, &ys)
+}
+
+// ---------------------------------------------------------------------------
+// Shard-parallel variants.
+// ---------------------------------------------------------------------------
+
+/// Merges per-shard `knn` accumulators: same-degree buckets add their
+/// `(sum, count)` pairs. Counts merge exactly; sums regroup, so the final
+/// means match the sequential ones to ≤ 1e-12.
+fn merge_knn_acc(
+    mut acc: BTreeMap<u64, (f64, u64)>,
+    part: BTreeMap<u64, (f64, u64)>,
+) -> BTreeMap<u64, (f64, u64)> {
+    for (k, (sum, n)) in part {
+        let e = acc.entry(k).or_insert((0.0, 0));
+        e.0 += sum;
+        e.1 += n;
+    }
+    acc
+}
+
+fn knn_acc_to_vec(acc: BTreeMap<u64, (f64, u64)>) -> Vec<(u64, f64)> {
+    acc.into_iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(k, (sum, n))| (k, sum / n as f64))
+        .collect()
+}
+
+/// Shard-parallel social `knn`.
+///
+/// Decomposition: each shard runs the shared accumulator over the nodes
+/// it owns — in-degrees of out-neighbours are global O(1) row reads —
+/// and buckets merge by addition across shards.
+pub fn social_knn_sharded(g: &ShardedCsrSan) -> Vec<(u64, f64)> {
+    knn_acc_to_vec(g.fold_shards(
+        |shard| social_knn_acc(&shard),
+        BTreeMap::new(),
+        merge_knn_acc,
+    ))
+}
+
+/// Shard-parallel attribute `knn`: as [`social_knn_sharded`], pooling over
+/// the attribute nodes each shard owns.
+pub fn attribute_knn_sharded(g: &ShardedCsrSan) -> Vec<(u64, f64)> {
+    knn_acc_to_vec(g.fold_shards(
+        |shard| attribute_knn_acc(&shard),
+        BTreeMap::new(),
+        merge_knn_acc,
+    ))
+}
+
+/// Shard-parallel social assortativity.
+///
+/// Decomposition: each shard extracts the sample pairs of the links it
+/// owns via the shared extractor; shard-order concatenation reproduces
+/// the sequential link order exactly, so the Pearson coefficient is
+/// **bit-for-bit identical** to [`social_assortativity`].
+pub fn social_assortativity_sharded(g: &ShardedCsrSan) -> f64 {
+    let (xs, ys) = g.fold_shards(
+        |shard| social_assortativity_samples(&shard),
+        (Vec::new(), Vec::new()),
+        |(mut xs, mut ys), (px, py)| {
+            xs.extend(px);
+            ys.extend(py);
+            (xs, ys)
+        },
+    );
     san_stats::pearson(&xs, &ys)
 }
 
@@ -206,5 +290,58 @@ mod tests {
     #[test]
     fn attribute_assortativity_empty() {
         assert_eq!(attribute_assortativity(&San::new()), 0.0);
+    }
+
+    fn random_csr(seed: u64) -> san_graph::CsrSan {
+        let mut rng = SplitRng::new(seed);
+        let mut san = San::new();
+        let users: Vec<SocialId> = (0..200).map(|_| san.add_social_node()).collect();
+        let attrs: Vec<_> = (0..20)
+            .map(|_| san.add_attr_node(AttrType::Other))
+            .collect();
+        for &u in &users {
+            for _ in 0..1 + rng.below(6) {
+                let v = users[rng.below(200) as usize];
+                if u != v {
+                    san.add_social_link(u, v);
+                }
+            }
+            if rng.chance(0.5) {
+                san.add_attr_link(u, attrs[rng.below(20) as usize]);
+            }
+        }
+        san.freeze()
+    }
+
+    #[test]
+    fn sharded_knn_matches_sequential() {
+        let csr = random_csr(17);
+        let seq_social = social_knn(&csr);
+        let seq_attr = attribute_knn(&csr);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let got = social_knn_sharded(&sharded);
+            assert_eq!(got.len(), seq_social.len(), "k={k}");
+            for ((dk, dv), (sk, sv)) in got.iter().zip(&seq_social) {
+                assert_eq!(dk, sk, "k={k}");
+                assert!((dv - sv).abs() < 1e-12, "k={k} degree={dk}");
+            }
+            let got = attribute_knn_sharded(&sharded);
+            assert_eq!(got.len(), seq_attr.len(), "k={k}");
+            for ((dk, dv), (sk, sv)) in got.iter().zip(&seq_attr) {
+                assert_eq!(dk, sk, "k={k}");
+                assert!((dv - sv).abs() < 1e-12, "k={k} degree={dk}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_assortativity_is_bit_identical() {
+        let csr = random_csr(23);
+        let seq = social_assortativity(&csr);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            assert_eq!(social_assortativity_sharded(&sharded), seq, "k={k}");
+        }
     }
 }

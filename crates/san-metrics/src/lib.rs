@@ -24,6 +24,18 @@
 //! [`evolution::evolve_metric_parallel`] streams those snapshots through a
 //! bounded channel to worker threads with O(threads × E) peak memory.
 //!
+//! The hot per-node sweeps also come in **shard-parallel** form over a
+//! range-partitioned [`san_graph::ShardedCsrSan`], so a *single* snapshot
+//! can saturate the machine: [`clustering::average_clustering_sharded`],
+//! [`reciprocity::global_reciprocity_sharded`],
+//! [`degree_dist::degree_vectors_sharded`], [`jdd::social_knn_sharded`] /
+//! [`jdd::social_assortativity_sharded`], and
+//! [`hyperanf::social_effective_diameter_sharded`]; each decomposes into
+//! per-shard partials plus an explicit associative merge, proven
+//! equivalent to the sequential answer by the `shard_equivalence` suite.
+//! [`evolution::evolve_metric_sharded`] combines both axes (days ×
+//! shards) with `Arc<CsrSan>` hand-off.
+//!
 //! All heavy metrics take an explicit RNG so runs are deterministic, and all
 //! approximation knobs (`ε`, `ν`, HyperANF register width) default to the
 //! paper's operating points.
@@ -40,17 +52,25 @@ pub mod reciprocity;
 pub mod validate;
 
 pub use clustering::{
-    approx_average_clustering, average_clustering_exact, clustering_by_degree,
-    local_clustering_attr, local_clustering_social, NodeSet,
+    approx_average_clustering, average_clustering_exact, average_clustering_sharded,
+    clustering_by_degree, local_clustering_attr, local_clustering_social, NodeSet,
 };
-pub use degree_dist::{fit_san_degrees, SanDegreeFits};
+pub use degree_dist::{
+    degree_vectors_sharded, fit_san_degrees, fit_san_degrees_sharded, SanDegreeFits,
+};
 pub use density::{attr_density, social_density};
 pub use evolution::{
-    evolve_metric, evolve_metric_counts, evolve_metric_parallel, MetricSeries, Phase, PhaseBounds,
+    evolve_metric, evolve_metric_counts, evolve_metric_parallel, evolve_metric_sharded,
+    MetricSeries, Phase, PhaseBounds,
 };
 pub use hyperanf::{
-    attribute_effective_diameter, effective_diameter_from_nf, social_effective_diameter,
-    HyperLogLog,
+    attribute_effective_diameter, effective_diameter_from_nf, neighborhood_function_sharded,
+    social_effective_diameter, social_effective_diameter_sharded, HyperLogLog,
 };
-pub use jdd::{attribute_assortativity, attribute_knn, social_assortativity, social_knn};
-pub use reciprocity::{fine_grained_reciprocity, global_reciprocity, ReciprocityCell};
+pub use jdd::{
+    attribute_assortativity, attribute_knn, attribute_knn_sharded, social_assortativity,
+    social_assortativity_sharded, social_knn, social_knn_sharded,
+};
+pub use reciprocity::{
+    fine_grained_reciprocity, global_reciprocity, global_reciprocity_sharded, ReciprocityCell,
+};

@@ -11,13 +11,15 @@
 //! social neighbours `s` and common attribute neighbours `a`; the headline
 //! result is that any shared attribute roughly doubles reciprocation.
 
-use san_graph::SanRead;
+use san_graph::{SanRead, ShardedCsrSan};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Fraction of directed links `u → v` for which `v → u` also exists.
-/// Returns `0.0` for a network without social links.
-pub fn global_reciprocity(san: &impl SanRead) -> f64 {
+/// The `(links, mutual)` tally over whatever link range the view
+/// iterates: the whole network for `San`/`CsrSan`, an owned node range
+/// for a [`san_graph::CsrShard`] — the one loop both the sequential and
+/// sharded reciprocity share, so their definitions cannot drift apart.
+fn reciprocity_tally(san: &impl SanRead) -> (usize, usize) {
     let mut total = 0usize;
     let mut mutual = 0usize;
     for (u, v) in san.social_links() {
@@ -26,6 +28,33 @@ pub fn global_reciprocity(san: &impl SanRead) -> f64 {
             mutual += 1;
         }
     }
+    (total, mutual)
+}
+
+/// Fraction of directed links `u → v` for which `v → u` also exists.
+/// Returns `0.0` for a network without social links.
+pub fn global_reciprocity(san: &impl SanRead) -> f64 {
+    let (total, mutual) = reciprocity_tally(san);
+    if total == 0 {
+        0.0
+    } else {
+        mutual as f64 / total as f64
+    }
+}
+
+/// Shard-parallel global reciprocity.
+///
+/// Decomposition: each shard tallies `(links, mutual)` over the directed
+/// links *originating* in its node range (the reverse-link probe is a
+/// global binary search, so cross-shard reciprocal pairs resolve exactly);
+/// the integer tallies merge by addition, making the result **bit-for-bit
+/// identical** to [`global_reciprocity`] on the underlying snapshot.
+pub fn global_reciprocity_sharded(g: &ShardedCsrSan) -> f64 {
+    let (total, mutual) = g.fold_shards(
+        |shard| reciprocity_tally(&shard),
+        (0usize, 0usize),
+        |acc, part| (acc.0 + part.0, acc.1 + part.1),
+    );
     if total == 0 {
         0.0
     } else {
@@ -142,6 +171,20 @@ mod tests {
         assert_eq!(global_reciprocity(&san), 0.0);
         san.add_social_link(u1, u0);
         assert_eq!(global_reciprocity(&san), 1.0);
+    }
+
+    #[test]
+    fn sharded_global_reciprocity_is_bit_identical() {
+        let fx = figure1();
+        let csr = fx.san.freeze();
+        let seq = global_reciprocity(&csr);
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            assert_eq!(global_reciprocity_sharded(&sharded), seq, "k={k}");
+        }
+        // Empty graph: 0/0 convention preserved.
+        let empty = ShardedCsrSan::from_csr(San::new().freeze(), 3);
+        assert_eq!(global_reciprocity_sharded(&empty), 0.0);
     }
 
     fn two_snapshot_fixture() -> (San, San) {

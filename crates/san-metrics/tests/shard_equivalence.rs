@@ -1,0 +1,228 @@
+//! The equivalence proof for the sharding layer: for arbitrary timelines
+//! and every shard count K ∈ {1, 2, 3, 7} — including K greater than the
+//! node count, which forces empty shards — each shard-parallel metric
+//! equals its single-threaded `CsrSan` result: **bit-for-bit** for
+//! counter-backed metrics (reciprocity, degree vectors, assortativity,
+//! HyperANF's register evolution and therefore its series and diameter),
+//! and within 1e-12 for float aggregates whose per-shard partial sums
+//! regroup the additions (clustering, knn means).
+
+use proptest::prelude::*;
+use san_graph::prelude::*;
+use san_metrics::clustering::{average_clustering_exact, average_clustering_sharded, NodeSet};
+use san_metrics::degree_dist::degree_vectors_sharded;
+use san_metrics::hyperanf::{
+    neighborhood_function, neighborhood_function_sharded, social_effective_diameter,
+    social_effective_diameter_sharded,
+};
+use san_metrics::jdd::{
+    attribute_knn, attribute_knn_sharded, social_assortativity, social_assortativity_sharded,
+    social_knn, social_knn_sharded,
+};
+use san_metrics::reciprocity::{global_reciprocity, global_reciprocity_sharded};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Strategy: an arbitrary day-ordered timeline (same op mix as the
+/// delta-equivalence suite) whose final-day snapshot is the graph under
+/// test. Tiny timelines (fewer nodes than shards) and attribute-free
+/// timelines occur naturally.
+fn arb_timeline(max_ops: usize) -> impl Strategy<Value = SanTimeline> {
+    prop::collection::vec((0u8..6, any::<u32>(), any::<u32>()), 1..max_ops).prop_map(|ops| {
+        let mut tb = TimelineBuilder::new();
+        for (op, x, y) in ops {
+            match op {
+                0 => {
+                    tb.add_social_node();
+                }
+                1 => {
+                    let ty = match x % 4 {
+                        0 => AttrType::School,
+                        1 => AttrType::Major,
+                        2 => AttrType::Employer,
+                        _ => AttrType::City,
+                    };
+                    tb.add_attr_node(ty);
+                }
+                2 | 3 => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    if ns >= 2 {
+                        tb.add_social_link(SocialId(x % ns), SocialId(y % ns));
+                    }
+                }
+                4 => {
+                    let ns = tb.san().num_social_nodes() as u32;
+                    let na = tb.san().num_attr_nodes() as u32;
+                    if ns >= 1 && na >= 1 {
+                        tb.add_attr_link(SocialId(x % ns), AttrId(y % na));
+                    }
+                }
+                _ => {
+                    tb.advance_to_day(tb.day() + 1 + (x % 3));
+                }
+            }
+        }
+        tb.finish().0
+    })
+}
+
+fn final_csr(tl: &SanTimeline) -> CsrSan {
+    match tl.max_day() {
+        Some(d) => tl.snapshot_csr(d),
+        None => San::new().freeze(),
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clustering (both node sets): per-shard sums of exact `c(u)` merge
+    /// to the sequential average within float-regrouping error.
+    #[test]
+    fn sharded_clustering_equals_sequential(tl in arb_timeline(100)) {
+        let csr = final_csr(&tl);
+        for which in [NodeSet::Social, NodeSet::Attr] {
+            let seq = average_clustering_exact(&csr, which);
+            for &k in &SHARD_COUNTS {
+                let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+                let got = average_clustering_sharded(&sharded, which);
+                prop_assert!(
+                    close(got, seq),
+                    "which={:?} k={} got={} seq={}", which, k, got, seq
+                );
+            }
+        }
+    }
+
+    /// Reciprocity: integer tallies merge exactly — bit-for-bit.
+    #[test]
+    fn sharded_reciprocity_equals_sequential(tl in arb_timeline(100)) {
+        let csr = final_csr(&tl);
+        let seq = global_reciprocity(&csr);
+        for &k in &SHARD_COUNTS {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let got = global_reciprocity_sharded(&sharded);
+            prop_assert_eq!(got, seq, "k={}", k);
+        }
+    }
+
+    /// Degree vectors: shard-order concatenation reproduces the global
+    /// node order — element-for-element identical.
+    #[test]
+    fn sharded_degree_vectors_equal_sequential(tl in arb_timeline(100)) {
+        let csr = final_csr(&tl);
+        let seq = san_graph::degree::degree_vectors(&csr);
+        for &k in &SHARD_COUNTS {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let got = degree_vectors_sharded(&sharded);
+            prop_assert_eq!(&got.out, &seq.out, "k={}", k);
+            prop_assert_eq!(&got.inc, &seq.inc, "k={}", k);
+            prop_assert_eq!(&got.attr_of_social, &seq.attr_of_social, "k={}", k);
+            prop_assert_eq!(&got.social_of_attr, &seq.social_of_attr, "k={}", k);
+        }
+    }
+
+    /// JDD: knn buckets merge exactly in degree and count, means within
+    /// regrouping error; assortativity samples concatenate in sequential
+    /// order — bit-for-bit.
+    #[test]
+    fn sharded_jdd_equals_sequential(tl in arb_timeline(100)) {
+        let csr = final_csr(&tl);
+        let seq_knn = social_knn(&csr);
+        let seq_aknn = attribute_knn(&csr);
+        let seq_r = social_assortativity(&csr);
+        for &k in &SHARD_COUNTS {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let got = social_knn_sharded(&sharded);
+            prop_assert_eq!(got.len(), seq_knn.len(), "k={}", k);
+            for (g, s) in got.iter().zip(&seq_knn) {
+                prop_assert_eq!(g.0, s.0, "k={}", k);
+                prop_assert!(close(g.1, s.1), "k={} degree={} got={} seq={}", k, g.0, g.1, s.1);
+            }
+            let got = attribute_knn_sharded(&sharded);
+            prop_assert_eq!(got.len(), seq_aknn.len(), "k={}", k);
+            for (g, s) in got.iter().zip(&seq_aknn) {
+                prop_assert_eq!(g.0, s.0, "k={}", k);
+                prop_assert!(close(g.1, s.1), "k={} degree={} got={} seq={}", k, g.0, g.1, s.1);
+            }
+            prop_assert_eq!(social_assortativity_sharded(&sharded), seq_r, "k={}", k);
+        }
+    }
+
+    /// HyperANF: per-shard rounds write disjoint counter ranges reading
+    /// the previous round globally, so the register evolution — and hence
+    /// the series and the interpolated diameter — is bit-for-bit
+    /// identical to the sequential algorithm.
+    #[test]
+    fn sharded_hyperanf_equals_sequential(tl in arb_timeline(80), seed in any::<u64>()) {
+        let csr = final_csr(&tl);
+        let n = san_graph::SanRead::num_social_nodes(&csr);
+        let adj: Vec<Vec<u32>> = (0..n as u32)
+            .map(|u| {
+                san_graph::SanRead::out_neighbors(&csr, SocialId(u))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect();
+        let init = vec![true; n];
+        let seq_nf = neighborhood_function(&adj, &init, &init, 6, 256, seed);
+        let seq_d = social_effective_diameter(&csr, 0.9, 6, seed);
+        for &k in &SHARD_COUNTS {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            let nf = neighborhood_function_sharded(&sharded, 6, 256, seed);
+            prop_assert_eq!(&nf, &seq_nf, "k={}", k);
+            prop_assert_eq!(
+                social_effective_diameter_sharded(&sharded, 0.9, 6, seed),
+                seq_d,
+                "k={}", k
+            );
+        }
+    }
+}
+
+/// Degenerate shapes the strategies may not hit hard enough: the empty
+/// snapshot and K far above the node count, for every sharded metric.
+#[test]
+fn sharded_metrics_on_empty_and_oversharded_snapshots() {
+    let empty = San::new().freeze();
+    let mut tiny = San::new();
+    let u0 = tiny.add_social_node();
+    let u1 = tiny.add_social_node();
+    tiny.add_social_link(u0, u1);
+    tiny.add_social_link(u1, u0);
+    let a = tiny.add_attr_node(AttrType::City);
+    tiny.add_attr_link(u0, a);
+    let tiny = tiny.freeze();
+
+    for csr in [empty, tiny] {
+        for k in [1usize, 7, 32] {
+            let sharded = ShardedCsrSan::from_csr(csr.clone(), k);
+            assert!(close(
+                average_clustering_sharded(&sharded, NodeSet::Social),
+                average_clustering_exact(&csr, NodeSet::Social)
+            ));
+            assert_eq!(
+                global_reciprocity_sharded(&sharded),
+                global_reciprocity(&csr)
+            );
+            let dv = degree_vectors_sharded(&sharded);
+            let seq = san_graph::degree::degree_vectors(&csr);
+            assert_eq!(dv.out, seq.out);
+            assert_eq!(dv.social_of_attr, seq.social_of_attr);
+            assert_eq!(social_knn_sharded(&sharded), social_knn(&csr));
+            assert_eq!(
+                social_assortativity_sharded(&sharded),
+                social_assortativity(&csr)
+            );
+            assert_eq!(
+                social_effective_diameter_sharded(&sharded, 0.9, 6, 3),
+                social_effective_diameter(&csr, 0.9, 6, 3)
+            );
+        }
+    }
+}

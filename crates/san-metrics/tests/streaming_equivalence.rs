@@ -7,9 +7,11 @@
 //! bounded channels contend for cores at once.
 
 use san_graph::{AttrType, SanTimeline, SocialId, TimelineBuilder};
-use san_metrics::clustering::{average_clustering_exact, NodeSet};
-use san_metrics::evolution::{evolve_metric, evolve_metric_counts, evolve_metric_parallel};
-use san_metrics::reciprocity::global_reciprocity;
+use san_metrics::clustering::{average_clustering_exact, average_clustering_sharded, NodeSet};
+use san_metrics::evolution::{
+    evolve_metric, evolve_metric_counts, evolve_metric_parallel, evolve_metric_sharded,
+};
+use san_metrics::reciprocity::{global_reciprocity, global_reciprocity_sharded};
 use san_stats::SplitRng;
 
 /// A 45-day timeline with reciprocal links, triangles and attribute links,
@@ -78,6 +80,48 @@ fn streamed_parallel_matches_sequential_reciprocity() {
                 global_reciprocity(snap)
             });
             assert_eq!(par, seq, "reciprocity step={step} threads={threads}");
+        }
+    }
+}
+
+/// Shard mode over the same matrix: `evolve_metric_sharded` running the
+/// shard-parallel metrics must reproduce the sequential whole-snapshot
+/// sweep for every `threads × shards × step` combination. Reciprocity is
+/// integer-tallied (exact equality); clustering merges float partials
+/// (1e-12).
+#[test]
+fn sharded_sweep_matches_sequential_metrics() {
+    let tl = rich_timeline(45, 37);
+    for step in [1u32, 3, 7] {
+        let seq_recip = evolve_metric(&tl, "recip", step, |_, s| global_reciprocity(s));
+        let seq_clus = evolve_metric(&tl, "clus", step, |_, s| {
+            average_clustering_exact(s, NodeSet::Social)
+        });
+        for threads in [1usize, 2] {
+            for shards in [1usize, 2, 4] {
+                let recip = evolve_metric_sharded(&tl, "recip", step, threads, shards, |_, g| {
+                    global_reciprocity_sharded(g)
+                });
+                assert_eq!(
+                    recip, seq_recip,
+                    "reciprocity step={step} threads={threads} shards={shards}"
+                );
+                let clus = evolve_metric_sharded(&tl, "clus", step, threads, shards, |_, g| {
+                    average_clustering_sharded(g, NodeSet::Social)
+                });
+                assert_eq!(clus.days, seq_clus.days);
+                for (day, (a, b)) in clus
+                    .days
+                    .iter()
+                    .zip(clus.values.iter().zip(&seq_clus.values))
+                {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                        "clustering day={day} step={step} threads={threads} shards={shards}: \
+                         {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 }
