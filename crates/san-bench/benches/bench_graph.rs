@@ -285,10 +285,98 @@ fn bench_sharded_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Columnar snapshot store on the 10k-node/98-day fixture: serialise /
+// deserialise throughput of the final-day CsrSan (write + read MB/s over
+// an in-memory buffer, so the disk is out of the picture), and the payoff
+// it buys — a mid-timeline sweep resumed from a persisted vault day
+// versus the same suffix swept by replaying from day 0. ROADMAP records
+// the medians.
+// ---------------------------------------------------------------------------
+
+fn bench_vault_io(c: &mut Criterion) {
+    use san_graph::store::SnapshotVault;
+    use san_metrics::evolution::{evolve_metric, evolve_metric_from, SnapshotSource};
+
+    let tl = ten_k_timeline();
+    let final_day = tl.snapshot_csr(tl.max_day().unwrap());
+    let bytes = final_day.to_store_bytes();
+    let mib = bytes.len() as f64 / (1024.0 * 1024.0);
+
+    // A vault persisting every 7th day, used by the resume benches below.
+    let dir = std::env::temp_dir().join(format!("san-bench-vault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut vault = SnapshotVault::create(&dir).expect("create bench vault");
+    vault.save_timeline(&tl, 7).expect("persist timeline");
+    let resume_day = 49; // persisted: 49 % 7 == 0
+
+    let mut group = c.benchmark_group("graph/vault_io");
+    group.sample_size(10);
+    group.bench_function(format!("write_{mib:.1}MiB"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes.len());
+            final_day.write_to(&mut out).expect("write");
+            black_box(out.len())
+        });
+    });
+    group.bench_function(format!("read_{mib:.1}MiB"), |b| {
+        b.iter(|| black_box(CsrSan::from_store_bytes(&bytes).expect("read").heap_bytes()));
+    });
+    // The suffix sweep [49, 98], step 1, global reciprocity per day.
+    // Baseline: the no-vault fallback (delta-patch days 0..=98, withhold
+    // the prefix — an empty vault source does exactly that, so the two
+    // sides run the same driver and evaluate the same metric calls).
+    // Contrast: resume loads day 49 from disk and patches only 50..=98.
+    let empty_dir = dir.join("empty");
+    let empty_vault = SnapshotVault::create(&empty_dir).expect("create empty vault");
+    group.bench_function("suffix_sweep/replay_from_day0", |b| {
+        b.iter(|| {
+            let series = evolve_metric_from(
+                SnapshotSource::Vault {
+                    timeline: &tl,
+                    vault: &empty_vault,
+                    start: resume_day,
+                },
+                "recip",
+                1,
+                |_, snap| global_reciprocity(snap),
+            )
+            .expect("replay sweep");
+            black_box(series.values.len())
+        });
+    });
+    // And the conventional full sweep for scale (every day gets the
+    // metric, nothing withheld).
+    group.bench_function("full_sweep/replay_from_day0", |b| {
+        b.iter(|| {
+            let series = evolve_metric(&tl, "recip", 1, |_, snap| global_reciprocity(snap));
+            black_box(series.values.len())
+        });
+    });
+    group.bench_function("suffix_sweep/resume_from_vault", |b| {
+        b.iter(|| {
+            let series = evolve_metric_from(
+                SnapshotSource::Vault {
+                    timeline: &tl,
+                    vault: &vault,
+                    start: resume_day,
+                },
+                "recip",
+                1,
+                |_, snap| global_reciprocity(snap),
+            )
+            .expect("vault sweep");
+            black_box(series.values.len())
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay,
-        bench_timeline_sweep, bench_sharded_sweep
+        bench_timeline_sweep, bench_sharded_sweep, bench_vault_io
 }
 criterion_main!(benches);

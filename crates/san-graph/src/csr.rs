@@ -205,6 +205,14 @@ impl CsrSan {
     /// undirected), the attribute column, and the attribute-type table; the
     /// `heap_bytes_sums_every_array` test recomputes the total from the
     /// individual arrays so a future field can't silently go unmetered.
+    ///
+    /// The store path keeps this audit exact:
+    /// [`CsrSan::read_from`](crate::store) loads each column into an
+    /// exactly-sized allocation and retains no staging buffers, so a
+    /// snapshot loaded from disk reports the same `heap_bytes` as the one
+    /// that was written (the audit test round-trips through the store to
+    /// prove it); for the on-disk counterpart see
+    /// [`SnapshotVault::disk_bytes`](crate::store::SnapshotVault::disk_bytes).
     pub fn heap_bytes(&self) -> usize {
         fn bytes_of<T>(v: &[T]) -> usize {
             std::mem::size_of_val(v)
@@ -484,6 +492,11 @@ mod tests {
             + ea * size_of::<AttrId>() /* ua_attr */
             + m * size_of::<AttrType>();
         assert_eq!(csr.heap_bytes(), expect);
+        // The same audit holds across the store path: a snapshot loaded
+        // back from its serialised bytes owns exactly the same arrays —
+        // no capacity slack, no retained staging allocation.
+        let loaded = CsrSan::from_store_bytes(&csr.to_store_bytes()).expect("store roundtrip");
+        assert_eq!(loaded.heap_bytes(), expect);
     }
 
     #[test]

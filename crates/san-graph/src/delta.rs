@@ -169,9 +169,39 @@ impl DeltaFreezer {
     /// disk); subsequent [`apply_day`](DeltaFreezer::apply_day) calls patch
     /// forward from it.
     pub fn from_snapshot(csr: CsrSan) -> DeltaFreezer {
+        DeltaFreezer::from_shared(Arc::new(csr))
+    }
+
+    /// Like [`from_snapshot`](DeltaFreezer::from_snapshot) but adopts an
+    /// already-shared handle (what
+    /// [`SnapshotVault::load_day`](crate::store::SnapshotVault::load_day)
+    /// returns) without cloning the flat arrays.
+    pub fn from_shared(csr: Arc<CsrSan>) -> DeltaFreezer {
         DeltaFreezer {
-            cur: Arc::new(csr),
+            cur: csr,
             ..DeltaFreezer::default()
+        }
+    }
+
+    /// Warm-starts a freezer from the nearest vault day at or before
+    /// `day`: returns the persisted day it loaded plus the freezer seeded
+    /// with that snapshot, or `Ok(None)` when the vault holds nothing at
+    /// or before `day` (the caller must replay from day 0). Subsequent
+    /// [`apply_day`](DeltaFreezer::apply_day) calls patch forward from the
+    /// loaded state, so a sweep over `[day, end]` costs only the events
+    /// after the persisted day. Prefer the timeline-level
+    /// [`SanTimeline::resume_from_vault`](crate::evolve::SanTimeline::resume_from_vault),
+    /// which also slices the event log.
+    pub fn resume_from_vault(
+        vault: &crate::store::SnapshotVault,
+        day: u32,
+    ) -> Result<Option<(u32, DeltaFreezer)>, crate::store::StoreError> {
+        match vault.nearest_at_or_before(day) {
+            None => Ok(None),
+            Some(persisted) => {
+                let snap = vault.load_day(persisted)?;
+                Ok(Some((persisted, DeltaFreezer::from_shared(snap))))
+            }
         }
     }
 

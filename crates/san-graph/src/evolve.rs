@@ -186,7 +186,82 @@ impl SanTimeline {
             day: 0,
             max_day: self.max_day(),
             step,
+            emit_from: 0,
+            pending: None,
             freezer: crate::delta::DeltaFreezer::new(),
+        }
+    }
+
+    /// Warm-started form of [`snapshot_stream`](SanTimeline::snapshot_stream):
+    /// yields the sampled days of `start..=max_day` (the same `step` grid a
+    /// full sweep uses — `day % step == 0` plus the forced final day) but
+    /// seeds the delta freezer from the **nearest persisted vault day at or
+    /// before `start`** instead of replaying from day 0, so the sweep costs
+    /// only the events after the persisted day.
+    ///
+    /// The yielded snapshots are bit-identical to the corresponding days of
+    /// a full `snapshot_stream(step)` (the `vault_equivalence` suite locks
+    /// this down). When the vault holds no day at or before `start`, the
+    /// stream falls back to replaying from day 0 and simply withholds the
+    /// days before `start`; when `start` is past the final day, it yields
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics if `step == 0`.
+    pub fn resume_from_vault(
+        &self,
+        vault: &crate::store::SnapshotVault,
+        start: u32,
+        step: u32,
+    ) -> Result<SnapshotStream<'_>, crate::store::StoreError> {
+        assert!(step >= 1, "step must be at least 1");
+        let exhausted = |freezer| SnapshotStream {
+            events: &self.events,
+            idx: self.events.len(),
+            day: 0,
+            max_day: None,
+            step,
+            emit_from: start,
+            pending: None,
+            freezer,
+        };
+        let Some(last) = self.max_day().filter(|&d| start <= d) else {
+            // Empty timeline or start past the final day: nothing to emit.
+            return Ok(exhausted(crate::delta::DeltaFreezer::new()));
+        };
+        match crate::delta::DeltaFreezer::resume_from_vault(vault, start)? {
+            None => Ok(SnapshotStream {
+                events: &self.events,
+                idx: 0,
+                day: 0,
+                max_day: Some(last),
+                step,
+                emit_from: start,
+                pending: None,
+                freezer: crate::delta::DeltaFreezer::new(),
+            }),
+            Some((persisted, freezer)) => {
+                // The loaded snapshot IS the end-of-day state of
+                // `persisted`; emit it first if that day is on the grid.
+                let pending = (persisted == start
+                    && (persisted.is_multiple_of(step) || persisted == last))
+                    .then_some(persisted);
+                if persisted == last {
+                    let mut stream = exhausted(freezer);
+                    stream.pending = pending;
+                    return Ok(stream);
+                }
+                Ok(SnapshotStream {
+                    events: &self.events,
+                    idx: self.events.partition_point(|e| e.day() <= persisted),
+                    day: persisted + 1,
+                    max_day: Some(last),
+                    step,
+                    emit_from: start,
+                    pending,
+                    freezer,
+                })
+            }
         }
     }
 
@@ -284,6 +359,13 @@ pub struct SnapshotStream<'a> {
     day: u32,
     max_day: Option<u32>,
     step: u32,
+    /// Sampled days before this are patched through but not yielded (the
+    /// vault-resume case: the grid stays the full sweep's, only the
+    /// emission window narrows).
+    emit_from: u32,
+    /// A day whose snapshot is already the freezer's current state (the
+    /// vault-loaded day) and must be yielded before any patching.
+    pending: Option<u32>,
     freezer: crate::delta::DeltaFreezer,
 }
 
@@ -304,12 +386,16 @@ impl Iterator for SnapshotStream<'_> {
     type Item = (u32, std::sync::Arc<crate::CsrSan>);
 
     fn next(&mut self) -> Option<(u32, std::sync::Arc<crate::CsrSan>)> {
+        if let Some(day) = self.pending.take() {
+            return Some((day, self.freezer.snapshot()));
+        }
         loop {
             let max_day = self.max_day?;
             let day = self.day;
             self.freezer
                 .apply_day(take_day_slice(self.events, day, &mut self.idx));
-            let sampled = day.is_multiple_of(self.step) || day == max_day;
+            let sampled =
+                (day.is_multiple_of(self.step) || day == max_day) && day >= self.emit_from;
             if day == max_day {
                 // Exhausted; also guards `day + 1` against u32 overflow.
                 self.max_day = None;

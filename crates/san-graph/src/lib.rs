@@ -55,6 +55,11 @@
 //!   node-contiguous, edge-balanced [`shard::CsrShard`] views with
 //!   `map_shards`/`fold_shards` drivers, so one frozen day can saturate
 //!   every core (intra-snapshot parallelism),
+//! * [`store`] — the columnar binary snapshot store: `CsrSan::write_to` /
+//!   `read_from` (versioned header, little-endian columns, checksum) and
+//!   [`store::SnapshotVault`] directories of persisted days, so sweeps can
+//!   warm-start from disk ([`evolve::SanTimeline::resume_from_vault`])
+//!   instead of replaying the event log,
 //! * [`traverse`] — BFS distances, weakly connected components,
 //! * [`crawler`] — the snapshot-expanding BFS crawler of §2.2 (honouring
 //!   public/private visibility),
@@ -77,6 +82,7 @@ pub mod io;
 pub mod read;
 pub mod san;
 pub mod shard;
+pub mod store;
 pub mod subsample;
 pub mod traverse;
 pub mod unionfind;
@@ -89,6 +95,7 @@ pub use ids::{AttrId, AttrType, SocialId};
 pub use read::SanRead;
 pub use san::San;
 pub use shard::{CsrShard, ShardedCsrSan};
+pub use store::{SnapshotVault, StoreError};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -100,4 +107,5 @@ pub mod prelude {
     pub use crate::read::SanRead;
     pub use crate::san::San;
     pub use crate::shard::{CsrShard, ShardedCsrSan};
+    pub use crate::store::{SnapshotVault, StoreError};
 }

@@ -1,0 +1,1153 @@
+//! Columnar binary snapshot store: persist a [`CsrSan`] and load it back
+//! without replaying a single event.
+//!
+//! # Format (`SANCSRBF`, version 1)
+//!
+//! A snapshot file is a fixed-size header, eleven contiguous columnar
+//! payload arrays, and a trailing checksum — everything little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic: b"SANCSRBF"
+//!      8     4  format version: u32 (currently 1)
+//!     12     8  num_social_links: u64
+//!     20     8  num_attr_links:   u64
+//!     28   176  11 array descriptors, one per payload array, in file order:
+//!                 { byte_offset: u64, element_count: u64 }
+//!    204     …  payload arrays, contiguous, in descriptor order:
+//!                 out_off   u32 × (n+1)   CSR row offsets, Γs,out
+//!                 out_dst   u32 × Es      destination ids
+//!                 in_off    u32 × (n+1)   CSR row offsets, Γs,in
+//!                 in_src    u32 × Es      source ids
+//!                 ua_off    u32 × (n+1)   CSR row offsets, user→attr
+//!                 ua_attr   u32 × Ea      attribute ids
+//!                 am_off    u32 × (m+1)   CSR row offsets, attr→user
+//!                 am_user   u32 × Ea      member ids
+//!                 und_off   u32 × (n+1)   CSR row offsets, Γs (union)
+//!                 und_nbr   u32 × U       undirected neighbour ids
+//!                 attr_types u8 × m       attribute-type tags
+//!   tail      8  FNV-1a 64-bit checksum of every preceding byte
+//! ```
+//!
+//! Each array is written as raw little-endian elements with **no padding**
+//! between arrays, and every descriptor's `byte_offset` is absolute from
+//! the start of the snapshot — a future mmap path can view any column in
+//! place from the header alone without touching the others.
+//!
+//! ## Versioning policy
+//!
+//! The magic identifies the family; `version` is bumped on **any** layout
+//! change (array order, element width, header field). Readers reject
+//! versions they do not know ([`StoreError::UnsupportedVersion`]) rather
+//! than guessing: snapshot files are cheap to regenerate from the event
+//! log, so there is no migration machinery — old files are simply
+//! re-frozen.
+//!
+//! ## Validation
+//!
+//! [`CsrSan::read_from`] never panics on untrusted bytes and never returns
+//! a structurally inconsistent graph. Every failure is a typed
+//! [`StoreError`]:
+//!
+//! * short stream anywhere → [`StoreError::Truncated`],
+//! * wrong magic / unknown version → [`StoreError::BadMagic`] /
+//!   [`StoreError::UnsupportedVersion`],
+//! * descriptors that do not tile the payload region exactly →
+//!   [`StoreError::OffsetMismatch`],
+//! * element counts that disagree with each other or with the header
+//!   link counters → [`StoreError::CountMismatch`],
+//! * a CSR offset table that does not start at 0, decreases, or does not
+//!   end at its payload length → [`StoreError::NonMonotoneOffsets`],
+//! * an unknown attribute-type tag → [`StoreError::BadAttrType`],
+//! * a neighbour/member id outside the node range →
+//!   [`StoreError::IdOutOfRange`],
+//! * a checksum mismatch (random corruption anywhere) →
+//!   [`StoreError::BadChecksum`].
+//!
+//! Header-level checks (magic, version, descriptor tiling, cross-array
+//! counts — including a hard cap of `u32::MAX` elements per array, which
+//! no valid snapshot can exceed since CSR offsets are `u32`) run before
+//! any payload is allocated, and payload reservations trust a declared
+//! count only up to a fixed bound before the stream has delivered the
+//! bytes — so a crafted header can neither panic the reader nor reserve
+//! memory the file does not contain. The offset-table and id-range
+//! validators run after the checksum has vouched for the bytes,
+//! so random corruption surfaces as [`StoreError::BadChecksum`] while a
+//! deliberately re-sealed file still cannot smuggle in a non-monotone
+//! table or a dangling id.
+//!
+//! # Vaults
+//!
+//! [`SnapshotVault`] turns the single-file format into a persisted
+//! timeline: a directory of `day-NNNN.csr` files plus a `manifest.txt`
+//! index. [`SnapshotVault::save_timeline`] freezes every `step`-th day
+//! through the delta pipeline and persists it;
+//! [`SanTimeline::resume_from_vault`](crate::SanTimeline::resume_from_vault)
+//! then warm-starts any later sweep from the nearest persisted day instead
+//! of replaying from day 0.
+
+use crate::csr::CsrSan;
+use crate::ids::{AttrId, AttrType, SocialId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic identifying the columnar CsrSan snapshot family.
+pub const MAGIC: [u8; 8] = *b"SANCSRBF";
+
+/// Current format version; bumped on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Number of columnar payload arrays in a snapshot file.
+pub const NUM_ARRAYS: usize = 11;
+
+/// Header size in bytes: magic + version + two link counters + one
+/// `{u64 offset, u64 count}` descriptor per payload array.
+pub const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + NUM_ARRAYS * 16;
+
+/// Trailing checksum size in bytes.
+pub const CHECKSUM_BYTES: usize = 8;
+
+/// Payload array names, in file order (descriptor order). Public so tests
+/// and tooling can report positions symbolically.
+pub const ARRAY_NAMES: [&str; NUM_ARRAYS] = [
+    "out_off",
+    "out_dst",
+    "in_off",
+    "in_src",
+    "ua_off",
+    "ua_attr",
+    "am_off",
+    "am_user",
+    "und_off",
+    "und_nbr",
+    "attr_types",
+];
+
+/// FNV-1a 64-bit over a byte slice — the checksum the format uses.
+///
+/// Exposed so tests and tooling can re-seal a deliberately patched
+/// snapshot (corruption-matrix tests isolate structural errors from
+/// checksum errors this way).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Every way persisting or loading a snapshot can fail. No variant is ever
+/// a panic: untrusted bytes always come back as one of these.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The stream ended before the named section was complete.
+    Truncated {
+        /// Which section was being read when the stream ran dry.
+        section: &'static str,
+    },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 8],
+    },
+    /// The file's format version is not one this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// An array descriptor's byte offset does not continue the previous
+    /// array exactly (the arrays must tile the payload region).
+    OffsetMismatch {
+        /// Array whose descriptor is inconsistent.
+        array: &'static str,
+        /// Byte offset the layout requires.
+        expected: u64,
+        /// Byte offset the header declares.
+        found: u64,
+    },
+    /// Element counts disagree — between offset tables that must share a
+    /// row count, or between a payload array and the header link counters.
+    CountMismatch {
+        /// What disagreed.
+        what: &'static str,
+        /// The count implied by the rest of the header.
+        expected: u64,
+        /// The count found.
+        found: u64,
+    },
+    /// A CSR offset table does not start at 0, decreases somewhere, or
+    /// does not end at its payload array's length.
+    NonMonotoneOffsets {
+        /// The offending offset table.
+        array: &'static str,
+    },
+    /// An attribute-type tag byte outside the known range.
+    BadAttrType {
+        /// The tag found.
+        value: u8,
+    },
+    /// A neighbour/member id at or beyond the declared node count.
+    IdOutOfRange {
+        /// The array holding the out-of-range id.
+        array: &'static str,
+    },
+    /// The trailing checksum does not match the bytes read.
+    BadChecksum {
+        /// Checksum recomputed from the stream.
+        expected: u64,
+        /// Checksum stored in the trailer.
+        found: u64,
+    },
+    /// A vault manifest line could not be parsed.
+    BadManifest {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A day was requested that the vault has not persisted.
+    DayNotPersisted {
+        /// The requested day.
+        day: u32,
+    },
+    /// Any other I/O failure (permissions, disk full, …).
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { section } => {
+                write!(f, "snapshot truncated while reading {section}")
+            }
+            StoreError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (reader knows {FORMAT_VERSION})"
+                )
+            }
+            StoreError::OffsetMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array {array} declared at byte {found}, layout requires {expected}"
+            ),
+            StoreError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "count mismatch for {what}: expected {expected}, found {found}"
+            ),
+            StoreError::NonMonotoneOffsets { array } => {
+                write!(
+                    f,
+                    "offset table {array} is not monotone from 0 to its payload length"
+                )
+            }
+            StoreError::BadAttrType { value } => write!(f, "unknown attribute-type tag {value}"),
+            StoreError::IdOutOfRange { array } => {
+                write!(
+                    f,
+                    "array {array} holds an id beyond the declared node count"
+                )
+            }
+            StoreError::BadChecksum { expected, found } => write!(
+                f,
+                "checksum mismatch: stream hashes to {expected:#018x}, trailer says {found:#018x}"
+            ),
+            StoreError::BadManifest { line, reason } => {
+                write!(f, "vault manifest line {line}: {reason}")
+            }
+            StoreError::DayNotPersisted { day } => {
+                write!(f, "day {day} is not persisted in this vault")
+            }
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// `read_exact` that reports a short stream as [`StoreError::Truncated`]
+/// with the section being read, instead of a bare I/O error.
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), StoreError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { section }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// A writer that feeds every byte through the running FNV-1a hash on its
+/// way out — so `write_to` seals the stream without buffering the file.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: Fnv1a,
+    written: u64,
+}
+
+impl<W: Write> HashingWriter<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.hash.update(bytes);
+        self.written += bytes.len() as u64;
+        self.inner.write_all(bytes).map_err(StoreError::Io)
+    }
+}
+
+/// Stable `u8` tag for an [`AttrType`] (part of the on-disk format; only
+/// append new tags, never renumber).
+fn attr_type_tag(ty: AttrType) -> u8 {
+    match ty {
+        AttrType::School => 0,
+        AttrType::Major => 1,
+        AttrType::Employer => 2,
+        AttrType::City => 3,
+        AttrType::Other => 4,
+    }
+}
+
+fn attr_type_from_tag(tag: u8) -> Result<AttrType, StoreError> {
+    match tag {
+        0 => Ok(AttrType::School),
+        1 => Ok(AttrType::Major),
+        2 => Ok(AttrType::Employer),
+        3 => Ok(AttrType::City),
+        4 => Ok(AttrType::Other),
+        value => Err(StoreError::BadAttrType { value }),
+    }
+}
+
+/// Bounded staging buffer for LE encode/decode: arrays stream through this
+/// many bytes at a time, so (de)serialisation never allocates proportional
+/// to the snapshot — the only heap the store path touches is the final
+/// `CsrSan` arrays themselves (see [`CsrSan::heap_bytes`]).
+const STAGE_BYTES: usize = 16 * 1024;
+
+/// Writes a column of 4-byte elements as little-endian through the
+/// hashing writer; `as_u32` lifts the element type (raw offsets or typed
+/// ids) to its wire form.
+fn write_col<W: Write, T: Copy>(
+    w: &mut HashingWriter<'_, W>,
+    data: &[T],
+    as_u32: impl Fn(T) -> u32,
+) -> Result<(), StoreError> {
+    let mut stage = [0u8; STAGE_BYTES];
+    for chunk in data.chunks(STAGE_BYTES / 4) {
+        let bytes = &mut stage[..chunk.len() * 4];
+        for (i, &v) in chunk.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&as_u32(v).to_le_bytes());
+        }
+        w.put(bytes)?;
+    }
+    Ok(())
+}
+
+/// Reads a column of `count` little-endian 4-byte elements into an
+/// exactly-sized `Vec<T>`, feeding the hash as it goes; `from_u32` lifts
+/// the wire form to the element type, so no intermediate `Vec<u32>` is
+/// ever staged.
+fn read_col<T>(
+    r: &mut impl Read,
+    hash: &mut Fnv1a,
+    count: usize,
+    section: &'static str,
+    from_u32: impl Fn(u32) -> T,
+) -> Result<Vec<T>, StoreError> {
+    // Trust the header count only up to a bound: above it the Vec starts
+    // small and grows as bytes actually arrive, so a crafted count cannot
+    // reserve memory the stream never delivers (a truncated stream fails
+    // fast in read_exact instead). Honest oversize columns pay a final
+    // shrink to restore the exact-capacity guarantee.
+    let mut out: Vec<T> = Vec::with_capacity(count.min(HEADER_TRUST_ELEMS));
+    let mut stage = [0u8; STAGE_BYTES];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(STAGE_BYTES / 4);
+        let bytes = &mut stage[..take * 4];
+        read_exact_or(r, bytes, section)?;
+        hash.update(bytes);
+        for i in 0..take {
+            out.push(from_u32(u32::from_le_bytes(
+                bytes[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"),
+            )));
+        }
+        remaining -= take;
+    }
+    if out.capacity() != out.len() {
+        out.shrink_to_fit();
+    }
+    Ok(out)
+}
+
+/// How many elements of a header-declared count are pre-reserved before
+/// any payload bytes prove the stream is that long (16 MiB of u32s).
+/// Larger columns grow incrementally and shrink to exact size at the end.
+const HEADER_TRUST_ELEMS: usize = 4 * 1024 * 1024;
+
+/// One parsed array descriptor from the header.
+#[derive(Debug, Clone, Copy)]
+struct ArrayDesc {
+    offset: u64,
+    count: u64,
+}
+
+/// Validates that a CSR offset table starts at 0, never decreases, and
+/// ends exactly at `payload_len`.
+fn check_offsets(off: &[u32], payload_len: usize, array: &'static str) -> Result<(), StoreError> {
+    if off.first() != Some(&0) || off.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StoreError::NonMonotoneOffsets { array });
+    }
+    let last = *off.last().expect("offset tables are never empty") as usize;
+    if last != payload_len {
+        return Err(StoreError::CountMismatch {
+            what: array,
+            expected: payload_len as u64,
+            found: last as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Validates that every id in a payload array indexes a real node.
+fn check_id_range<T: Copy>(
+    data: &[T],
+    bound: usize,
+    array: &'static str,
+    as_u32: impl Fn(T) -> u32,
+) -> Result<(), StoreError> {
+    if data.iter().any(|&v| as_u32(v) as usize >= bound) {
+        return Err(StoreError::IdOutOfRange { array });
+    }
+    Ok(())
+}
+
+impl CsrSan {
+    /// Element counts of the 11 payload arrays, in file order.
+    fn array_counts(&self) -> [u64; NUM_ARRAYS] {
+        [
+            self.out_off.len() as u64,
+            self.out_dst.len() as u64,
+            self.in_off.len() as u64,
+            self.in_src.len() as u64,
+            self.ua_off.len() as u64,
+            self.ua_attr.len() as u64,
+            self.am_off.len() as u64,
+            self.am_user.len() as u64,
+            self.und_off.len() as u64,
+            self.und_nbr.len() as u64,
+            self.attr_types.len() as u64,
+        ]
+    }
+
+    /// Serialises the snapshot in the columnar binary format (see the
+    /// module docs for the layout) and returns the total bytes written,
+    /// checksum trailer included.
+    ///
+    /// The stream is produced in one forward pass — header, the eleven
+    /// arrays in little-endian, then the FNV-1a trailer — through a
+    /// bounded staging buffer, so writing never allocates proportional to
+    /// the snapshot. Wrap the destination in a
+    /// [`BufWriter`](std::io::BufWriter) when writing to a file.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<u64, StoreError> {
+        let counts = self.array_counts();
+        // Element width per array: ten u32 columns, one u8 tag column.
+        let sizes: [u64; NUM_ARRAYS] = {
+            let mut s = [4u64; NUM_ARRAYS];
+            s[NUM_ARRAYS - 1] = 1;
+            s
+        };
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(self.num_social_links as u64).to_le_bytes());
+        header.extend_from_slice(&(self.num_attr_links as u64).to_le_bytes());
+        let mut offset = HEADER_BYTES as u64;
+        for i in 0..NUM_ARRAYS {
+            header.extend_from_slice(&offset.to_le_bytes());
+            header.extend_from_slice(&counts[i].to_le_bytes());
+            offset += counts[i] * sizes[i];
+        }
+        debug_assert_eq!(header.len(), HEADER_BYTES);
+        let mut hw = HashingWriter {
+            inner: w,
+            hash: Fnv1a::new(),
+            written: 0,
+        };
+        hw.put(&header)?;
+        write_col(&mut hw, &self.out_off, |v| v)?;
+        write_col(&mut hw, &self.out_dst, |v| v.0)?;
+        write_col(&mut hw, &self.in_off, |v| v)?;
+        write_col(&mut hw, &self.in_src, |v| v.0)?;
+        write_col(&mut hw, &self.ua_off, |v| v)?;
+        write_col(&mut hw, &self.ua_attr, |v| v.0)?;
+        write_col(&mut hw, &self.am_off, |v| v)?;
+        write_col(&mut hw, &self.am_user, |v| v.0)?;
+        write_col(&mut hw, &self.und_off, |v| v)?;
+        write_col(&mut hw, &self.und_nbr, |v| v.0)?;
+        let mut tags = [0u8; STAGE_BYTES];
+        for chunk in self.attr_types.chunks(STAGE_BYTES) {
+            let bytes = &mut tags[..chunk.len()];
+            for (i, &ty) in chunk.iter().enumerate() {
+                bytes[i] = attr_type_tag(ty);
+            }
+            hw.put(bytes)?;
+        }
+        let checksum = hw.hash.finish();
+        let total = hw.written + CHECKSUM_BYTES as u64;
+        w.write_all(&checksum.to_le_bytes())?;
+        Ok(total)
+    }
+
+    /// Deserialises a snapshot written by [`CsrSan::write_to`], validating
+    /// structure as the stream is consumed and the checksum at the end.
+    ///
+    /// Never panics on untrusted bytes and never returns a structurally
+    /// inconsistent graph; every failure is a typed [`StoreError`] (see
+    /// the module docs for the full validation list). Each column is read
+    /// into an exactly-sized allocation through a bounded stack staging
+    /// buffer; the only heap staging is the `m`-byte raw tag column held
+    /// until the checksum clears, and it is dropped before returning — so
+    /// the loaded snapshot's [`CsrSan::heap_bytes`] equals the original's
+    /// (no hidden capacity slack, no retained staging), which the
+    /// `read_from_allocates_exact_capacity` audit pins down.
+    pub fn read_from(r: &mut impl Read) -> Result<CsrSan, StoreError> {
+        let mut header = [0u8; HEADER_BYTES];
+        read_exact_or(r, &mut header, "header")?;
+        let magic: [u8; 8] = header[0..8].try_into().expect("8-byte magic");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("u32"));
+        let u64_at = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("u64"));
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let num_social_links = u64_at(12);
+        let num_attr_links = u64_at(20);
+        let mut descs = [ArrayDesc {
+            offset: 0,
+            count: 0,
+        }; NUM_ARRAYS];
+        for (i, d) in descs.iter_mut().enumerate() {
+            d.offset = u64_at(28 + i * 16);
+            d.count = u64_at(28 + i * 16 + 8);
+        }
+        // CSR offsets are u32, so no valid snapshot holds an array longer
+        // than u32::MAX elements; reject absurd counts before anything is
+        // allocated — a crafted header must never drive
+        // `Vec::with_capacity` into a capacity panic or OOM abort.
+        for (i, d) in descs.iter().enumerate() {
+            if d.count > u64::from(u32::MAX) {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: u64::from(u32::MAX),
+                    found: d.count,
+                });
+            }
+        }
+        // The arrays must tile the payload region exactly, in order.
+        let mut expected = HEADER_BYTES as u64;
+        for i in 0..NUM_ARRAYS {
+            if descs[i].offset != expected {
+                return Err(StoreError::OffsetMismatch {
+                    array: ARRAY_NAMES[i],
+                    expected,
+                    found: descs[i].offset,
+                });
+            }
+            let elem = if i == NUM_ARRAYS - 1 { 1 } else { 4 };
+            expected = descs[i]
+                .count
+                .checked_mul(elem)
+                .and_then(|b| expected.checked_add(b))
+                .ok_or(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: u64::MAX,
+                    found: descs[i].count,
+                })?;
+        }
+        // Cross-array count consistency, before any payload allocation.
+        let rows = descs[0].count; // out_off: n + 1
+        for i in [2usize, 4, 8] {
+            if descs[i].count != rows {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: rows,
+                    found: descs[i].count,
+                });
+            }
+        }
+        if rows == 0 || descs[6].count == 0 {
+            return Err(StoreError::CountMismatch {
+                what: "offset table rows",
+                expected: 1,
+                found: 0,
+            });
+        }
+        if descs[10].count != descs[6].count - 1 {
+            return Err(StoreError::CountMismatch {
+                what: "attr_types",
+                expected: descs[6].count - 1,
+                found: descs[10].count,
+            });
+        }
+        for (i, want) in [
+            (1usize, num_social_links),
+            (3, num_social_links),
+            (5, num_attr_links),
+            (7, num_attr_links),
+        ] {
+            if descs[i].count != want {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: want,
+                    found: descs[i].count,
+                });
+            }
+        }
+        let mut hash = Fnv1a::new();
+        hash.update(&header);
+        let count = |i: usize| descs[i].count as usize;
+        let out_off = read_col(r, &mut hash, count(0), ARRAY_NAMES[0], |v| v)?;
+        let out_dst = read_col(r, &mut hash, count(1), ARRAY_NAMES[1], SocialId)?;
+        let in_off = read_col(r, &mut hash, count(2), ARRAY_NAMES[2], |v| v)?;
+        let in_src = read_col(r, &mut hash, count(3), ARRAY_NAMES[3], SocialId)?;
+        let ua_off = read_col(r, &mut hash, count(4), ARRAY_NAMES[4], |v| v)?;
+        let ua_attr = read_col(r, &mut hash, count(5), ARRAY_NAMES[5], AttrId)?;
+        let am_off = read_col(r, &mut hash, count(6), ARRAY_NAMES[6], |v| v)?;
+        let am_user = read_col(r, &mut hash, count(7), ARRAY_NAMES[7], SocialId)?;
+        let und_off = read_col(r, &mut hash, count(8), ARRAY_NAMES[8], |v| v)?;
+        let und_nbr = read_col(r, &mut hash, count(9), ARRAY_NAMES[9], SocialId)?;
+        // Tags are staged raw and decoded only after the checksum has
+        // vouched for them, like every other semantic check. Same bounded
+        // trust in the header count as read_col.
+        let mut tag_bytes: Vec<u8> = Vec::with_capacity(count(10).min(HEADER_TRUST_ELEMS));
+        {
+            let mut stage = [0u8; STAGE_BYTES];
+            let mut remaining = count(10);
+            while remaining > 0 {
+                let take = remaining.min(STAGE_BYTES);
+                let bytes = &mut stage[..take];
+                read_exact_or(r, bytes, ARRAY_NAMES[10])?;
+                hash.update(bytes);
+                tag_bytes.extend_from_slice(bytes);
+                remaining -= take;
+            }
+        }
+        let mut trailer = [0u8; CHECKSUM_BYTES];
+        read_exact_or(r, &mut trailer, "checksum")?;
+        let found = u64::from_le_bytes(trailer);
+        let expected = hash.finish();
+        if expected != found {
+            return Err(StoreError::BadChecksum { expected, found });
+        }
+        // Semantic validation after the checksum has vouched for the
+        // bytes: tag decoding, offset-table shape, then id ranges.
+        let mut attr_types: Vec<AttrType> = Vec::with_capacity(tag_bytes.len());
+        for b in tag_bytes {
+            attr_types.push(attr_type_from_tag(b)?);
+        }
+        check_offsets(&out_off, out_dst.len(), ARRAY_NAMES[0])?;
+        check_offsets(&in_off, in_src.len(), ARRAY_NAMES[2])?;
+        check_offsets(&ua_off, ua_attr.len(), ARRAY_NAMES[4])?;
+        check_offsets(&am_off, am_user.len(), ARRAY_NAMES[6])?;
+        check_offsets(&und_off, und_nbr.len(), ARRAY_NAMES[8])?;
+        let n = rows as usize - 1;
+        let m = count(6) - 1;
+        check_id_range(&out_dst, n, ARRAY_NAMES[1], |v| v.0)?;
+        check_id_range(&in_src, n, ARRAY_NAMES[3], |v| v.0)?;
+        check_id_range(&ua_attr, m, ARRAY_NAMES[5], |v| v.0)?;
+        check_id_range(&am_user, n, ARRAY_NAMES[7], |v| v.0)?;
+        check_id_range(&und_nbr, n, ARRAY_NAMES[9], |v| v.0)?;
+        Ok(CsrSan {
+            out_off,
+            out_dst,
+            in_off,
+            in_src,
+            ua_off,
+            ua_attr,
+            am_off,
+            am_user,
+            und_off,
+            und_nbr,
+            attr_types,
+            num_social_links: num_social_links as usize,
+            num_attr_links: num_attr_links as usize,
+        })
+    }
+
+    /// Serialises into a fresh byte vector (convenience over
+    /// [`CsrSan::write_to`]).
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Deserialises from a byte slice (convenience over
+    /// [`CsrSan::read_from`]).
+    pub fn from_store_bytes(mut bytes: &[u8]) -> Result<CsrSan, StoreError> {
+        CsrSan::read_from(&mut bytes)
+    }
+
+    /// Serialised size in bytes, without writing anything.
+    pub fn store_bytes_len(&self) -> u64 {
+        let counts = self.array_counts();
+        let payload: u64 =
+            counts[..NUM_ARRAYS - 1].iter().map(|c| c * 4).sum::<u64>() + counts[NUM_ARRAYS - 1];
+        HEADER_BYTES as u64 + payload + CHECKSUM_BYTES as u64
+    }
+}
+
+/// A directory of persisted daily snapshots: `day-NNNN.csr` files plus a
+/// `manifest.txt` index.
+///
+/// ```text
+/// vault/
+///   manifest.txt      # "# san-vault v1" then one "day <n> <bytes>" line per day
+///   day-0000.csr
+///   day-0007.csr
+///   …
+/// ```
+///
+/// The manifest is the source of truth for which days exist (a partially
+/// written snapshot never appears in it: files are written to a temp name
+/// and renamed before the manifest is updated). Days are persisted with
+/// [`SnapshotVault::save_day`] / [`SnapshotVault::save_timeline`] and come
+/// back as shared handles through [`SnapshotVault::load_day`];
+/// [`SnapshotVault::nearest_at_or_before`] is the warm-start query
+/// [`SanTimeline::resume_from_vault`](crate::SanTimeline::resume_from_vault)
+/// builds on.
+#[derive(Debug)]
+pub struct SnapshotVault {
+    dir: PathBuf,
+    /// day → serialised snapshot bytes, mirroring the manifest.
+    days: BTreeMap<u32, u64>,
+}
+
+const MANIFEST: &str = "manifest.txt";
+const MANIFEST_HEADER: &str = "# san-vault v1";
+
+impl SnapshotVault {
+    /// Opens a vault directory, creating it (and an empty manifest) if it
+    /// does not exist yet. Opening an existing vault loads its manifest.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<SnapshotVault, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if dir.join(MANIFEST).exists() {
+            return SnapshotVault::open(dir);
+        }
+        let vault = SnapshotVault {
+            dir,
+            days: BTreeMap::new(),
+        };
+        vault.write_manifest()?;
+        Ok(vault)
+    }
+
+    /// Opens an existing vault; fails if the directory or manifest is
+    /// missing or malformed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotVault, StoreError> {
+        let dir = dir.into();
+        let text = fs::read_to_string(dir.join(MANIFEST))?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == MANIFEST_HEADER => {}
+            other => {
+                return Err(StoreError::BadManifest {
+                    line: 1,
+                    reason: format!(
+                        "expected header {MANIFEST_HEADER:?}, found {:?}",
+                        other.map(|(_, l)| l).unwrap_or("")
+                    ),
+                })
+            }
+        }
+        let mut days = BTreeMap::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |reason: &str| StoreError::BadManifest {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some("day"), Some(d), Some(b), None) => {
+                    let day: u32 = d.parse().map_err(|_| bad("unparsable day"))?;
+                    let bytes: u64 = b.parse().map_err(|_| bad("unparsable byte count"))?;
+                    days.insert(day, bytes);
+                }
+                _ => return Err(bad("expected 'day <n> <bytes>'")),
+            }
+        }
+        Ok(SnapshotVault { dir, days })
+    }
+
+    /// The vault's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persisted days in ascending order.
+    pub fn days(&self) -> impl Iterator<Item = u32> + '_ {
+        self.days.keys().copied()
+    }
+
+    /// Number of persisted days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True when no day has been persisted.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The path of a day's snapshot file.
+    pub fn day_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("day-{day:04}.csr"))
+    }
+
+    /// Total bytes the persisted snapshots occupy on disk (manifest
+    /// excluded) — the capacity-planning counterpart of
+    /// [`CsrSan::heap_bytes`].
+    pub fn disk_bytes(&self) -> u64 {
+        self.days.values().sum()
+    }
+
+    /// Persists one day's snapshot, returning its serialised size. The
+    /// file is written to a temporary name and renamed, then the manifest
+    /// is rewritten — a crash mid-save never leaves a registered,
+    /// half-written day. Saving a day that already exists overwrites it.
+    pub fn save_day(&mut self, day: u32, snap: &CsrSan) -> Result<u64, StoreError> {
+        let tmp = self.dir.join(format!("day-{day:04}.csr.tmp"));
+        let bytes = {
+            let file = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            let bytes = snap.write_to(&mut w)?;
+            w.flush()?;
+            bytes
+        };
+        fs::rename(&tmp, self.day_path(day))?;
+        self.days.insert(day, bytes);
+        self.write_manifest()?;
+        Ok(bytes)
+    }
+
+    /// Freezes every `step`-th day of the timeline (always including the
+    /// final day) through the incremental delta pipeline and persists each
+    /// one. Returns the persisted days in order.
+    ///
+    /// # Panics
+    /// Panics if `step == 0`.
+    pub fn save_timeline(
+        &mut self,
+        timeline: &crate::SanTimeline,
+        step: u32,
+    ) -> Result<Vec<u32>, StoreError> {
+        let mut saved = Vec::new();
+        for (day, snap) in timeline.snapshot_stream(step) {
+            self.save_day(day, &snap)?;
+            saved.push(day);
+        }
+        Ok(saved)
+    }
+
+    /// Loads a persisted day as a shared snapshot handle.
+    pub fn load_day(&self, day: u32) -> Result<Arc<CsrSan>, StoreError> {
+        let Some(_) = self.days.get(&day) else {
+            return Err(StoreError::DayNotPersisted { day });
+        };
+        let file = fs::File::open(self.day_path(day))?;
+        let mut r = BufReader::new(file);
+        Ok(Arc::new(CsrSan::read_from(&mut r)?))
+    }
+
+    /// The latest persisted day that is `≤ day` — the warm-start point for
+    /// a sweep resuming at `day`.
+    pub fn nearest_at_or_before(&self, day: u32) -> Option<u32> {
+        self.days.range(..=day).next_back().map(|(&d, _)| d)
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for (day, bytes) in &self.days {
+            text.push_str(&format!("day {day} {bytes}\n"));
+        }
+        let tmp = self.dir.join("manifest.txt.tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(tmp, self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::TimelineBuilder;
+    use crate::san::San;
+
+    fn small_csr() -> CsrSan {
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        let u2 = tb.add_social_node();
+        let a0 = tb.add_attr_node(AttrType::City);
+        let a1 = tb.add_attr_node(AttrType::Employer);
+        tb.add_social_link(u0, u1);
+        tb.add_social_link(u1, u0);
+        tb.add_social_link(u2, u0);
+        tb.add_attr_link(u0, a0);
+        tb.add_attr_link(u2, a1);
+        tb.finish().1.freeze()
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let csr = small_csr();
+        let bytes = csr.to_store_bytes();
+        assert_eq!(bytes.len() as u64, csr.store_bytes_len());
+        let back = CsrSan::from_store_bytes(&bytes).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let csr = San::new().freeze();
+        let back = CsrSan::from_store_bytes(&csr.to_store_bytes()).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    /// `read_from` allocates each column exactly: no capacity slack, so
+    /// the loaded snapshot's heap accounting equals the original's and
+    /// `heap_bytes` stays an exact per-array audit across the store path.
+    #[test]
+    fn read_from_allocates_exact_capacity() {
+        let csr = small_csr();
+        let back = CsrSan::from_store_bytes(&csr.to_store_bytes()).unwrap();
+        assert_eq!(back.heap_bytes(), {
+            // Recompute the original's accounting from lengths: identical.
+            csr.heap_bytes()
+        });
+        assert_eq!(back.out_off.capacity(), back.out_off.len());
+        assert_eq!(back.out_dst.capacity(), back.out_dst.len());
+        assert_eq!(back.in_off.capacity(), back.in_off.len());
+        assert_eq!(back.in_src.capacity(), back.in_src.len());
+        assert_eq!(back.ua_off.capacity(), back.ua_off.len());
+        assert_eq!(back.ua_attr.capacity(), back.ua_attr.len());
+        assert_eq!(back.am_off.capacity(), back.am_off.len());
+        assert_eq!(back.am_user.capacity(), back.am_user.len());
+        assert_eq!(back.und_off.capacity(), back.und_off.len());
+        assert_eq!(back.und_nbr.capacity(), back.und_nbr.len());
+        assert_eq!(back.attr_types.capacity(), back.attr_types.len());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn id_out_of_range_is_detected() {
+        // Hand-corrupt an id beyond the node count, re-seal the checksum:
+        // the structural check must catch what the checksum now vouches
+        // for.
+        let csr = small_csr();
+        let mut bytes = csr.to_store_bytes();
+        // out_dst is the second array: starts at HEADER_BYTES + (n+1)*4.
+        let out_dst_start = HEADER_BYTES + (csr.num_social_rows() + 1) * 4;
+        bytes[out_dst_start..out_dst_start + 4].copy_from_slice(&99u32.to_le_bytes());
+        let len = bytes.len();
+        let seal = fnv1a64(&bytes[..len - CHECKSUM_BYTES]);
+        bytes[len - CHECKSUM_BYTES..].copy_from_slice(&seal.to_le_bytes());
+        let err = CsrSan::from_store_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, StoreError::IdOutOfRange { array: "out_dst" }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_attr_type_tag_is_detected() {
+        let csr = small_csr();
+        let mut bytes = csr.to_store_bytes();
+        let len = bytes.len();
+        // attr_types is the final payload array, right before the trailer.
+        let tag_pos = len - CHECKSUM_BYTES - csr.attr_types.len();
+        bytes[tag_pos] = 250;
+        let seal = fnv1a64(&bytes[..len - CHECKSUM_BYTES]);
+        bytes[len - CHECKSUM_BYTES..].copy_from_slice(&seal.to_le_bytes());
+        let err = CsrSan::from_store_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, StoreError::BadAttrType { value: 250 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn attr_type_tags_are_stable() {
+        for (tag, ty) in [
+            (0u8, AttrType::School),
+            (1, AttrType::Major),
+            (2, AttrType::Employer),
+            (3, AttrType::City),
+            (4, AttrType::Other),
+        ] {
+            assert_eq!(attr_type_tag(ty), tag);
+            assert_eq!(attr_type_from_tag(tag).unwrap(), ty);
+        }
+        assert!(attr_type_from_tag(5).is_err());
+    }
+
+    #[test]
+    fn vault_save_load_nearest() {
+        let dir = std::env::temp_dir().join(format!("san-vault-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut vault = SnapshotVault::create(&dir).unwrap();
+        assert!(vault.is_empty());
+        assert_eq!(vault.nearest_at_or_before(10), None);
+        let csr = small_csr();
+        let bytes = vault.save_day(3, &csr).unwrap();
+        assert_eq!(bytes, csr.store_bytes_len());
+        vault.save_day(9, &csr).unwrap();
+        assert_eq!(vault.days().collect::<Vec<_>>(), vec![3, 9]);
+        assert_eq!(vault.disk_bytes(), 2 * bytes);
+        assert_eq!(vault.nearest_at_or_before(2), None);
+        assert_eq!(vault.nearest_at_or_before(3), Some(3));
+        assert_eq!(vault.nearest_at_or_before(8), Some(3));
+        assert_eq!(vault.nearest_at_or_before(100), Some(9));
+        assert_eq!(*vault.load_day(3).unwrap(), csr);
+        assert!(matches!(
+            vault.load_day(4).unwrap_err(),
+            StoreError::DayNotPersisted { day: 4 }
+        ));
+        // Reopen: the manifest restores the same view.
+        let reopened = SnapshotVault::open(&dir).unwrap();
+        assert_eq!(reopened.days().collect::<Vec<_>>(), vec![3, 9]);
+        assert_eq!(reopened.disk_bytes(), vault.disk_bytes());
+        assert_eq!(*reopened.load_day(9).unwrap(), csr);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vault_open_missing_and_bad_manifest() {
+        let dir = std::env::temp_dir().join(format!("san-vault-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(matches!(
+            SnapshotVault::open(&dir).unwrap_err(),
+            StoreError::Io(_)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST), "not a vault\n").unwrap();
+        assert!(matches!(
+            SnapshotVault::open(&dir).unwrap_err(),
+            StoreError::BadManifest { line: 1, .. }
+        ));
+        fs::write(dir.join(MANIFEST), format!("{MANIFEST_HEADER}\nday x 7\n")).unwrap();
+        assert!(matches!(
+            SnapshotVault::open(&dir).unwrap_err(),
+            StoreError::BadManifest { line: 2, .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_timeline_persists_sampled_grid() {
+        let mut tb = TimelineBuilder::new();
+        let mut prev = tb.add_social_node();
+        for day in 1..=10u32 {
+            tb.advance_to_day(day);
+            let u = tb.add_social_node();
+            tb.add_social_link(u, prev);
+            prev = u;
+        }
+        let (tl, _) = tb.finish();
+        let dir = std::env::temp_dir().join(format!("san-vault-tl-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut vault = SnapshotVault::create(&dir).unwrap();
+        let saved = vault.save_timeline(&tl, 4).unwrap();
+        assert_eq!(saved, vec![0, 4, 8, 10]);
+        for day in saved {
+            assert_eq!(*vault.load_day(day).unwrap(), tl.snapshot_csr(day));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_errors_surface_as_io() {
+        // A writer that always fails must come back as StoreError::Io.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = small_csr().write_to(&mut Broken).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+    }
+}

@@ -26,6 +26,8 @@
 //! freezes at all.
 
 use san_graph::evolve::DayCounts;
+use san_graph::evolve::SnapshotStream;
+use san_graph::store::{SnapshotVault, StoreError};
 use san_graph::{CsrSan, SanTimeline, ShardedCsrSan};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -152,6 +154,35 @@ where
     series
 }
 
+/// [`evolve_metric`] over any [`SnapshotSource`]: sequential sweep that
+/// can warm-start from a persisted vault day. A vault-backed sweep over
+/// `start..=max_day` is bit-identical to the `day ≥ start` suffix of the
+/// full replay sweep — the series is a resumable computation.
+pub fn evolve_metric_from<F>(
+    source: SnapshotSource<'_>,
+    name: &str,
+    step: u32,
+    mut metric: F,
+) -> Result<MetricSeries, StoreError>
+where
+    F: FnMut(u32, &CsrSan) -> f64,
+{
+    // The replay arm keeps the borrowing zero-clone sweep; the vault arm
+    // pays one Arc hand-off per sampled day (reclaimed between days).
+    if let SnapshotSource::Replay(tl) = source {
+        return Ok(evolve_metric(tl, name, step, metric));
+    }
+    let mut series = MetricSeries {
+        name: name.to_string(),
+        ..MetricSeries::default()
+    };
+    for (day, snap) in source.stream(step)? {
+        series.days.push(day);
+        series.values.push(metric(day, &snap));
+    }
+    Ok(series)
+}
+
 /// Evaluates a counter-only metric over the timeline without freezing a
 /// single snapshot.
 ///
@@ -184,28 +215,66 @@ where
     series
 }
 
-/// The shared streamed-parallel driver behind [`evolve_metric_parallel`]
-/// and [`evolve_metric_sharded`]: delta-frozen `Arc<CsrSan>` days fan out
-/// through a bounded channel to `threads` scoped workers running `eval`.
+/// Where an evolution sweep gets its snapshots: a full delta-freeze
+/// replay from day 0, or a [`SnapshotVault`] warm start.
+///
+/// Every `evolve_metric*_from` driver accepts this, so the same metric
+/// sweep can run cold (event log only) or hot (persisted days on disk)
+/// without changing the metric code. The vault-backed stream yields the
+/// same `step` grid as the full sweep restricted to `day ≥ start`, with
+/// bit-identical snapshots (`vault_equivalence` locks this down).
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotSource<'a> {
+    /// Delta-freeze the whole timeline from day 0 (what the plain
+    /// [`evolve_metric`] family does).
+    Replay(&'a SanTimeline),
+    /// Load the nearest persisted day `≤ start` from the vault and
+    /// delta-patch forward, sweeping only days `start..=max_day`.
+    Vault {
+        /// The event log (still needed to patch forward from the
+        /// persisted day).
+        timeline: &'a SanTimeline,
+        /// Where persisted days live.
+        vault: &'a SnapshotVault,
+        /// First day the sweep should report.
+        start: u32,
+    },
+}
+
+impl<'a> SnapshotSource<'a> {
+    /// Opens the snapshot stream for this source. Only the vault arm can
+    /// fail (disk / validation errors).
+    fn stream(&self, step: u32) -> Result<SnapshotStream<'a>, StoreError> {
+        match *self {
+            SnapshotSource::Replay(tl) => Ok(tl.snapshot_stream(step)),
+            SnapshotSource::Vault {
+                timeline,
+                vault,
+                start,
+            } => timeline.resume_from_vault(vault, start, step),
+        }
+    }
+}
+
+/// The shared streamed-parallel driver behind the `evolve_metric_parallel`
+/// and `evolve_metric_sharded` families: delta-frozen `Arc<CsrSan>` days
+/// fan out through a bounded channel to `threads` scoped workers running
+/// `eval`. The stream may be a full replay or a vault warm start — the
+/// driver does not care.
 fn stream_metric_parallel<F>(
-    timeline: &SanTimeline,
+    stream: SnapshotStream<'_>,
     name: &str,
-    step: u32,
     threads: usize,
     eval: F,
 ) -> MetricSeries
 where
     F: Fn(u32, Arc<CsrSan>) -> f64 + Sync,
 {
-    assert!(step >= 1, "step must be at least 1");
     assert!(threads >= 1, "need at least one thread");
     let mut series = MetricSeries {
         name: name.to_string(),
         ..MetricSeries::default()
     };
-    if timeline.max_day().is_none() {
-        return series;
-    }
     // Bounded hand-off: producer blocks once 2×threads snapshots are in
     // flight. Workers share the receiver behind a mutex (dropped before
     // the metric runs, so consumption itself is concurrent). Each item is
@@ -234,7 +303,7 @@ where
                 }
             });
         }
-        for item in timeline.snapshot_stream(step) {
+        for item in stream {
             // Stop patching the remaining days once a worker has caught a
             // metric panic — the sweep is dead either way.
             if panicked.lock().expect("panic slot").is_some() {
@@ -287,9 +356,38 @@ pub fn evolve_metric_parallel<F>(
 where
     F: Fn(u32, &CsrSan) -> f64 + Sync,
 {
-    stream_metric_parallel(timeline, name, step, threads, |day, snap| {
-        metric(day, &snap)
-    })
+    evolve_metric_parallel_from(
+        SnapshotSource::Replay(timeline),
+        name,
+        step,
+        threads,
+        metric,
+    )
+    .expect("replay source cannot fail")
+}
+
+/// [`evolve_metric_parallel`] over any [`SnapshotSource`]: the same
+/// bounded-channel fan-out, but the producer can warm-start from a
+/// persisted vault day instead of replaying the whole timeline. Fails only
+/// when the vault-backed source cannot load its snapshot.
+pub fn evolve_metric_parallel_from<F>(
+    source: SnapshotSource<'_>,
+    name: &str,
+    step: u32,
+    threads: usize,
+    metric: F,
+) -> Result<MetricSeries, StoreError>
+where
+    F: Fn(u32, &CsrSan) -> f64 + Sync,
+{
+    assert!(step >= 1, "step must be at least 1");
+    let stream = source.stream(step)?;
+    Ok(stream_metric_parallel(
+        stream,
+        name,
+        threads,
+        |day, snap| metric(day, &snap),
+    ))
 }
 
 /// Evolution sweep with **days × shards** parallelism: `threads` workers
@@ -315,10 +413,39 @@ pub fn evolve_metric_sharded<F>(
 where
     F: Fn(u32, &ShardedCsrSan) -> f64 + Sync,
 {
+    evolve_metric_sharded_from(
+        SnapshotSource::Replay(timeline),
+        name,
+        step,
+        threads,
+        shards,
+        metric,
+    )
+    .expect("replay source cannot fail")
+}
+
+/// [`evolve_metric_sharded`] over any [`SnapshotSource`]: days × shards
+/// parallelism with an optional vault warm start.
+pub fn evolve_metric_sharded_from<F>(
+    source: SnapshotSource<'_>,
+    name: &str,
+    step: u32,
+    threads: usize,
+    shards: usize,
+    metric: F,
+) -> Result<MetricSeries, StoreError>
+where
+    F: Fn(u32, &ShardedCsrSan) -> f64 + Sync,
+{
+    assert!(step >= 1, "step must be at least 1");
     assert!(shards >= 1, "need at least one shard");
-    stream_metric_parallel(timeline, name, step, threads, |day, snap| {
-        metric(day, &ShardedCsrSan::new(snap, shards))
-    })
+    let stream = source.stream(step)?;
+    Ok(stream_metric_parallel(
+        stream,
+        name,
+        threads,
+        |day, snap| metric(day, &ShardedCsrSan::new(snap, shards)),
+    ))
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@
 //!   contiguous neighbour rows, binary-search membership, zero-allocation
 //!   `Γs(u)`, and `Send + Sync` sharing for parallel metric sweeps.
 //!
+//! Frozen snapshots also persist: [`graph::store`] is a columnar,
+//! versioned, checksummed binary format (`CsrSan::write_to` /
+//! `read_from`) plus [`graph::store::SnapshotVault`] directories of
+//! persisted days, so evolution sweeps warm-start from disk
+//! (`SanTimeline::resume_from_vault`, the `evolve_metric*_from` family in
+//! [`metrics`]) instead of replaying the event log from day 0.
+//!
 //! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
 //! the experiment harness that regenerates every figure and table (its
 //! `bench_graph` suite measures the San-vs-CsrSan read-path difference).
