@@ -373,10 +373,104 @@ fn bench_vault_io(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// The serving layer on the 10k-node/98-day fixture: mmap cold-open
+// (mmap + full validation) vs a SnapshotServer cache hit (Arc clone) vs
+// the eager read_from load; a full exact-clustering sweep over the mapped
+// view vs the owned CsrSan (the zero-copy read path must stay within
+// ~1.3× of owned — in practice it is identical code over identical
+// layouts); and a mixed-day query stream through the for_each_query
+// thread pool. ROADMAP records the medians.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+fn bench_mmap_serve(c: &mut Criterion) {
+    use san_graph::mmap::MappedSnapshot;
+    use san_graph::store::SnapshotVault;
+    use san_serve::{ServeConfig, SnapshotServer};
+
+    let tl = ten_k_timeline();
+    let final_day = tl.max_day().unwrap();
+    let owned = tl.snapshot_csr(final_day);
+
+    let dir = std::env::temp_dir().join(format!("san-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut vault = SnapshotVault::create(&dir).expect("create bench vault");
+    vault.save_timeline(&tl, 7).expect("persist timeline");
+    let final_path = vault.day_path(final_day);
+
+    let server = SnapshotServer::open(&dir, ServeConfig::default()).expect("open server");
+    // Prime the cache so `get` below measures the hit path.
+    server.get(final_day).expect("prime").expect("served");
+    let mapped = MappedSnapshot::open(&final_path).expect("map final day");
+
+    let mut group = c.benchmark_group("graph/mmap_serve");
+    group.sample_size(10);
+    group.bench_function("cold_open_validate", |b| {
+        b.iter(|| {
+            let m = MappedSnapshot::open(&final_path).expect("open");
+            black_box(m.mapped_bytes())
+        });
+    });
+    group.bench_function("eager_load_for_scale", |b| {
+        b.iter(|| {
+            let loaded = vault.load_day(final_day).expect("load");
+            black_box(loaded.heap_bytes())
+        });
+    });
+    group.bench_function("server_get_hit", |b| {
+        b.iter(|| {
+            let handle = server.get(final_day).expect("get").expect("served");
+            black_box(handle.day())
+        });
+    });
+    group.bench_function("clustering_full_sweep/owned", |b| {
+        b.iter(|| black_box(average_clustering_exact(&owned, NodeSet::Social)));
+    });
+    group.bench_function("clustering_full_sweep/mapped", |b| {
+        let view = mapped.view();
+        b.iter(|| black_box(average_clustering_exact(&view, NodeSet::Social)));
+    });
+    // A 256-query mixed-day stream, 4 workers: each query probes the
+    // degrees of 64 random nodes on its day — the serving cost (cache +
+    // view construction) dominates, not the metric.
+    let mut rng = SplitRng::new(12);
+    let queries: Vec<(u32, u64)> = (0..256)
+        .map(|_| {
+            (
+                rng.below(u64::from(final_day) + 1) as u32,
+                rng.below(u64::MAX),
+            )
+        })
+        .collect();
+    group.bench_function("mixed_query_stream/256q_4threads", |b| {
+        b.iter(|| {
+            let outcomes = server.for_each_query(4, &queries, |&seed, _, view| {
+                let mut rng = SplitRng::new(seed);
+                let n = view.num_social_nodes() as u64;
+                let mut acc = 0usize;
+                for _ in 0..64 {
+                    acc += view.out_degree(SocialId(rng.below(n) as u32));
+                }
+                acc
+            });
+            black_box(outcomes.len())
+        });
+    });
+    group.finish();
+    drop(mapped);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The serving stack is mmap-backed and therefore unix-only; elsewhere
+/// the group is an empty stand-in so the harness still links.
+#[cfg(not(unix))]
+fn bench_mmap_serve(_c: &mut Criterion) {}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay,
-        bench_timeline_sweep, bench_sharded_sweep, bench_vault_io
+        bench_timeline_sweep, bench_sharded_sweep, bench_vault_io, bench_mmap_serve
 }
 criterion_main!(benches);

@@ -73,12 +73,12 @@ where
 }
 
 #[inline]
-fn row<'a, T>(off: &[u32], data: &'a [T], i: usize) -> &'a [T] {
+pub(crate) fn row<'a, T>(off: &[u32], data: &'a [T], i: usize) -> &'a [T] {
     &data[off[i] as usize..off[i + 1] as usize]
 }
 
 /// Counts elements common to two sorted, deduplicated slices.
-fn sorted_intersection_count<T: Copy + Ord>(a: &[T], b: &[T]) -> usize {
+pub(crate) fn sorted_intersection_count<T: Copy + Ord>(a: &[T], b: &[T]) -> usize {
     // Galloping when the sizes are lopsided, two-pointer merge otherwise.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {

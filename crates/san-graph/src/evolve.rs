@@ -215,7 +215,71 @@ impl SanTimeline {
         step: u32,
     ) -> Result<SnapshotStream<'_>, crate::store::StoreError> {
         assert!(step >= 1, "step must be at least 1");
-        let exhausted = |freezer| SnapshotStream {
+        if self.max_day().filter(|&d| start <= d).is_none() {
+            // Empty timeline or start past the final day: nothing to emit
+            // (and no reason to touch the vault).
+            return Ok(self.exhausted_stream(crate::delta::DeltaFreezer::new(), start, step));
+        }
+        match crate::delta::DeltaFreezer::resume_from_vault(vault, start)? {
+            None => Ok(SnapshotStream {
+                events: &self.events,
+                idx: 0,
+                day: 0,
+                max_day: self.max_day(),
+                step,
+                emit_from: start,
+                pending: None,
+                freezer: crate::delta::DeltaFreezer::new(),
+            }),
+            Some((persisted, freezer)) => Ok(self.resume_stream(freezer, persisted, start, step)),
+        }
+    }
+
+    /// Warm-started form of [`snapshot_stream`](SanTimeline::snapshot_stream)
+    /// seeded from an **already materialised** end-of-day snapshot — what
+    /// the `SnapshotSource::Mapped` sweep driver in `san-metrics` uses to
+    /// seed from a zero-copy mapped day
+    /// ([`CsrSanView::to_owned_csr`](crate::view::CsrSanView::to_owned_csr)),
+    /// and what [`resume_from_vault`](SanTimeline::resume_from_vault) is
+    /// built on. Yields the sampled days of `start..=max_day` on the same
+    /// `step` grid as a full sweep, delta-patching forward from
+    /// `seed_day`.
+    ///
+    /// `seed` must be the end-of-day state of `seed_day` of **this**
+    /// timeline (the vault and mapped paths guarantee it); a mismatched
+    /// seed yields snapshots of a different network, exactly as feeding a
+    /// foreign snapshot to [`DeltaFreezer::from_shared`] would.
+    ///
+    /// # Panics
+    /// Panics if `step == 0` or `seed_day > start`.
+    pub fn resume_from_snapshot(
+        &self,
+        seed: std::sync::Arc<crate::CsrSan>,
+        seed_day: u32,
+        start: u32,
+        step: u32,
+    ) -> SnapshotStream<'_> {
+        assert!(step >= 1, "step must be at least 1");
+        assert!(
+            seed_day <= start,
+            "seed day {seed_day} must not exceed start day {start}"
+        );
+        let freezer = crate::delta::DeltaFreezer::from_shared(seed);
+        if self.max_day().filter(|&d| start <= d).is_none() {
+            return self.exhausted_stream(freezer, start, step);
+        }
+        self.resume_stream(freezer, seed_day, start, step)
+    }
+
+    /// A stream that yields nothing (but still carries the freezer, so
+    /// counters remain readable).
+    fn exhausted_stream(
+        &self,
+        freezer: crate::delta::DeltaFreezer,
+        start: u32,
+        step: u32,
+    ) -> SnapshotStream<'_> {
+        SnapshotStream {
             events: &self.events,
             idx: self.events.len(),
             day: 0,
@@ -224,44 +288,40 @@ impl SanTimeline {
             emit_from: start,
             pending: None,
             freezer,
-        };
-        let Some(last) = self.max_day().filter(|&d| start <= d) else {
-            // Empty timeline or start past the final day: nothing to emit.
-            return Ok(exhausted(crate::delta::DeltaFreezer::new()));
-        };
-        match crate::delta::DeltaFreezer::resume_from_vault(vault, start)? {
-            None => Ok(SnapshotStream {
-                events: &self.events,
-                idx: 0,
-                day: 0,
-                max_day: Some(last),
-                step,
-                emit_from: start,
-                pending: None,
-                freezer: crate::delta::DeltaFreezer::new(),
-            }),
-            Some((persisted, freezer)) => {
-                // The loaded snapshot IS the end-of-day state of
-                // `persisted`; emit it first if that day is on the grid.
-                let pending = (persisted == start
-                    && (persisted.is_multiple_of(step) || persisted == last))
-                    .then_some(persisted);
-                if persisted == last {
-                    let mut stream = exhausted(freezer);
-                    stream.pending = pending;
-                    return Ok(stream);
-                }
-                Ok(SnapshotStream {
-                    events: &self.events,
-                    idx: self.events.partition_point(|e| e.day() <= persisted),
-                    day: persisted + 1,
-                    max_day: Some(last),
-                    step,
-                    emit_from: start,
-                    pending,
-                    freezer,
-                })
-            }
+        }
+    }
+
+    /// Shared warm-start core: `freezer` already holds the end-of-day
+    /// state of `seed_day`; emit the sampled days of `start..=last`.
+    /// Callers have checked `start <= last`.
+    fn resume_stream(
+        &self,
+        freezer: crate::delta::DeltaFreezer,
+        seed_day: u32,
+        start: u32,
+        step: u32,
+    ) -> SnapshotStream<'_> {
+        let last = self
+            .max_day()
+            .expect("resume_stream callers checked the timeline is nonempty");
+        // The seeded snapshot IS the end-of-day state of `seed_day`;
+        // emit it first if that day is on the grid.
+        let pending = (seed_day == start && (seed_day.is_multiple_of(step) || seed_day == last))
+            .then_some(seed_day);
+        if seed_day == last {
+            let mut stream = self.exhausted_stream(freezer, start, step);
+            stream.pending = pending;
+            return stream;
+        }
+        SnapshotStream {
+            events: &self.events,
+            idx: self.events.partition_point(|e| e.day() <= seed_day),
+            day: seed_day + 1,
+            max_day: Some(last),
+            step,
+            emit_from: start,
+            pending,
+            freezer,
         }
     }
 

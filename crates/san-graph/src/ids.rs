@@ -10,16 +10,26 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a social node (a user).
+///
+/// `repr(transparent)` guarantees the id has exactly the size, alignment
+/// and bit pattern of its `u32` payload — the zero-copy snapshot views
+/// ([`CsrSanView`](crate::view::CsrSanView)) rely on this to reinterpret
+/// on-disk little-endian `u32` columns as `&[SocialId]` in place.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]
+#[repr(transparent)]
 pub struct SocialId(pub u32);
 
 /// Identifier of an attribute node (a binary attribute such as
 /// `Employer=Google`).
+///
+/// `repr(transparent)` for the same reason as [`SocialId`]: the zero-copy
+/// views reinterpret raw `u32` columns as typed id slices.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]
+#[repr(transparent)]
 pub struct AttrId(pub u32);
 
 impl SocialId {

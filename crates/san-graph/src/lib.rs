@@ -60,6 +60,15 @@
 //!   [`store::SnapshotVault`] directories of persisted days, so sweeps can
 //!   warm-start from disk ([`evolve::SanTimeline::resume_from_vault`])
 //!   instead of replaying the event log,
+//! * [`view`] — [`view::CsrSanView`], a borrowed zero-copy `SanRead` over
+//!   raw snapshot bytes: validate once, then every column is read in
+//!   place (no `Vec` materialisation at all),
+//! * [`mmap`] — [`mmap::MappedSnapshot`], a read-only `mmap(2)` of a
+//!   snapshot file serving zero-copy views to any number of threads (the
+//!   substrate of the `san-serve` snapshot server),
+//! * [`meter`] — metered IO: [`meter::VaultMetrics`] byte counters and
+//!   [`meter::LatencyHistogram`]s, fed by every vault persist/load/map
+//!   path and reused by the serving layer,
 //! * [`traverse`] — BFS distances, weakly connected components,
 //! * [`crawler`] — the snapshot-expanding BFS crawler of §2.2 (honouring
 //!   public/private visibility),
@@ -79,6 +88,8 @@ pub mod evolve;
 pub mod fixtures;
 pub mod ids;
 pub mod io;
+pub mod meter;
+pub mod mmap;
 pub mod read;
 pub mod san;
 pub mod shard;
@@ -86,16 +97,21 @@ pub mod store;
 pub mod subsample;
 pub mod traverse;
 pub mod unionfind;
+pub mod view;
 
 pub use builder::SanBuilder;
 pub use csr::CsrSan;
 pub use delta::DeltaFreezer;
 pub use evolve::{DayCounts, SanEvent, SanTimeline, SnapshotStream, TimelineBuilder};
 pub use ids::{AttrId, AttrType, SocialId};
+pub use meter::{LatencyHistogram, VaultMetrics};
+#[cfg(unix)]
+pub use mmap::MappedSnapshot;
 pub use read::SanRead;
 pub use san::San;
 pub use shard::{CsrShard, ShardedCsrSan};
 pub use store::{SnapshotVault, StoreError};
+pub use view::{AlignedBytes, CsrSanView};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -104,8 +120,12 @@ pub mod prelude {
     pub use crate::delta::DeltaFreezer;
     pub use crate::evolve::{DayCounts, SanEvent, SanTimeline, SnapshotStream, TimelineBuilder};
     pub use crate::ids::{AttrId, AttrType, SocialId};
+    pub use crate::meter::{LatencyHistogram, VaultMetrics};
+    #[cfg(unix)]
+    pub use crate::mmap::MappedSnapshot;
     pub use crate::read::SanRead;
     pub use crate::san::San;
     pub use crate::shard::{CsrShard, ShardedCsrSan};
     pub use crate::store::{SnapshotVault, StoreError};
+    pub use crate::view::{AlignedBytes, CsrSanView};
 }

@@ -1,0 +1,269 @@
+//! Metered IO: byte counters and latency histograms for the snapshot
+//! store and the serving layer.
+//!
+//! [`SnapshotVault`](crate::store::SnapshotVault) carries a
+//! [`VaultMetrics`] that every persist/load path feeds — bytes moved and a
+//! latency histogram per direction — and the `san-serve` snapshot server
+//! embeds the same type for its mmap open/validate path, so capacity
+//! planning reads one shape everywhere. Counters are relaxed atomics:
+//! recording from many reader threads is wait-free and never perturbs the
+//! operation being measured by more than a handful of uncontended atomic
+//! adds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds, so the histogram spans 1 ns to ~9 min.
+const BUCKETS: usize = 40;
+
+/// A fixed-size, lock-free latency histogram with power-of-two nanosecond
+/// buckets.
+///
+/// Recording is one relaxed fetch-add per sample (plus count/sum
+/// bookkeeping); quantile reads are approximate to within the bucket
+/// resolution (a factor of two), which is plenty for "is a cache hit
+/// sub-microsecond and a cold open tens of microseconds" questions.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (nanos.max(1).ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / count as f64
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (the geometric midpoint of
+    /// the bucket holding the quantile sample; 0 when empty).
+    ///
+    /// # Panics
+    /// Panics when `q` is not in `[0, 1]`.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]: {q}");
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based, clamped into [1, count].
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i * 1.5.
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        // Unreachable while count() sums the buckets, but stay total.
+        (1u64 << (BUCKETS - 1)) + (1u64 << (BUCKETS - 1)) / 2
+    }
+
+    /// Approximate median in nanoseconds.
+    pub fn median_nanos(&self) -> u64 {
+        self.quantile_nanos(0.5)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("mean_nanos", &self.mean_nanos())
+            .field("p50_nanos", &self.quantile_nanos(0.5))
+            .field("p99_nanos", &self.quantile_nanos(0.99))
+            .finish()
+    }
+}
+
+/// IO meters for one vault (or one serving layer): bytes moved in each
+/// direction plus a latency histogram per direction.
+///
+/// Lives next to
+/// [`SnapshotVault::disk_bytes`](crate::store::SnapshotVault::disk_bytes):
+/// `disk_bytes` answers "how much does the persisted timeline occupy",
+/// `VaultMetrics` answers "how fast is it moving and how often". Reads
+/// cover both the eager [`load_day`](crate::store::SnapshotVault::load_day)
+/// path and the mmap [`map_day`](crate::store::SnapshotVault::map_day)
+/// path (a mapped open is metered by its validated byte length — the pages
+/// fault in lazily, but the validation pass touches every byte once).
+#[derive(Debug, Default)]
+pub struct VaultMetrics {
+    read_bytes: AtomicU64,
+    written_bytes: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    read_latency: LatencyHistogram,
+    write_latency: LatencyHistogram,
+}
+
+impl VaultMetrics {
+    /// Fresh, zeroed meters.
+    pub fn new() -> VaultMetrics {
+        VaultMetrics::default()
+    }
+
+    /// Records one completed read (load or mmap open+validate).
+    pub fn record_read(&self, bytes: u64, elapsed: Duration) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_latency.record(elapsed);
+    }
+
+    /// Records one completed write (persist).
+    pub fn record_write(&self, bytes: u64, elapsed: Duration) {
+        self.written_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_latency.record(elapsed);
+    }
+
+    /// Total bytes read so far.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written so far.
+    pub fn written_bytes(&self) -> u64 {
+        self.written_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed reads.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed writes.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Latency distribution of reads (load / open+validate).
+    pub fn read_latency(&self) -> &LatencyHistogram {
+        &self.read_latency
+    }
+
+    /// Latency distribution of writes (persist).
+    pub fn write_latency(&self) -> &LatencyHistogram {
+        &self.write_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = assert_send_sync::<VaultMetrics>();
+    const _: () = assert_send_sync::<LatencyHistogram>();
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+        assert_eq!(h.median_nanos(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        // 9 samples at ~1 µs, 1 sample at ~1 ms.
+        for _ in 0..9 {
+            h.record(Duration::from_micros(1));
+        }
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 10);
+        // Median lands in the 1 µs bucket [2^9, 2^10): midpoint 768 ns.
+        let p50 = h.median_nanos();
+        assert!((512..1024).contains(&p50), "p50 {p50}");
+        // p99 / max land in the 1 ms bucket.
+        let p99 = h.quantile_nanos(0.99);
+        assert!((524_288..2_097_152).contains(&p99), "p99 {p99}");
+        let mean = h.mean_nanos();
+        assert!(mean > 900.0 && mean < 200_000.0, "mean {mean}");
+        // Extremes are total.
+        assert!(h.quantile_nanos(0.0) > 0);
+        assert!(h.quantile_nanos(1.0) >= p99);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.median_nanos(), 1); // bucket 0 midpoint: 1 + 1/2 = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of")]
+    fn quantile_rejects_out_of_range() {
+        LatencyHistogram::new().quantile_nanos(1.5);
+    }
+
+    #[test]
+    fn vault_metrics_accumulate() {
+        let m = VaultMetrics::new();
+        m.record_write(100, Duration::from_micros(5));
+        m.record_write(50, Duration::from_micros(5));
+        m.record_read(100, Duration::from_micros(2));
+        assert_eq!(m.written_bytes(), 150);
+        assert_eq!(m.read_bytes(), 100);
+        assert_eq!(m.writes(), 2);
+        assert_eq!(m.reads(), 1);
+        assert_eq!(m.write_latency().count(), 2);
+        assert_eq!(m.read_latency().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_on_counters() {
+        let m = VaultMetrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record_read(3, Duration::from_nanos(100));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.reads(), 4000);
+        assert_eq!(m.read_bytes(), 12_000);
+        assert_eq!(m.read_latency().count(), 4000);
+    }
+}

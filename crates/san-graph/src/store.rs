@@ -89,12 +89,14 @@
 
 use crate::csr::CsrSan;
 use crate::ids::{AttrId, AttrType, SocialId};
+use crate::meter::VaultMetrics;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// File magic identifying the columnar CsrSan snapshot family.
 pub const MAGIC: [u8; 8] = *b"SANCSRBF";
@@ -238,6 +240,15 @@ pub enum StoreError {
         /// The requested day.
         day: u32,
     },
+    /// A byte buffer handed to the zero-copy view path
+    /// ([`CsrSanView::new`](crate::view::CsrSanView::new)) whose base
+    /// address is not aligned for in-place `u32` column views. Mapped
+    /// files are always page-aligned; heap buffers can use
+    /// [`AlignedBytes`](crate::view::AlignedBytes).
+    Misaligned {
+        /// The alignment the column views require.
+        required: usize,
+    },
     /// Any other I/O failure (permissions, disk full, …).
     Io(io::Error),
 }
@@ -295,6 +306,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::DayNotPersisted { day } => {
                 write!(f, "day {day} is not persisted in this vault")
+            }
+            StoreError::Misaligned { required } => {
+                write!(
+                    f,
+                    "buffer base address is not {required}-byte aligned for zero-copy column views"
+                )
             }
             StoreError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -360,7 +377,7 @@ fn attr_type_tag(ty: AttrType) -> u8 {
     }
 }
 
-fn attr_type_from_tag(tag: u8) -> Result<AttrType, StoreError> {
+pub(crate) fn attr_type_from_tag(tag: u8) -> Result<AttrType, StoreError> {
     match tag {
         0 => Ok(AttrType::School),
         1 => Ok(AttrType::Major),
@@ -445,9 +462,185 @@ struct ArrayDesc {
     count: u64,
 }
 
+/// Byte width of one element of payload array `i` (ten `u32` columns, one
+/// `u8` tag column).
+#[inline]
+pub(crate) fn elem_bytes(i: usize) -> u64 {
+    if i == NUM_ARRAYS - 1 {
+        1
+    } else {
+        4
+    }
+}
+
+/// The parsed, header-validated prefix of a snapshot: magic, version, link
+/// counters and the 11 array descriptors, with every header-level
+/// consistency check already applied (magic/version, per-array element
+/// cap, descriptor tiling, cross-array row counts, link-counter
+/// agreement).
+///
+/// This is the shared front half of both deserialisation paths:
+/// [`CsrSan::read_from`] parses it from the stream before allocating
+/// anything, and the zero-copy [`CsrSanView`](crate::view::CsrSanView)
+/// parses it from the buffer before building column views — so a header
+/// that the eager loader rejects is rejected by the view path with the
+/// same typed error, by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreHeader {
+    num_social_links: u64,
+    num_attr_links: u64,
+    descs: [ArrayDesc; NUM_ARRAYS],
+}
+
+impl StoreHeader {
+    /// Parses and validates the fixed-size header. Every failure is the
+    /// same typed [`StoreError`] that [`CsrSan::read_from`] reports for
+    /// the same bytes; nothing is allocated.
+    pub fn parse(header: &[u8; HEADER_BYTES]) -> Result<StoreHeader, StoreError> {
+        let magic: [u8; 8] = header[0..8].try_into().expect("8-byte magic");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("u32"));
+        let u64_at = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("u64"));
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let num_social_links = u64_at(12);
+        let num_attr_links = u64_at(20);
+        let mut descs = [ArrayDesc {
+            offset: 0,
+            count: 0,
+        }; NUM_ARRAYS];
+        for (i, d) in descs.iter_mut().enumerate() {
+            d.offset = u64_at(28 + i * 16);
+            d.count = u64_at(28 + i * 16 + 8);
+        }
+        // CSR offsets are u32, so no valid snapshot holds an array longer
+        // than u32::MAX elements; reject absurd counts before anything is
+        // allocated — a crafted header must never drive
+        // `Vec::with_capacity` into a capacity panic or OOM abort.
+        for (i, d) in descs.iter().enumerate() {
+            if d.count > u64::from(u32::MAX) {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: u64::from(u32::MAX),
+                    found: d.count,
+                });
+            }
+        }
+        // The arrays must tile the payload region exactly, in order.
+        let mut expected = HEADER_BYTES as u64;
+        for i in 0..NUM_ARRAYS {
+            if descs[i].offset != expected {
+                return Err(StoreError::OffsetMismatch {
+                    array: ARRAY_NAMES[i],
+                    expected,
+                    found: descs[i].offset,
+                });
+            }
+            expected = descs[i]
+                .count
+                .checked_mul(elem_bytes(i))
+                .and_then(|b| expected.checked_add(b))
+                .ok_or(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: u64::MAX,
+                    found: descs[i].count,
+                })?;
+        }
+        // Cross-array count consistency, before any payload allocation.
+        let rows = descs[0].count; // out_off: n + 1
+        for i in [2usize, 4, 8] {
+            if descs[i].count != rows {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: rows,
+                    found: descs[i].count,
+                });
+            }
+        }
+        if rows == 0 || descs[6].count == 0 {
+            return Err(StoreError::CountMismatch {
+                what: "offset table rows",
+                expected: 1,
+                found: 0,
+            });
+        }
+        if descs[10].count != descs[6].count - 1 {
+            return Err(StoreError::CountMismatch {
+                what: "attr_types",
+                expected: descs[6].count - 1,
+                found: descs[10].count,
+            });
+        }
+        for (i, want) in [
+            (1usize, num_social_links),
+            (3, num_social_links),
+            (5, num_attr_links),
+            (7, num_attr_links),
+        ] {
+            if descs[i].count != want {
+                return Err(StoreError::CountMismatch {
+                    what: ARRAY_NAMES[i],
+                    expected: want,
+                    found: descs[i].count,
+                });
+            }
+        }
+        Ok(StoreHeader {
+            num_social_links,
+            num_attr_links,
+            descs,
+        })
+    }
+
+    /// The header's social-link counter `|Es|`.
+    pub fn num_social_links(&self) -> u64 {
+        self.num_social_links
+    }
+
+    /// The header's attribute-link counter `|Ea|`.
+    pub fn num_attr_links(&self) -> u64 {
+        self.num_attr_links
+    }
+
+    /// Absolute byte offset of payload array `i` (file order, see
+    /// [`ARRAY_NAMES`]).
+    pub fn array_offset(&self, i: usize) -> u64 {
+        self.descs[i].offset
+    }
+
+    /// Element count of payload array `i`.
+    pub fn array_count(&self, i: usize) -> u64 {
+        self.descs[i].count
+    }
+
+    /// Number of social nodes (`out_off` rows minus the sentinel).
+    pub fn social_rows(&self) -> usize {
+        self.descs[0].count as usize - 1
+    }
+
+    /// Number of attribute nodes (`am_off` rows minus the sentinel).
+    pub fn attr_rows(&self) -> usize {
+        self.descs[6].count as usize - 1
+    }
+
+    /// First byte past the last payload array — where the checksum
+    /// trailer starts.
+    pub fn payload_end(&self) -> u64 {
+        self.descs[NUM_ARRAYS - 1].offset + self.descs[NUM_ARRAYS - 1].count
+    }
+}
+
 /// Validates that a CSR offset table starts at 0, never decreases, and
 /// ends exactly at `payload_len`.
-fn check_offsets(off: &[u32], payload_len: usize, array: &'static str) -> Result<(), StoreError> {
+pub(crate) fn check_offsets(
+    off: &[u32],
+    payload_len: usize,
+    array: &'static str,
+) -> Result<(), StoreError> {
     if off.first() != Some(&0) || off.windows(2).any(|w| w[0] > w[1]) {
         return Err(StoreError::NonMonotoneOffsets { array });
     }
@@ -463,7 +656,7 @@ fn check_offsets(off: &[u32], payload_len: usize, array: &'static str) -> Result
 }
 
 /// Validates that every id in a payload array indexes a real node.
-fn check_id_range<T: Copy>(
+pub(crate) fn check_id_range<T: Copy>(
     data: &[T],
     bound: usize,
     array: &'static str,
@@ -567,102 +760,17 @@ impl CsrSan {
     pub fn read_from(r: &mut impl Read) -> Result<CsrSan, StoreError> {
         let mut header = [0u8; HEADER_BYTES];
         read_exact_or(r, &mut header, "header")?;
-        let magic: [u8; 8] = header[0..8].try_into().expect("8-byte magic");
-        if magic != MAGIC {
-            return Err(StoreError::BadMagic { found: magic });
-        }
-        let u32_at = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("u32"));
-        let u64_at = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("u64"));
-        let version = u32_at(8);
-        if version != FORMAT_VERSION {
-            return Err(StoreError::UnsupportedVersion { found: version });
-        }
-        let num_social_links = u64_at(12);
-        let num_attr_links = u64_at(20);
-        let mut descs = [ArrayDesc {
-            offset: 0,
-            count: 0,
-        }; NUM_ARRAYS];
-        for (i, d) in descs.iter_mut().enumerate() {
-            d.offset = u64_at(28 + i * 16);
-            d.count = u64_at(28 + i * 16 + 8);
-        }
-        // CSR offsets are u32, so no valid snapshot holds an array longer
-        // than u32::MAX elements; reject absurd counts before anything is
-        // allocated — a crafted header must never drive
-        // `Vec::with_capacity` into a capacity panic or OOM abort.
-        for (i, d) in descs.iter().enumerate() {
-            if d.count > u64::from(u32::MAX) {
-                return Err(StoreError::CountMismatch {
-                    what: ARRAY_NAMES[i],
-                    expected: u64::from(u32::MAX),
-                    found: d.count,
-                });
-            }
-        }
-        // The arrays must tile the payload region exactly, in order.
-        let mut expected = HEADER_BYTES as u64;
-        for i in 0..NUM_ARRAYS {
-            if descs[i].offset != expected {
-                return Err(StoreError::OffsetMismatch {
-                    array: ARRAY_NAMES[i],
-                    expected,
-                    found: descs[i].offset,
-                });
-            }
-            let elem = if i == NUM_ARRAYS - 1 { 1 } else { 4 };
-            expected = descs[i]
-                .count
-                .checked_mul(elem)
-                .and_then(|b| expected.checked_add(b))
-                .ok_or(StoreError::CountMismatch {
-                    what: ARRAY_NAMES[i],
-                    expected: u64::MAX,
-                    found: descs[i].count,
-                })?;
-        }
-        // Cross-array count consistency, before any payload allocation.
-        let rows = descs[0].count; // out_off: n + 1
-        for i in [2usize, 4, 8] {
-            if descs[i].count != rows {
-                return Err(StoreError::CountMismatch {
-                    what: ARRAY_NAMES[i],
-                    expected: rows,
-                    found: descs[i].count,
-                });
-            }
-        }
-        if rows == 0 || descs[6].count == 0 {
-            return Err(StoreError::CountMismatch {
-                what: "offset table rows",
-                expected: 1,
-                found: 0,
-            });
-        }
-        if descs[10].count != descs[6].count - 1 {
-            return Err(StoreError::CountMismatch {
-                what: "attr_types",
-                expected: descs[6].count - 1,
-                found: descs[10].count,
-            });
-        }
-        for (i, want) in [
-            (1usize, num_social_links),
-            (3, num_social_links),
-            (5, num_attr_links),
-            (7, num_attr_links),
-        ] {
-            if descs[i].count != want {
-                return Err(StoreError::CountMismatch {
-                    what: ARRAY_NAMES[i],
-                    expected: want,
-                    found: descs[i].count,
-                });
-            }
-        }
+        // Every header-level check (magic/version, element caps, tiling,
+        // cross-array counts) lives in the shared parser, so the eager
+        // loader and the zero-copy view reject the same headers with the
+        // same typed errors.
+        let parsed = StoreHeader::parse(&header)?;
+        let num_social_links = parsed.num_social_links();
+        let num_attr_links = parsed.num_attr_links();
+        let rows = parsed.array_count(0);
         let mut hash = Fnv1a::new();
         hash.update(&header);
-        let count = |i: usize| descs[i].count as usize;
+        let count = |i: usize| parsed.array_count(i) as usize;
         let out_off = read_col(r, &mut hash, count(0), ARRAY_NAMES[0], |v| v)?;
         let out_dst = read_col(r, &mut hash, count(1), ARRAY_NAMES[1], SocialId)?;
         let in_off = read_col(r, &mut hash, count(2), ARRAY_NAMES[2], |v| v)?;
@@ -779,6 +887,9 @@ pub struct SnapshotVault {
     dir: PathBuf,
     /// day → serialised snapshot bytes, mirroring the manifest.
     days: BTreeMap<u32, u64>,
+    /// Metered IO: bytes moved + latency per direction (see
+    /// [`SnapshotVault::metrics`]).
+    metrics: VaultMetrics,
 }
 
 const MANIFEST: &str = "manifest.txt";
@@ -796,6 +907,7 @@ impl SnapshotVault {
         let vault = SnapshotVault {
             dir,
             days: BTreeMap::new(),
+            metrics: VaultMetrics::new(),
         };
         vault.write_manifest()?;
         Ok(vault)
@@ -839,7 +951,22 @@ impl SnapshotVault {
                 _ => return Err(bad("expected 'day <n> <bytes>'")),
             }
         }
-        Ok(SnapshotVault { dir, days })
+        Ok(SnapshotVault {
+            dir,
+            days,
+            metrics: VaultMetrics::new(),
+        })
+    }
+
+    /// This vault's IO meters: bytes read/written plus a latency
+    /// histogram per direction, accumulated over every
+    /// [`save_day`](SnapshotVault::save_day) /
+    /// [`load_day`](SnapshotVault::load_day) /
+    /// [`map_day`](SnapshotVault::map_day) since the vault handle was
+    /// created (meters are per-handle, not persisted). The on-disk
+    /// footprint itself is [`disk_bytes`](SnapshotVault::disk_bytes).
+    pub fn metrics(&self) -> &VaultMetrics {
+        &self.metrics
     }
 
     /// The vault's directory.
@@ -879,6 +1006,7 @@ impl SnapshotVault {
     /// is rewritten — a crash mid-save never leaves a registered,
     /// half-written day. Saving a day that already exists overwrites it.
     pub fn save_day(&mut self, day: u32, snap: &CsrSan) -> Result<u64, StoreError> {
+        let started = Instant::now();
         let tmp = self.dir.join(format!("day-{day:04}.csr.tmp"));
         let bytes = {
             let file = fs::File::create(&tmp)?;
@@ -890,6 +1018,7 @@ impl SnapshotVault {
         fs::rename(&tmp, self.day_path(day))?;
         self.days.insert(day, bytes);
         self.write_manifest()?;
+        self.metrics.record_write(bytes, started.elapsed());
         Ok(bytes)
     }
 
@@ -912,14 +1041,39 @@ impl SnapshotVault {
         Ok(saved)
     }
 
-    /// Loads a persisted day as a shared snapshot handle.
+    /// Loads a persisted day as a shared snapshot handle (eager: every
+    /// column is deserialised into owned arrays). For the zero-copy
+    /// alternative see [`map_day`](SnapshotVault::map_day).
     pub fn load_day(&self, day: u32) -> Result<Arc<CsrSan>, StoreError> {
-        let Some(_) = self.days.get(&day) else {
+        let Some(&bytes) = self.days.get(&day) else {
             return Err(StoreError::DayNotPersisted { day });
         };
+        let started = Instant::now();
         let file = fs::File::open(self.day_path(day))?;
         let mut r = BufReader::new(file);
-        Ok(Arc::new(CsrSan::read_from(&mut r)?))
+        let snap = CsrSan::read_from(&mut r)?;
+        self.metrics.record_read(bytes, started.elapsed());
+        Ok(Arc::new(snap))
+    }
+
+    /// Maps a persisted day read-only into memory and validates it once
+    /// (header + checksum + structure), without deserialising a single
+    /// column — the zero-copy counterpart of
+    /// [`load_day`](SnapshotVault::load_day). The returned
+    /// [`MappedSnapshot`](crate::mmap::MappedSnapshot) hands out
+    /// [`CsrSanView`](crate::view::CsrSanView)s that read the file's pages
+    /// in place and is `Send + Sync`, so one mapping can serve many
+    /// threads. Metered as a read of the file's full validated length
+    /// (the validation pass touches every byte).
+    #[cfg(unix)]
+    pub fn map_day(&self, day: u32) -> Result<crate::mmap::MappedSnapshot, StoreError> {
+        let Some(&bytes) = self.days.get(&day) else {
+            return Err(StoreError::DayNotPersisted { day });
+        };
+        let started = Instant::now();
+        let mapped = crate::mmap::MappedSnapshot::open(self.day_path(day))?;
+        self.metrics.record_read(bytes, started.elapsed());
+        Ok(mapped)
     }
 
     /// The latest persisted day that is `≤ day` — the warm-start point for
@@ -1132,6 +1286,45 @@ mod tests {
         for day in saved {
             assert_eq!(*vault.load_day(day).unwrap(), tl.snapshot_csr(day));
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Metered IO on the eager vault paths: every save/load/map feeds the
+    /// byte counters and latency histograms surfaced by
+    /// [`SnapshotVault::metrics`], and the written-byte total matches
+    /// [`SnapshotVault::disk_bytes`] exactly when nothing is overwritten.
+    #[test]
+    fn vault_metrics_meter_saves_loads_and_maps() {
+        let dir = std::env::temp_dir().join(format!("san-vault-meter-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut vault = SnapshotVault::create(&dir).unwrap();
+        assert_eq!(vault.metrics().writes(), 0);
+        assert_eq!(vault.metrics().reads(), 0);
+        let csr = small_csr();
+        let bytes = vault.save_day(2, &csr).unwrap();
+        vault.save_day(6, &csr).unwrap();
+        assert_eq!(vault.metrics().writes(), 2);
+        assert_eq!(vault.metrics().written_bytes(), 2 * bytes);
+        assert_eq!(vault.metrics().written_bytes(), vault.disk_bytes());
+        assert_eq!(vault.metrics().write_latency().count(), 2);
+        // Eager loads meter the read side.
+        vault.load_day(2).unwrap();
+        vault.load_day(6).unwrap();
+        vault.load_day(6).unwrap();
+        assert_eq!(vault.metrics().reads(), 3);
+        assert_eq!(vault.metrics().read_bytes(), 3 * bytes);
+        assert_eq!(vault.metrics().read_latency().count(), 3);
+        // Mapped opens meter the same read counters.
+        #[cfg(unix)]
+        {
+            let mapped = vault.map_day(2).unwrap();
+            assert_eq!(mapped.mapped_bytes() as u64, bytes);
+            assert_eq!(vault.metrics().reads(), 4);
+            assert_eq!(vault.metrics().read_bytes(), 4 * bytes);
+        }
+        // A failed load (unpersisted day) meters nothing.
+        assert!(vault.load_day(5).is_err());
+        assert_eq!(vault.metrics().reads(), if cfg!(unix) { 4 } else { 3 });
         let _ = fs::remove_dir_all(&dir);
     }
 

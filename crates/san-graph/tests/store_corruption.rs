@@ -5,8 +5,17 @@
 //! header/array boundary, flips magic/version/checksum bytes, and
 //! hand-corrupts structure behind a re-sealed checksum to isolate the
 //! structural validators from the checksum.
+//!
+//! Every crafted case is driven through **all three read paths** — the
+//! eager [`CsrSan::read_from`] stream loader, the zero-copy
+//! [`CsrSanView::new`] in-memory view, and [`MappedSnapshot::open`] over
+//! an actual file — and each must reject with a typed error (the same
+//! variant family; never UB, never a panic on any path).
 
+#[cfg(unix)]
+use san_graph::mmap::MappedSnapshot;
 use san_graph::store::{self, StoreError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, NUM_ARRAYS};
+use san_graph::view::{AlignedBytes, CsrSanView};
 use san_graph::{AttrId, AttrType, CsrSan, SocialId, TimelineBuilder};
 
 /// A snapshot with non-trivial content in every column.
@@ -53,8 +62,53 @@ fn read(bytes: &[u8]) -> Result<CsrSan, StoreError> {
     CsrSan::from_store_bytes(bytes)
 }
 
+/// Rejection through the zero-copy in-memory view path.
+fn view_err(bytes: &[u8], ctx: &str) -> StoreError {
+    let aligned = AlignedBytes::from_bytes(bytes);
+    match CsrSanView::new(&aligned) {
+        Ok(_) => panic!("{ctx}: view path must reject corrupt bytes"),
+        Err(e) => e,
+    }
+}
+
+/// Rejection through the mmap path: the bytes land in a real file which
+/// [`MappedSnapshot::open`] must refuse to serve.
+#[cfg(unix)]
+fn mapped_err(bytes: &[u8], ctx: &str) -> StoreError {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "san-corrupt-{}-{}.csr",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).expect("write corrupt snapshot");
+    let result = MappedSnapshot::open(&path);
+    let _ = std::fs::remove_file(&path);
+    match result {
+        Ok(_) => panic!("{ctx}: mmap path must reject corrupt bytes"),
+        Err(e) => e,
+    }
+}
+
+/// The same corrupt bytes rejected by every read path (eager + view
+/// everywhere, mmap on unix); each caller asserts the variant family on
+/// every returned error.
+fn reject_all(bytes: &[u8], ctx: &str) -> Vec<StoreError> {
+    let mut errors = vec![
+        match read(bytes) {
+            Ok(_) => panic!("{ctx}: eager path must reject corrupt bytes"),
+            Err(e) => e,
+        },
+        view_err(bytes, ctx),
+    ];
+    #[cfg(unix)]
+    errors.push(mapped_err(bytes, ctx));
+    errors
+}
+
 /// Truncating at every header/array boundary — and one byte inside each
-/// section — always yields `Truncated`, never a panic.
+/// section — always yields `Truncated` on every path, never a panic.
 #[test]
 fn truncation_at_every_boundary() {
     let csr = sample_csr();
@@ -72,15 +126,21 @@ fn truncation_at_every_boundary() {
     cuts.push(bytes.len() - 1); // inside the checksum trailer
     for cut in cuts {
         assert!(cut < bytes.len(), "cut {cut} inside file");
-        let err = read(&bytes[..cut]).expect_err("truncated stream must fail");
-        assert!(
-            matches!(err, StoreError::Truncated { .. }),
-            "cut at {cut}: expected Truncated, got {err}"
-        );
+        for err in reject_all(&bytes[..cut], &format!("cut {cut}")) {
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut at {cut}: expected Truncated, got {err}"
+            );
+        }
     }
-    // The untruncated stream still reads fine (the matrix itself is not
-    // poisoning anything).
+    // The untruncated stream still reads fine on every path (the matrix
+    // itself is not poisoning anything).
     assert_eq!(read(&bytes).expect("full stream"), csr);
+    let aligned = AlignedBytes::from_bytes(&bytes);
+    assert_eq!(
+        CsrSanView::new(&aligned).expect("full view").to_owned_csr(),
+        csr
+    );
 }
 
 /// Flipping any magic byte is `BadMagic`, reported with what was found.
@@ -90,11 +150,13 @@ fn flipped_magic_byte() {
     for i in 0..MAGIC.len() {
         let mut bad = bytes.clone();
         bad[i] ^= 0xff;
-        match read(&bad).expect_err("bad magic must fail") {
-            StoreError::BadMagic { found } => {
-                assert_eq!(found[i], MAGIC[i] ^ 0xff);
+        for err in reject_all(&bad, &format!("magic byte {i}")) {
+            match err {
+                StoreError::BadMagic { found } => {
+                    assert_eq!(found[i], MAGIC[i] ^ 0xff);
+                }
+                other => panic!("byte {i}: expected BadMagic, got {other}"),
             }
-            other => panic!("byte {i}: expected BadMagic, got {other}"),
         }
     }
 }
@@ -107,9 +169,11 @@ fn unsupported_version() {
     for version in [0u32, store::FORMAT_VERSION + 1, 0xdead_beef] {
         let mut bad = bytes.clone();
         bad[8..12].copy_from_slice(&version.to_le_bytes());
-        match read(&bad).expect_err("unknown version must fail") {
-            StoreError::UnsupportedVersion { found } => assert_eq!(found, version),
-            other => panic!("version {version}: expected UnsupportedVersion, got {other}"),
+        for err in reject_all(&bad, &format!("version {version}")) {
+            match err {
+                StoreError::UnsupportedVersion { found } => assert_eq!(found, version),
+                other => panic!("version {version}: expected UnsupportedVersion, got {other}"),
+            }
         }
     }
 }
@@ -122,11 +186,12 @@ fn flipped_checksum_byte() {
     for i in (len - CHECKSUM_BYTES)..len {
         let mut bad = bytes.clone();
         bad[i] ^= 0x01;
-        let err = read(&bad).expect_err("bad checksum must fail");
-        assert!(
-            matches!(err, StoreError::BadChecksum { .. }),
-            "trailer byte {i}: expected BadChecksum, got {err}"
-        );
+        for err in reject_all(&bad, &format!("trailer byte {i}")) {
+            assert!(
+                matches!(err, StoreError::BadChecksum { .. }),
+                "trailer byte {i}: expected BadChecksum, got {err}"
+            );
+        }
     }
 }
 
@@ -144,14 +209,15 @@ fn flipped_payload_byte_fails_checksum() {
         }
         let mut bad = bytes.clone();
         bad[off as usize] ^= 0x80;
-        let err = read(&bad).expect_err("payload flip must fail");
-        assert!(
-            matches!(
-                err,
-                StoreError::BadChecksum { .. } | StoreError::NonMonotoneOffsets { .. }
-            ),
-            "array {i}: expected BadChecksum/NonMonotoneOffsets, got {err}"
-        );
+        for err in reject_all(&bad, &format!("payload array {i}")) {
+            assert!(
+                matches!(
+                    err,
+                    StoreError::BadChecksum { .. } | StoreError::NonMonotoneOffsets { .. }
+                ),
+                "array {i}: expected BadChecksum/NonMonotoneOffsets, got {err}"
+            );
+        }
     }
 }
 
@@ -166,11 +232,12 @@ fn descriptor_offset_mismatch() {
         let off = u64::from_le_bytes(bad[at..at + 8].try_into().unwrap());
         bad[at..at + 8].copy_from_slice(&(off + 4).to_le_bytes());
         reseal(&mut bad);
-        let err = read(&bad).expect_err("offset mismatch must fail");
-        assert!(
-            matches!(err, StoreError::OffsetMismatch { .. }),
-            "array {array}: expected OffsetMismatch, got {err}"
-        );
+        for err in reject_all(&bad, &format!("descriptor {array}")) {
+            assert!(
+                matches!(err, StoreError::OffsetMismatch { .. }),
+                "array {array}: expected OffsetMismatch, got {err}"
+            );
+        }
     }
 }
 
@@ -190,25 +257,27 @@ fn count_mismatches() {
     let count = u64::from_le_bytes(bad[at..at + 8].try_into().unwrap());
     bad[at..at + 8].copy_from_slice(&(count + 1).to_le_bytes());
     reseal(&mut bad);
-    let err = read(&bad).expect_err("row-count mismatch must fail");
-    assert!(
-        matches!(
-            err,
-            StoreError::CountMismatch { .. } | StoreError::OffsetMismatch { .. }
-        ),
-        "expected CountMismatch/OffsetMismatch, got {err}"
-    );
+    for err in reject_all(&bad, "row-count mismatch") {
+        assert!(
+            matches!(
+                err,
+                StoreError::CountMismatch { .. } | StoreError::OffsetMismatch { .. }
+            ),
+            "expected CountMismatch/OffsetMismatch, got {err}"
+        );
+    }
 
     // Header social-link counter disagreeing with the out_dst count.
     let mut bad = bytes.clone();
     let links = u64::from_le_bytes(bad[12..20].try_into().unwrap());
     bad[12..20].copy_from_slice(&(links + 1).to_le_bytes());
     reseal(&mut bad);
-    let err = read(&bad).expect_err("link-counter mismatch must fail");
-    assert!(
-        matches!(err, StoreError::CountMismatch { .. }),
-        "expected CountMismatch, got {err}"
-    );
+    for err in reject_all(&bad, "link-counter mismatch") {
+        assert!(
+            matches!(err, StoreError::CountMismatch { .. }),
+            "expected CountMismatch, got {err}"
+        );
+    }
 }
 
 /// A CSR offset table that decreases mid-way — behind a valid checksum —
@@ -227,27 +296,30 @@ fn non_monotone_offsets_behind_valid_checksum() {
         let mut bad = bytes.clone();
         bad[mid..mid + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         reseal(&mut bad);
-        let err = read(&bad).expect_err("non-monotone offsets must fail");
-        assert!(
-            matches!(
-                err,
-                StoreError::NonMonotoneOffsets { .. } | StoreError::CountMismatch { .. }
-            ),
-            "table {table}: expected NonMonotoneOffsets/CountMismatch, got {err}"
-        );
+        for err in reject_all(&bad, &format!("offset table {table}")) {
+            assert!(
+                matches!(
+                    err,
+                    StoreError::NonMonotoneOffsets { .. } | StoreError::CountMismatch { .. }
+                ),
+                "table {table}: expected NonMonotoneOffsets/CountMismatch, got {err}"
+            );
+        }
     }
     // The canonical case — a strictly decreasing interior entry in
-    // out_off — reports NonMonotoneOffsets specifically.
+    // out_off — reports NonMonotoneOffsets specifically on every path.
     let (off, count) = descs[0];
     assert!(count >= 3);
     let mid = off as usize + ((count as usize - 1) / 2).max(1) * 4;
     let mut bad = bytes.clone();
     bad[mid..mid + 4].copy_from_slice(&u32::MAX.to_le_bytes());
     reseal(&mut bad);
-    assert!(matches!(
-        read(&bad).expect_err("decreasing offsets"),
-        StoreError::NonMonotoneOffsets { .. }
-    ));
+    for err in reject_all(&bad, "decreasing out_off") {
+        assert!(
+            matches!(err, StoreError::NonMonotoneOffsets { .. }),
+            "{err}"
+        );
+    }
 }
 
 /// An id pointing past the node count — behind a valid checksum — is
@@ -265,28 +337,32 @@ fn payload_semantics_behind_valid_checksum() {
         let mut bad = bytes.clone();
         bad[off as usize..off as usize + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         reseal(&mut bad);
-        let err = read(&bad).expect_err("out-of-range id must fail");
-        assert!(
-            matches!(err, StoreError::IdOutOfRange { .. }),
-            "array {array}: expected IdOutOfRange, got {err}"
-        );
+        for err in reject_all(&bad, &format!("id array {array}")) {
+            assert!(
+                matches!(err, StoreError::IdOutOfRange { .. }),
+                "array {array}: expected IdOutOfRange, got {err}"
+            );
+        }
     }
     let (off, count) = descs[NUM_ARRAYS - 1];
     assert!(count > 0);
     let mut bad = bytes.clone();
     bad[off as usize] = 0xee;
     reseal(&mut bad);
-    assert!(matches!(
-        read(&bad).expect_err("unknown tag"),
-        StoreError::BadAttrType { value: 0xee }
-    ));
+    for err in reject_all(&bad, "attr tag") {
+        assert!(
+            matches!(err, StoreError::BadAttrType { value: 0xee }),
+            "{err}"
+        );
+    }
 }
 
 /// A crafted header declaring an absurd element count (up to 2^61) must
 /// be rejected as a typed error **before any allocation** — never a
-/// capacity-overflow panic or an OOM abort. `und_nbr` is the hardest
-/// case: its count is cross-checked against no header counter, only the
-/// per-array cap and tiling.
+/// capacity-overflow panic or an OOM abort (and on the view/mmap paths,
+/// never an out-of-bounds slice). `und_nbr` is the hardest case: its
+/// count is cross-checked against no header counter, only the per-array
+/// cap and tiling.
 #[test]
 fn absurd_header_counts_rejected_before_allocation() {
     let bytes = sample_csr().to_store_bytes();
@@ -306,33 +382,56 @@ fn absurd_header_counts_rejected_before_allocation() {
                 offset = offset.wrapping_add(desc.1 * elem(later));
             }
             reseal(&mut bad);
-            let err = read(&bad).expect_err("absurd count must fail");
-            assert!(
-                matches!(err, StoreError::CountMismatch { .. }),
-                "array {array} count {huge}: expected CountMismatch, got {err}"
-            );
+            for err in reject_all(&bad, &format!("array {array} count {huge}")) {
+                assert!(
+                    matches!(err, StoreError::CountMismatch { .. }),
+                    "array {array} count {huge}: expected CountMismatch, got {err}"
+                );
+            }
         }
     }
 }
 
-/// Empty input and random garbage: typed errors, no panics.
+/// Empty input and random garbage: typed errors on every path, no panics.
 #[test]
 fn garbage_inputs_never_panic() {
-    assert!(matches!(
-        read(&[]).expect_err("empty"),
-        StoreError::Truncated { .. }
-    ));
+    for err in reject_all(&[], "empty input") {
+        assert!(matches!(err, StoreError::Truncated { .. }), "{err}");
+    }
     let garbage: Vec<u8> = (0..4096u32)
         .map(|i| (i.wrapping_mul(2654435761)) as u8)
         .collect();
-    let err = read(&garbage).expect_err("garbage must fail");
-    assert!(
-        matches!(
-            err,
-            StoreError::BadMagic { .. } | StoreError::Truncated { .. }
-        ),
-        "garbage: got {err}"
-    );
+    for err in reject_all(&garbage, "garbage") {
+        assert!(
+            matches!(
+                err,
+                StoreError::BadMagic { .. } | StoreError::Truncated { .. }
+            ),
+            "garbage: got {err}"
+        );
+    }
+}
+
+/// A misaligned buffer is the one failure class unique to the in-memory
+/// view path: typed [`StoreError::Misaligned`], while the eager loader
+/// (which copies) and the mmap path (page-aligned by construction) never
+/// produce it.
+#[test]
+fn view_rejects_misaligned_base_only() {
+    let bytes = sample_csr().to_store_bytes();
+    let mut padded = vec![0u8; bytes.len() + 8];
+    let base = padded.as_ptr() as usize;
+    let shift = (0..4)
+        .find(|s| !(base + s).is_multiple_of(4))
+        .expect("misaligned offset");
+    padded[shift..shift + bytes.len()].copy_from_slice(&bytes);
+    let misaligned = &padded[shift..shift + bytes.len()];
+    assert!(matches!(
+        CsrSanView::new(misaligned).expect_err("misaligned view"),
+        StoreError::Misaligned { required: 4 }
+    ));
+    // The eager loader is alignment-agnostic: same bytes still load.
+    assert_eq!(read(misaligned).expect("eager load"), sample_csr());
 }
 
 /// The one positive control: a loaded snapshot answers queries exactly

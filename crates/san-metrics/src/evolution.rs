@@ -28,6 +28,7 @@
 use san_graph::evolve::DayCounts;
 use san_graph::evolve::SnapshotStream;
 use san_graph::store::{SnapshotVault, StoreError};
+use san_graph::view::CsrSanView;
 use san_graph::{CsrSan, SanTimeline, ShardedCsrSan};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -216,7 +217,8 @@ where
 }
 
 /// Where an evolution sweep gets its snapshots: a full delta-freeze
-/// replay from day 0, or a [`SnapshotVault`] warm start.
+/// replay from day 0, a [`SnapshotVault`] warm start, or a zero-copy
+/// mapped snapshot seed.
 ///
 /// Every `evolve_metric*_from` driver accepts this, so the same metric
 /// sweep can run cold (event log only) or hot (persisted days on disk)
@@ -239,6 +241,29 @@ pub enum SnapshotSource<'a> {
         /// First day the sweep should report.
         start: u32,
     },
+    /// Seed from a **zero-copy mapped snapshot** — the view a
+    /// [`MappedSnapshot`](san_graph::mmap::MappedSnapshot) (e.g. one
+    /// served out of the `san-serve` cache) hands out — materialise it
+    /// once ([`CsrSanView::to_owned_csr`]), and delta-patch forward,
+    /// sweeping only days `start..=max_day`. This is the vault warm
+    /// start without the eager column deserialisation: the seed comes
+    /// straight off the mapped pages.
+    ///
+    /// The drivers panic if `day > start` (the seed must be at or before
+    /// the first reported day), mirroring
+    /// [`SanTimeline::resume_from_snapshot`].
+    Mapped {
+        /// The event log (still needed to patch forward from the
+        /// mapped day).
+        timeline: &'a SanTimeline,
+        /// A validated zero-copy view holding the end-of-`day` snapshot
+        /// of this timeline.
+        view: CsrSanView<'a>,
+        /// The day the mapped snapshot freezes.
+        day: u32,
+        /// First day the sweep should report.
+        start: u32,
+    },
 }
 
 impl<'a> SnapshotSource<'a> {
@@ -252,6 +277,12 @@ impl<'a> SnapshotSource<'a> {
                 vault,
                 start,
             } => timeline.resume_from_vault(vault, start, step),
+            SnapshotSource::Mapped {
+                timeline,
+                view,
+                day,
+                start,
+            } => Ok(timeline.resume_from_snapshot(Arc::new(view.to_owned_csr()), day, start, step)),
         }
     }
 }

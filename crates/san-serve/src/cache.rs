@@ -1,0 +1,217 @@
+//! A sharded, byte-bounded LRU of mapped snapshots.
+//!
+//! Day keys spread across independently-locked shards so concurrent
+//! readers of *different* days never contend on one lock, and readers of
+//! the *same* day contend only on that day's shard for the duration of a
+//! vector scan (cache populations are tens of days, not millions — a
+//! vault persists one file per sampled day — so scan-based LRU beats a
+//! linked-list + map for both simplicity and locality).
+//!
+//! The bound is **resident mapped bytes**, not entry count: snapshots
+//! grow with the day, so a count bound would let the tail of a long
+//! timeline blow the memory budget. Each shard polices an equal slice of
+//! [`ServeConfig::max_resident_bytes`](crate::ServeConfig::max_resident_bytes);
+//! eviction drops the least-recently-served day's `Arc`, and the mapping
+//! itself is unmapped only when the last outstanding reader drops its
+//! handle — eviction can never invalidate a view someone is using.
+
+use san_graph::mmap::MappedSnapshot;
+use std::sync::{Arc, Mutex};
+
+/// One cached day.
+struct Entry {
+    day: u32,
+    snap: Arc<MappedSnapshot>,
+    /// Shard-local logical timestamp of the last `get`/`insert`.
+    last_used: u64,
+}
+
+/// One independently-locked cache shard.
+#[derive(Default)]
+struct CacheShard {
+    entries: Vec<Entry>,
+    clock: u64,
+    bytes: u64,
+}
+
+/// What an insert did, for the metrics layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InsertOutcome {
+    /// Days evicted to make room.
+    pub evicted: u64,
+}
+
+/// The sharded LRU. Keys are persisted days.
+pub(crate) struct ShardedLru {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard_budget: u64,
+}
+
+impl ShardedLru {
+    /// A cache of `shards` independent shards splitting `max_bytes`
+    /// evenly (both clamped to at least 1 shard / 1 byte so a
+    /// zero-budget cache degenerates to "keep only the newest day per
+    /// shard" instead of dividing by zero).
+    pub(crate) fn new(shards: usize, max_bytes: u64) -> ShardedLru {
+        let shards = shards.max(1);
+        ShardedLru {
+            per_shard_budget: (max_bytes / shards as u64).max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, day: u32) -> &Mutex<CacheShard> {
+        &self.shards[day as usize % self.shards.len()]
+    }
+
+    /// Looks a day up, bumping its recency on hit.
+    pub(crate) fn get(&self, day: u32) -> Option<Arc<MappedSnapshot>> {
+        let mut shard = self.shard(day).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let clock = shard.clock;
+        let entry = shard.entries.iter_mut().find(|e| e.day == day)?;
+        entry.last_used = clock;
+        Some(Arc::clone(&entry.snap))
+    }
+
+    /// Inserts a freshly-mapped day, evicting least-recently-served
+    /// entries until the shard is back under budget. The newly-inserted
+    /// day is never evicted by its own insert (an over-budget snapshot
+    /// still serves; it just caches alone). Racing inserts of the same
+    /// day keep the incumbent.
+    pub(crate) fn insert(&self, day: u32, snap: Arc<MappedSnapshot>) -> InsertOutcome {
+        let bytes = snap.mapped_bytes() as u64;
+        let mut shard = self.shard(day).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(entry) = shard.entries.iter_mut().find(|e| e.day == day) {
+            // Another thread won the mapping race; keep its entry.
+            entry.last_used = clock;
+            return InsertOutcome::default();
+        }
+        shard.entries.push(Entry {
+            day,
+            snap,
+            last_used: clock,
+        });
+        shard.bytes += bytes;
+        let mut outcome = InsertOutcome::default();
+        while shard.bytes > self.per_shard_budget && shard.entries.len() > 1 {
+            let victim = shard
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.day != day)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("len > 1 entries, one is not `day`");
+            let evicted = shard.entries.swap_remove(victim);
+            shard.bytes -= evicted.snap.mapped_bytes() as u64;
+            outcome.evicted += 1;
+        }
+        outcome
+    }
+
+    /// Total mapped bytes currently cached (sum over shards; each shard
+    /// read is individually consistent).
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").bytes)
+            .sum()
+    }
+
+    /// Number of cached days.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").entries.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::{San, SanRead, TimelineBuilder};
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    fn mapped_sample(tag: &str) -> (Arc<MappedSnapshot>, PathBuf) {
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        tb.add_social_link(u0, u1);
+        let bytes = tb.finish().1.freeze().to_store_bytes();
+        let path =
+            std::env::temp_dir().join(format!("san-serve-cache-{tag}-{}.csr", std::process::id()));
+        let mut f = std::fs::File::create(&path).expect("temp file");
+        f.write_all(&bytes).expect("write");
+        (Arc::new(MappedSnapshot::open(&path).expect("map")), path)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_served() {
+        let (snap, path) = mapped_sample("lru");
+        let one = snap.mapped_bytes() as u64;
+        // Budget for two entries in one shard.
+        let cache = ShardedLru::new(1, 2 * one);
+        assert_eq!(cache.insert(0, Arc::clone(&snap)), InsertOutcome::default());
+        assert_eq!(cache.insert(7, Arc::clone(&snap)), InsertOutcome::default());
+        // Touch day 0 so day 7 is the LRU victim.
+        assert!(cache.get(0).is_some());
+        let outcome = cache.insert(14, Arc::clone(&snap));
+        assert_eq!(outcome.evicted, 1);
+        assert!(cache.get(7).is_none(), "LRU day evicted");
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(14).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        drop(snap);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn oversized_entry_still_caches_alone() {
+        let (snap, path) = mapped_sample("oversize");
+        let cache = ShardedLru::new(1, 1); // 1-byte budget
+        cache.insert(3, Arc::clone(&snap));
+        assert!(cache.get(3).is_some(), "own insert never evicts itself");
+        let outcome = cache.insert(9, Arc::clone(&snap));
+        assert_eq!(outcome.evicted, 1, "previous day evicted");
+        assert!(cache.get(3).is_none());
+        assert_eq!(cache.len(), 1);
+        drop(snap);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn racing_insert_keeps_incumbent() {
+        let (snap, path) = mapped_sample("race");
+        let cache = ShardedLru::new(4, u64::MAX);
+        cache.insert(5, Arc::clone(&snap));
+        let before = Arc::as_ptr(&cache.get(5).expect("cached"));
+        cache.insert(5, Arc::new(MappedSnapshot::open(&path).expect("remap")));
+        assert_eq!(
+            Arc::as_ptr(&cache.get(5).expect("still cached")),
+            before,
+            "incumbent mapping kept"
+        );
+        drop(snap);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_graph_snapshot_is_cacheable() {
+        let bytes = San::new().freeze().to_store_bytes();
+        let path =
+            std::env::temp_dir().join(format!("san-serve-cache-empty-{}.csr", std::process::id()));
+        std::fs::write(&path, &bytes).expect("write");
+        let cache = ShardedLru::new(2, u64::MAX);
+        cache.insert(0, Arc::new(MappedSnapshot::open(&path).expect("map")));
+        assert_eq!(cache.get(0).expect("cached").view().num_social_nodes(), 0);
+        let _ = std::fs::remove_file(path);
+    }
+}

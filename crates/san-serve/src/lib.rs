@@ -1,0 +1,54 @@
+//! # san-serve — the concurrent snapshot-serving layer
+//!
+//! The Google+ SAN measurement pipeline is write-once, read-many at every
+//! scale: one writer persists day-indexed snapshots
+//! ([`SnapshotVault`](san_graph::store::SnapshotVault)), then **many
+//! concurrent readers query historical days** — per-day analytics,
+//! dashboards, model-validation jobs, all hitting "give me the network as
+//! of day *t*". This crate is that read side:
+//!
+//! * [`SnapshotServer`] opens a vault and serves
+//!   [`get(day)`](SnapshotServer::get) → the nearest persisted snapshot
+//!   at or before `day`, as a [`SnapshotHandle`] whose
+//!   [`view()`](SnapshotHandle::view) is a zero-copy
+//!   [`CsrSanView`](san_graph::view::CsrSanView) over an
+//!   `mmap(2)`-backed file — **no column is ever deserialised**; a cold
+//!   miss costs one `mmap` + one validation pass, a hit is an `Arc`
+//!   clone (one atomic increment).
+//! * A **sharded, capacity-bounded LRU** keeps hot days mapped: day keys
+//!   spread across independently-locked shards (no global cache lock on
+//!   the hit path), and total resident mapped bytes are bounded by
+//!   [`ServeConfig::max_resident_bytes`] with least-recently-served
+//!   eviction. Evicted days merely drop an `Arc`; readers still holding
+//!   the handle keep the mapping alive until they finish.
+//! * [`ServeMetrics`] meters the whole path — hit/miss/eviction
+//!   counters, per-vault read bytes and an open/validate latency
+//!   histogram (reusing [`VaultMetrics`](san_graph::meter::VaultMetrics),
+//!   the same shape the vault itself meters with).
+//! * [`SnapshotServer::for_each_query`] is the thread-pool driver for
+//!   mixed-day query streams: any `SanRead`-generic analytic (all of
+//!   `san-metrics` qualifies) runs against whichever day each query
+//!   names, with results returned in input order.
+//!
+//! Because everything downstream is generic over
+//! [`SanRead`](san_graph::SanRead), serving mapped views changes no
+//! analytic code and no analytic result: the `mapped_equivalence` suite
+//! in `san-metrics` locks mapped-vs-loaded bit-identity down.
+//!
+//! Unix-only (the mmap substrate lives in `san_graph::mmap`): on other
+//! targets this crate compiles to an empty shell so the workspace still
+//! builds, and the eager
+//! `SnapshotVault::load_day`
+//! path remains the portable fallback.
+
+#[cfg(unix)]
+pub mod cache;
+#[cfg(unix)]
+pub mod metrics;
+#[cfg(unix)]
+pub mod server;
+
+#[cfg(unix)]
+pub use metrics::ServeMetrics;
+#[cfg(unix)]
+pub use server::{QueryOutcome, ServeConfig, SnapshotHandle, SnapshotServer};

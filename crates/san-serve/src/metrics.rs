@@ -1,0 +1,113 @@
+//! [`ServeMetrics`]: the serving layer's meters — cache behaviour
+//! counters plus the same [`VaultMetrics`] IO shape the vault itself
+//! uses, so capacity planning reads one format on both sides of the
+//! cache.
+
+use san_graph::meter::VaultMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters and IO meters for one [`SnapshotServer`](crate::SnapshotServer).
+///
+/// All counters are relaxed atomics: recording from the hit path costs a
+/// couple of uncontended atomic adds. The IO side
+/// ([`ServeMetrics::io`]) reuses [`VaultMetrics`]: `read_bytes` is the
+/// total bytes of snapshot files mapped+validated by cold misses, and
+/// `read_latency` is the open/validate latency histogram (sub-ms for
+/// MiB-scale days; a hit never touches it).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    queries: AtomicU64,
+    no_snapshot: AtomicU64,
+    io: VaultMetrics,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed meters.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Cache hits: `get` served an already-mapped day (`Arc` clone).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses: `get` had to map + validate a snapshot file.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Days evicted from the cache to stay under the resident-byte bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Queries routed through [`for_each_query`](crate::SnapshotServer::for_each_query).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// `get` calls for days before the first persisted snapshot (served
+    /// as "no snapshot", not an error).
+    pub fn no_snapshot(&self) -> u64 {
+        self.no_snapshot.load(Ordering::Relaxed)
+    }
+
+    /// The IO meters of the cold-miss path: bytes mapped+validated and
+    /// the open/validate latency histogram — the same [`VaultMetrics`]
+    /// shape as [`SnapshotVault::metrics`](san_graph::store::SnapshotVault::metrics).
+    pub fn io(&self) -> &VaultMetrics {
+        &self.io
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_no_snapshot(&self) {
+        self.no_snapshot.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = assert_send_sync::<ServeMetrics>();
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_hit();
+        m.record_hit();
+        m.record_miss();
+        m.record_evictions(3);
+        m.record_query();
+        m.record_no_snapshot();
+        m.io().record_read(1024, Duration::from_micros(50));
+        assert_eq!(m.hits(), 2);
+        assert_eq!(m.misses(), 1);
+        assert_eq!(m.evictions(), 3);
+        assert_eq!(m.queries(), 1);
+        assert_eq!(m.no_snapshot(), 1);
+        assert_eq!(m.io().read_bytes(), 1024);
+        assert_eq!(m.io().read_latency().count(), 1);
+    }
+}

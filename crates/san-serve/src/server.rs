@@ -1,0 +1,282 @@
+//! [`SnapshotServer`]: vault-backed, cache-fronted snapshot serving plus
+//! the mixed-day query driver.
+
+use crate::cache::ShardedLru;
+use crate::metrics::ServeMetrics;
+use san_graph::mmap::MappedSnapshot;
+use san_graph::store::{SnapshotVault, StoreError};
+use san_graph::view::CsrSanView;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sizing knobs for a [`SnapshotServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Upper bound on total mapped bytes the cache keeps resident
+    /// (split evenly across shards). Evicted days stay mapped only while
+    /// outstanding handles hold them. Default: 512 MiB.
+    pub max_resident_bytes: u64,
+    /// Number of independently-locked cache shards (clamped to ≥ 1).
+    /// Default: 8 — enough that concurrent readers of different days
+    /// practically never share a lock.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_resident_bytes: 512 << 20,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// A served snapshot: the resolved day plus a shared handle to its
+/// mapping. Cloning is an `Arc` clone; the mapping lives until the last
+/// clone (cached or handed out) drops.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    day: u32,
+    snap: Arc<MappedSnapshot>,
+}
+
+impl SnapshotHandle {
+    /// The persisted day this handle serves (for a
+    /// [`SnapshotServer::get`], the nearest day at or before the
+    /// requested one).
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// A zero-copy read view over the mapped snapshot — O(1), no
+    /// deserialisation ever.
+    pub fn view(&self) -> CsrSanView<'_> {
+        self.snap.view()
+    }
+
+    /// The underlying shared mapping.
+    pub fn mapped(&self) -> &Arc<MappedSnapshot> {
+        &self.snap
+    }
+}
+
+/// How one query of a [`SnapshotServer::for_each_query`] stream ended.
+#[derive(Debug)]
+pub enum QueryOutcome<R> {
+    /// The query ran against the nearest persisted day.
+    Served {
+        /// The day the query asked for.
+        day_requested: u32,
+        /// The persisted day that served it (`≤ day_requested`).
+        day_served: u32,
+        /// What the evaluator returned.
+        value: R,
+    },
+    /// No persisted day exists at or before the requested day.
+    NoSnapshot {
+        /// The day the query asked for.
+        day_requested: u32,
+    },
+    /// Mapping/validating the snapshot failed.
+    Failed {
+        /// The day the query asked for.
+        day_requested: u32,
+        /// The typed store failure.
+        error: StoreError,
+    },
+}
+
+impl<R> QueryOutcome<R> {
+    /// The evaluator's result, when the query was served.
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            QueryOutcome::Served { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into the evaluator's result.
+    pub fn into_value(self) -> Option<R> {
+        match self {
+            QueryOutcome::Served { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Serves historical snapshots out of a [`SnapshotVault`] to any number
+/// of threads: nearest-at-or-before day resolution, an mmap-backed
+/// sharded LRU (cold miss ≈ `mmap` + one validation pass; hit ≈ one
+/// atomic increment), and full [`ServeMetrics`] metering.
+///
+/// The server is `Sync`: share it by reference (or `Arc`) across worker
+/// threads and call [`get`](SnapshotServer::get) concurrently.
+pub struct SnapshotServer {
+    vault: SnapshotVault,
+    cache: ShardedLru,
+    metrics: ServeMetrics,
+}
+
+impl SnapshotServer {
+    /// Opens an existing vault directory and fronts it with a cache.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: ServeConfig,
+    ) -> Result<SnapshotServer, StoreError> {
+        Ok(SnapshotServer::from_vault(
+            SnapshotVault::open(dir)?,
+            config,
+        ))
+    }
+
+    /// Fronts an already-open vault with a cache.
+    pub fn from_vault(vault: SnapshotVault, config: ServeConfig) -> SnapshotServer {
+        SnapshotServer {
+            vault,
+            cache: ShardedLru::new(config.cache_shards, config.max_resident_bytes),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// The vault being served.
+    pub fn vault(&self) -> &SnapshotVault {
+        &self.vault
+    }
+
+    /// The serving meters (hits/misses/evictions, mapped bytes,
+    /// open/validate latency).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Mapped bytes the cache currently keeps resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
+    /// Days currently cached.
+    pub fn cached_days(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serves the nearest persisted snapshot at or before `day`:
+    /// `Ok(None)` when the vault holds nothing that early, otherwise a
+    /// handle whose [`view`](SnapshotHandle::view) reads the mapped file
+    /// in place. Concurrent callers of the same day race only on that
+    /// day's cache shard; a lost mapping race wastes one redundant
+    /// `mmap`, never serves twice-cached state.
+    pub fn get(&self, day: u32) -> Result<Option<SnapshotHandle>, StoreError> {
+        let Some(persisted) = self.vault.nearest_at_or_before(day) else {
+            self.metrics.record_no_snapshot();
+            return Ok(None);
+        };
+        self.fetch(persisted).map(Some)
+    }
+
+    /// Serves exactly `day`, failing with
+    /// [`StoreError::DayNotPersisted`] when the vault has no snapshot for
+    /// that precise day.
+    pub fn get_exact(&self, day: u32) -> Result<SnapshotHandle, StoreError> {
+        if self.vault.nearest_at_or_before(day) != Some(day) {
+            return Err(StoreError::DayNotPersisted { day });
+        }
+        self.fetch(day)
+    }
+
+    /// Cache-through fetch of a day known to be persisted.
+    fn fetch(&self, persisted: u32) -> Result<SnapshotHandle, StoreError> {
+        if let Some(snap) = self.cache.get(persisted) {
+            self.metrics.record_hit();
+            return Ok(SnapshotHandle {
+                day: persisted,
+                snap,
+            });
+        }
+        self.metrics.record_miss();
+        let started = Instant::now();
+        let snap = Arc::new(self.vault.map_day(persisted)?);
+        self.metrics
+            .io()
+            .record_read(snap.mapped_bytes() as u64, started.elapsed());
+        let outcome = self.cache.insert(persisted, Arc::clone(&snap));
+        self.metrics.record_evictions(outcome.evicted);
+        Ok(SnapshotHandle {
+            day: persisted,
+            snap,
+        })
+    }
+
+    /// Runs a mixed-day query stream on a pool of `threads` scoped
+    /// workers: each query `(day, payload)` is resolved through
+    /// [`get`](SnapshotServer::get) and evaluated as
+    /// `eval(&payload, day_served, &view)`. Results come back **in input
+    /// order**, one [`QueryOutcome`] per query; days with no snapshot and
+    /// per-query store failures are outcomes, not sweep aborts.
+    ///
+    /// Any `SanRead`-generic analytic slots straight in as `eval` — the
+    /// entire `san-metrics` surface works unchanged on the zero-copy
+    /// views.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`; a panicking `eval` propagates out of the
+    /// scope (poisoning nothing — the server remains usable).
+    pub fn for_each_query<Q, R, F>(
+        &self,
+        threads: usize,
+        queries: &[(u32, Q)],
+        eval: F,
+    ) -> Vec<QueryOutcome<R>>
+    where
+        Q: Sync,
+        R: Send,
+        F: Fn(&Q, u32, &CsrSanView<'_>) -> R + Sync,
+    {
+        assert!(threads >= 1, "need at least one thread");
+        let next = AtomicUsize::new(0);
+        let collected = Mutex::new(Vec::with_capacity(queries.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(queries.len().max(1)) {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, QueryOutcome<R>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(day, ref payload)) = queries.get(i) else {
+                            break;
+                        };
+                        self.metrics.record_query();
+                        let outcome = match self.get(day) {
+                            Ok(Some(handle)) => QueryOutcome::Served {
+                                day_requested: day,
+                                day_served: handle.day(),
+                                value: eval(payload, handle.day(), &handle.view()),
+                            },
+                            Ok(None) => QueryOutcome::NoSnapshot { day_requested: day },
+                            Err(error) => QueryOutcome::Failed {
+                                day_requested: day,
+                                error,
+                            },
+                        };
+                        local.push((i, outcome));
+                    }
+                    collected.lock().expect("result lock").extend(local);
+                });
+            }
+        });
+        let mut rows = collected.into_inner().expect("result lock");
+        rows.sort_unstable_by_key(|&(i, _)| i);
+        rows.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+}
+
+impl std::fmt::Debug for SnapshotServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotServer")
+            .field("vault_dir", &self.vault.dir())
+            .field("persisted_days", &self.vault.len())
+            .field("cached_days", &self.cache.len())
+            .field("resident_bytes", &self.cache.resident_bytes())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,320 @@
+//! Integration suite for the snapshot-serving layer: day-resolution
+//! semantics, cache behaviour (hits/misses/evictions, byte bound),
+//! metric equivalence between served views and eagerly-loaded snapshots,
+//! and the mixed-day query driver under real thread contention.
+
+#![cfg(unix)]
+
+use san_graph::store::{SnapshotVault, StoreError};
+use san_graph::{SanRead, SanTimeline, SocialId, TimelineBuilder};
+use san_metrics::clustering::{average_clustering_exact, NodeSet};
+use san_metrics::reciprocity::global_reciprocity;
+use san_serve::{QueryOutcome, ServeConfig, SnapshotServer};
+use san_stats::SplitRng;
+use std::path::PathBuf;
+
+/// A fresh scratch directory under the system temp dir; removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "san-serve-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A 30-day growing timeline with links and attributes on every day.
+fn growing_timeline(days: u32) -> SanTimeline {
+    let mut rng = SplitRng::new(u64::from(days) + 11);
+    let mut tb = TimelineBuilder::new();
+    let mut users = vec![tb.add_social_node()];
+    let attrs: Vec<_> = (0..6)
+        .map(|i| tb.add_attr_node(san_graph::AttrType::PAPER_TYPES[i % 4]))
+        .collect();
+    for day in 1..=days {
+        tb.advance_to_day(day);
+        for _ in 0..4 {
+            let u = tb.add_social_node();
+            let v = users[rng.below(users.len() as u64) as usize];
+            tb.add_social_link(u, v);
+            if rng.chance(0.5) {
+                tb.add_social_link(v, u);
+            }
+            if rng.chance(0.4) {
+                tb.add_attr_link(u, attrs[rng.below(attrs.len() as u64) as usize]);
+            }
+            users.push(u);
+        }
+    }
+    tb.finish().0
+}
+
+/// Vault with every `step`-th day persisted, plus the timeline.
+fn served_vault(tag: &str, days: u32, step: u32) -> (TempDir, SanTimeline, Vec<u32>) {
+    let tmp = TempDir::new(tag);
+    let tl = growing_timeline(days);
+    let mut vault = SnapshotVault::create(&tmp.0).expect("create vault");
+    let saved = vault.save_timeline(&tl, step).expect("persist");
+    (tmp, tl, saved)
+}
+
+#[test]
+fn get_resolves_nearest_at_or_before() {
+    let (tmp, _tl, saved) = served_vault("nearest", 30, 5);
+    assert_eq!(saved, vec![0, 5, 10, 15, 20, 25, 30]);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    for probe in 0..=40u32 {
+        let expect = saved.iter().copied().rfind(|&d| d <= probe);
+        let got = server.get(probe).expect("get").map(|h| h.day());
+        assert_eq!(got, expect, "probe {probe}");
+    }
+}
+
+#[test]
+fn get_before_first_persisted_day_is_none() {
+    let tmp = TempDir::new("before-first");
+    let tl = growing_timeline(20);
+    let mut vault = SnapshotVault::create(&tmp.0).expect("create");
+    vault.save_day(7, &tl.snapshot_csr(7)).expect("save");
+    let server = SnapshotServer::from_vault(vault, ServeConfig::default());
+    assert!(server.get(6).expect("get").is_none());
+    assert_eq!(server.metrics().no_snapshot(), 1);
+    assert_eq!(server.get(7).expect("get").map(|h| h.day()), Some(7));
+}
+
+#[test]
+fn get_exact_requires_the_precise_day() {
+    let (tmp, _tl, _saved) = served_vault("exact", 20, 5);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    assert_eq!(server.get_exact(10).expect("persisted").day(), 10);
+    assert!(matches!(
+        server.get_exact(11).expect_err("not persisted"),
+        StoreError::DayNotPersisted { day: 11 }
+    ));
+}
+
+#[test]
+fn hits_and_misses_are_counted_and_io_metered() {
+    let (tmp, _tl, saved) = served_vault("hitmiss", 20, 10);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let mut expected_bytes = 0u64;
+    for &day in &saved {
+        let h = server.get(day).expect("get").expect("served");
+        expected_bytes += h.mapped().mapped_bytes() as u64;
+    }
+    assert_eq!(server.metrics().misses(), saved.len() as u64);
+    assert_eq!(server.metrics().hits(), 0);
+    // Second round: all hits, no new IO.
+    for &day in &saved {
+        server.get(day).expect("get").expect("served");
+    }
+    assert_eq!(server.metrics().hits(), saved.len() as u64);
+    assert_eq!(server.metrics().misses(), saved.len() as u64);
+    assert_eq!(server.metrics().io().read_bytes(), expected_bytes);
+    assert_eq!(server.metrics().io().reads(), saved.len() as u64);
+    assert_eq!(
+        server.metrics().io().read_latency().count(),
+        saved.len() as u64
+    );
+    assert_eq!(server.resident_bytes(), expected_bytes);
+    assert_eq!(server.cached_days(), saved.len());
+}
+
+#[test]
+fn byte_bound_evicts_and_evicted_handles_stay_valid() {
+    let (tmp, tl, saved) = served_vault("evict", 30, 5);
+    // One shard with a budget of one snapshot: every new day evicts.
+    let server = SnapshotServer::open(
+        &tmp.0,
+        ServeConfig {
+            max_resident_bytes: 1,
+            cache_shards: 1,
+        },
+    )
+    .expect("open");
+    let first = server.get(saved[0]).expect("get").expect("served");
+    for &day in &saved[1..] {
+        server.get(day).expect("get").expect("served");
+    }
+    assert_eq!(server.metrics().evictions(), saved.len() as u64 - 1);
+    assert_eq!(server.cached_days(), 1);
+    // The evicted day's handle still reads its (unmapped-from-cache)
+    // snapshot correctly.
+    assert_eq!(
+        first.view().to_owned_csr(),
+        tl.snapshot_csr(saved[0]),
+        "evicted handle stays valid"
+    );
+    // Re-getting the evicted day is a fresh miss, not corruption.
+    let again = server.get(saved[0]).expect("get").expect("served");
+    assert_eq!(again.view().to_owned_csr(), tl.snapshot_csr(saved[0]));
+}
+
+#[test]
+fn served_views_match_eager_loads_on_metrics() {
+    let (tmp, _tl, saved) = served_vault("equiv", 25, 5);
+    let vault = SnapshotVault::open(&tmp.0).expect("reopen");
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    for &day in &saved {
+        let served = server.get(day).expect("get").expect("served");
+        let loaded = vault.load_day(day).expect("load");
+        let view = served.view();
+        assert_eq!(view.to_owned_csr(), *loaded, "day {day}");
+        // Bit-identical metric results between the mapped view and the
+        // eagerly-loaded snapshot.
+        assert_eq!(
+            average_clustering_exact(&view, NodeSet::Social).to_bits(),
+            average_clustering_exact(&*loaded, NodeSet::Social).to_bits(),
+            "clustering day {day}"
+        );
+        assert_eq!(
+            global_reciprocity(&view).to_bits(),
+            global_reciprocity(&*loaded).to_bits(),
+            "reciprocity day {day}"
+        );
+    }
+}
+
+#[test]
+fn for_each_query_returns_input_order_and_matches_direct() {
+    let (tmp, _tl, _saved) = served_vault("queries", 30, 5);
+    let vault = SnapshotVault::open(&tmp.0).expect("reopen");
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let mut rng = SplitRng::new(77);
+    let queries: Vec<(u32, u64)> = (0..64).map(|i| (rng.below(35) as u32, i)).collect();
+    for threads in [1usize, 2, 8] {
+        let outcomes = server.for_each_query(threads, &queries, |&tag, day_served, view| {
+            // A SanRead-generic evaluation mixing structure and payload.
+            (
+                tag,
+                day_served,
+                view.num_social_links(),
+                global_reciprocity(view).to_bits(),
+            )
+        });
+        assert_eq!(outcomes.len(), queries.len());
+        for (outcome, &(day, tag)) in outcomes.iter().zip(&queries) {
+            match vault.nearest_at_or_before(day) {
+                None => {
+                    assert!(
+                        matches!(outcome, QueryOutcome::NoSnapshot { day_requested } if *day_requested == day),
+                        "day {day}"
+                    );
+                }
+                Some(persisted) => {
+                    let loaded = vault.load_day(persisted).expect("load");
+                    let QueryOutcome::Served {
+                        day_requested,
+                        day_served,
+                        value,
+                    } = outcome
+                    else {
+                        panic!("day {day}: expected Served, got {outcome:?}");
+                    };
+                    assert_eq!(*day_requested, day);
+                    assert_eq!(*day_served, persisted);
+                    assert_eq!(
+                        *value,
+                        (
+                            tag,
+                            persisted,
+                            loaded.num_social_links(),
+                            global_reciprocity(&*loaded).to_bits()
+                        ),
+                        "threads {threads} day {day}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(server.metrics().queries(), 3 * queries.len() as u64);
+}
+
+#[test]
+fn concurrent_gets_share_one_server() {
+    let (tmp, tl, saved) = served_vault("concurrent", 30, 5);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let final_links = tl
+        .snapshot_csr(*saved.last().expect("nonempty"))
+        .num_social_links();
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let server = &server;
+            let saved = &saved;
+            scope.spawn(move || {
+                let mut rng = SplitRng::new(t as u64);
+                for _ in 0..50 {
+                    let day = saved[rng.below(saved.len() as u64) as usize];
+                    let handle = server.get(day).expect("get").expect("served");
+                    assert_eq!(handle.day(), day);
+                    let view = handle.view();
+                    // Spot-check structure: degrees are consistent.
+                    let n = view.num_social_nodes();
+                    assert!(n >= 1);
+                    let u = SocialId(rng.below(n as u64) as u32);
+                    assert_eq!(view.out_degree(u), view.out_neighbors(u).len());
+                    assert!(view.num_social_links() <= final_links);
+                }
+            });
+        }
+    });
+    // Every get either hit or missed; misses are bounded by distinct days.
+    let m = server.metrics();
+    assert_eq!(m.hits() + m.misses(), 8 * 50);
+    assert!(m.misses() >= saved.len() as u64 - 1, "most days touched");
+}
+
+#[test]
+fn empty_vault_serves_nothing() {
+    let tmp = TempDir::new("empty");
+    SnapshotVault::create(&tmp.0).expect("create");
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    assert!(server.get(0).expect("get").is_none());
+    assert!(server.get(u32::MAX).expect("get").is_none());
+    let outcomes = server.for_each_query(2, &[(3u32, ()), (9, ())], |_, _, _| 0u8);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, QueryOutcome::NoSnapshot { .. })));
+}
+
+#[test]
+fn corrupt_file_surfaces_as_typed_query_failure() {
+    let (tmp, _tl, saved) = served_vault("corrupt", 10, 5);
+    // Corrupt one persisted day behind the manifest's back.
+    let vault = SnapshotVault::open(&tmp.0).expect("reopen");
+    let victim = saved[1];
+    let path = vault.day_path(victim);
+    let mut bytes = std::fs::read(&path).expect("read victim");
+    let len = bytes.len();
+    bytes[len - 1] ^= 0xff; // checksum trailer flip
+    std::fs::write(&path, &bytes).expect("rewrite victim");
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    assert!(matches!(
+        server.get(victim).expect_err("corrupt day must fail"),
+        StoreError::BadChecksum { .. }
+    ));
+    let outcomes = server.for_each_query(2, &[(saved[0], ()), (victim, ())], |_, _, view| {
+        view.num_social_nodes()
+    });
+    assert!(matches!(outcomes[0], QueryOutcome::Served { .. }));
+    assert!(matches!(
+        &outcomes[1],
+        QueryOutcome::Failed {
+            error: StoreError::BadChecksum { .. },
+            ..
+        }
+    ));
+}

@@ -34,6 +34,14 @@
 //! (`SanTimeline::resume_from_vault`, the `evolve_metric*_from` family in
 //! [`metrics`]) instead of replaying the event log from day 0.
 //!
+//! On top of the store sits the zero-copy read path: [`graph::view`]
+//! views a snapshot's raw bytes in place (no column is deserialised),
+//! [`graph::mmap`] maps persisted days read-only, and [`serve`]
+//! (`san-serve`) is the concurrent serving layer — a `SnapshotServer`
+//! with a sharded LRU of mapped days, metered IO
+//! ([`graph::meter`]), and a thread-pool driver for mixed-day query
+//! streams.
+//!
 //! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
 //! the experiment harness that regenerates every figure and table (its
 //! `bench_graph` suite measures the San-vs-CsrSan read-path difference).
@@ -42,5 +50,6 @@ pub use san_apps as apps;
 pub use san_core as model;
 pub use san_graph as graph;
 pub use san_metrics as metrics;
+pub use san_serve as serve;
 pub use san_sim as sim;
 pub use san_stats as stats;
