@@ -1,0 +1,43 @@
+//! Regenerates `audit/unsafe_inventory.toml` and
+//! `audit/panic_allowlist.toml` from the current workspace state.
+//!
+//! ```text
+//! cargo run -p san-audit --example regen_manifests
+//! ```
+//!
+//! Use it when the audit reports a count drift you *intend*: after
+//! burning down panic sites (the allowlist shrinks — good) or after a
+//! reviewed change to the unsafe surface. Adding a panic site to library
+//! code and regenerating instead of fixing it will show up in review as
+//! a diff that grows a count.
+
+use san_audit::{render_panic_allowlist, render_unsafe_inventory, workspace_root, Workspace};
+use std::fs;
+
+fn main() {
+    let root = workspace_root();
+    let ws = Workspace::load_from(&root).expect("walk workspace");
+    let audit_dir = root.join("audit");
+    fs::create_dir_all(&audit_dir).expect("create audit/");
+
+    let header = |what: &str| {
+        format!(
+            "# {what}\n\
+             # Machine-generated: `cargo run -p san-audit --example regen_manifests`.\n\
+             # Checked by `cargo test -p san-audit` — exact in both directions.\n\n"
+        )
+    };
+    fs::write(
+        audit_dir.join("unsafe_inventory.toml"),
+        header("Per-file `unsafe` keyword counts for the whole workspace.")
+            + &render_unsafe_inventory(&ws),
+    )
+    .expect("write unsafe inventory");
+    fs::write(
+        audit_dir.join("panic_allowlist.toml"),
+        header("Per-file panic-site counts (unwrap/expect/panic!/...) in library code.\n# This list only shrinks: fix sites, don't add them.")
+            + &render_panic_allowlist(&ws),
+    )
+    .expect("write panic allowlist");
+    println!("regenerated {}", audit_dir.display());
+}

@@ -1,0 +1,626 @@
+//! A lightweight Rust lexer: strings, comments, identifiers, punctuation
+//! — just enough structure for invariant linting, with no `syn` (the
+//! workspace has no registry access, and the rules only need token-level
+//! patterns plus comment positions).
+//!
+//! Guarantees the rules rely on:
+//!
+//! * nothing inside a string/char/raw-string literal or a comment is
+//!   ever emitted as an identifier or punctuation token (so `"unsafe"`
+//!   in a message can't trip the unsafe rule);
+//! * comments are collected separately with their line numbers, so
+//!   annotation rules (`// SAFETY:`, `// ORDERING:`, `// BOUNDS:`) can
+//!   check proximity;
+//! * every token knows whether it sits in test-gated code
+//!   (`#[cfg(test)]` / `#[test]` regions, or a file-level `#![cfg(test)]`),
+//!   so library-only rules can skip test scaffolding.
+
+/// What a token is. Only identifiers carry their text; the rules match
+/// punctuation structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `Ordering`, ...).
+    Ident(String),
+    /// One punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct(char),
+    /// String literal (normal, raw, or byte); contents dropped.
+    Str,
+    /// Char or byte literal; contents dropped.
+    Char,
+    /// Numeric literal; contents dropped.
+    Num,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source position and test-gating flag.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// True when the token sits inside `#[cfg(test)]` / `#[test]`-gated
+    /// code (including everything in a file whose inner attributes gate
+    /// the whole file on `test`).
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` code compiled into the shipped library/binary.
+    Library,
+    /// `tests/` integration tests.
+    Test,
+    /// `benches/` benchmarks.
+    Bench,
+    /// `examples/`.
+    Example,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    pub kind: FileKind,
+    /// True for `vendor/` shim code (held to the unsafe policy but not
+    /// the crate-specific panic policy).
+    pub vendored: bool,
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the contents of `rel_path`.
+    pub fn parse(rel_path: &str, kind: FileKind, text: &str) -> SourceFile {
+        let (mut toks, comments) = lex(text);
+        mark_test_regions(&mut toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            kind,
+            vendored: rel_path.starts_with("vendor/"),
+            toks,
+            comments,
+        }
+    }
+
+    /// Comments whose text contains `needle`, anywhere in the file.
+    pub fn comment_lines_containing<'a>(
+        &'a self,
+        needle: &'a str,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.comments
+            .iter()
+            .filter(move |c| c.text.contains(needle))
+            .map(|c| c.line)
+    }
+
+    /// True when a comment containing `needle` starts within
+    /// `[line - window, line]` — the proximity test every annotation
+    /// rule uses.
+    pub fn has_annotation_near(&self, needle: &str, line: usize, window: usize) -> bool {
+        let lo = line.saturating_sub(window);
+        self.comments
+            .iter()
+            .any(|c| c.text.contains(needle) && c.line >= lo && c.line <= line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Core lexer: one forward pass, line-counted.
+fn lex(text: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    let push = |kind: TokKind, line: usize, toks: &mut Vec<Tok>| {
+        toks.push(Tok {
+            kind,
+            line,
+            in_test: false,
+        });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start_line = line;
+            let mut text = String::new();
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    text.push(b[i]);
+                    i += 1;
+                }
+            } else {
+                // Nested block comments, as Rust defines them.
+                let mut depth = 0usize;
+                while i < n {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        text.push(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, br".."; b"..", b'.'.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (raw_from, is_byte_char) = if c == 'b' && i + 1 < n && b[i + 1] == 'r' {
+                (i + 2, false)
+            } else if c == 'r' {
+                (i + 1, false)
+            } else if c == 'b' && b[i + 1] == '\'' {
+                (i + 1, true)
+            } else if c == 'b' && b[i + 1] == '"' {
+                (i + 1, false)
+            } else {
+                (usize::MAX, false)
+            };
+            if is_byte_char {
+                // b'x' byte literal.
+                let start_line = line;
+                i = raw_from + 1; // past the opening quote
+                while i < n {
+                    if b[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                push(TokKind::Char, start_line, &mut toks);
+                continue;
+            }
+            if raw_from != usize::MAX && raw_from < n {
+                let mut j = raw_from;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                let is_raw = c != 'b' || b[i + 1] == 'r';
+                if j < n && b[j] == '"' && (is_raw || hashes == 0) {
+                    // Raw (possibly byte) string: scan to `"` + hashes,
+                    // or plain b"..." handled by the escape scanner below
+                    // when not raw.
+                    if is_raw {
+                        let start_line = line;
+                        i = j + 1;
+                        'raw: while i < n {
+                            if b[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                        push(TokKind::Str, start_line, &mut toks);
+                        continue;
+                    }
+                    // b"..." falls through to the normal string path.
+                    let start_line = line;
+                    i = j + 1;
+                    while i < n {
+                        if b[i] == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if b[i] == '"' {
+                            i += 1;
+                            break;
+                        }
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    push(TokKind::Str, start_line, &mut toks);
+                    continue;
+                }
+            }
+            // Not a literal introducer: fall through to identifier.
+        }
+        // Normal strings.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            push(TokKind::Str, start_line, &mut toks);
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            // Lifetime: `'` + ident not closed by another `'`.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 2;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    push(TokKind::Lifetime, line, &mut toks);
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal.
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            push(TokKind::Char, start_line, &mut toks);
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut s = String::new();
+            while i < n && is_ident_continue(b[i]) {
+                s.push(b[i]);
+                i += 1;
+            }
+            push(TokKind::Ident(s), line, &mut toks);
+            continue;
+        }
+        // Numbers (lax: enough to not split `1_000`, `0xFF`, `1e-3`, `2.5`).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n
+                && (is_ident_continue(b[i])
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                if b[i] == '.' {
+                    i += 1; // consume the dot; digits continue below
+                }
+                i += 1;
+            }
+            push(TokKind::Num, line, &mut toks);
+            continue;
+        }
+        // Everything else: single punctuation character.
+        push(TokKind::Punct(c), line, &mut toks);
+        i += 1;
+    }
+    (toks, comments)
+}
+
+/// Marks tokens inside test-gated regions.
+///
+/// Handles, conservatively (over-marking is lenient, never strict):
+/// * `#[cfg(test)]` / `#[cfg(all(unix, test))]` / `#[test]` on an item
+///   with a braced body — the attribute through the matching `}`;
+/// * the same attributes on a bodiless item (`mod x;`) — through `;`;
+/// * file-level `#![cfg(test)]`-style inner attributes — the whole file.
+///
+/// `#[cfg(not(test))]` is recognised and NOT treated as test-gating.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    // Stack of depths at which a test region's brace opened.
+    let mut test_open_depths: Vec<usize> = Vec::new();
+    // True between a gating attribute and the `{`/`;` that resolves it.
+    let mut pending = false;
+    let mut pending_from = 0usize;
+    while i < toks.len() {
+        let in_test = !test_open_depths.is_empty();
+        if toks[i].is_punct('#') {
+            // Attribute: `#` `!`? `[` ... `]`.
+            let attr_start = i;
+            let mut j = i + 1;
+            let inner = j < toks.len() && toks[j].is_punct('!');
+            if inner {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                let mut brackets = 1usize;
+                let mut has_test = false;
+                let mut has_not = false;
+                let mut k = j + 1;
+                while k < toks.len() && brackets > 0 {
+                    if toks[k].is_punct('[') {
+                        brackets += 1;
+                    } else if toks[k].is_punct(']') {
+                        brackets -= 1;
+                    } else if let Some(id) = toks[k].ident() {
+                        if id == "test" {
+                            has_test = true;
+                        }
+                        if id == "not" {
+                            has_not = true;
+                        }
+                    }
+                    k += 1;
+                }
+                if has_test && !has_not {
+                    if inner {
+                        // Whole-file gate.
+                        for t in toks.iter_mut() {
+                            t.in_test = true;
+                        }
+                        return;
+                    }
+                    if !pending {
+                        pending = true;
+                        pending_from = attr_start;
+                    }
+                }
+                // Attribute tokens inherit the current region state.
+                for t in &mut toks[i..k] {
+                    t.in_test = t.in_test || in_test;
+                }
+                i = k;
+                continue;
+            }
+        }
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                if pending {
+                    // The gated item's body: everything from the
+                    // attribute through the matching close brace.
+                    for t in &mut toks[pending_from..=i] {
+                        t.in_test = true;
+                    }
+                    test_open_depths.push(depth);
+                    pending = false;
+                } else {
+                    toks[i].in_test = in_test;
+                }
+            }
+            TokKind::Punct('}') => {
+                toks[i].in_test = in_test;
+                if test_open_depths.last() == Some(&depth) {
+                    test_open_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') if pending && depth == 0 => {
+                // Bodiless gated item (`mod tests;`).
+                for t in &mut toks[pending_from..=i] {
+                    t.in_test = true;
+                }
+                pending = false;
+            }
+            _ => {
+                toks[i].in_test = in_test || pending;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(f: &SourceFile) -> Vec<(&str, bool)> {
+        f.toks
+            .iter()
+            .filter_map(|t| t.ident().map(|s| (s, t.in_test)))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            r##"
+            // unsafe in a comment
+            /* unsafe in /* a nested */ block */
+            let s = "unsafe { }";
+            let r = r#"unsafe"#;
+            let c = 'u';
+            "##,
+        );
+        assert!(idents(&f).iter().all(|(s, _)| *s != "unsafe"));
+        assert_eq!(f.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            "fn f<'a>(x: &'a str, c: char) { let y = 'z'; let esc = '\\''; }",
+        );
+        let lifetimes = f
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = f.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            r#"
+            fn lib_code() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            fn more_lib() { z.unwrap(); }
+            "#,
+        );
+        let marks: Vec<(&str, bool)> = idents(&f)
+            .into_iter()
+            .filter(|(s, _)| *s == "unwrap")
+            .collect();
+        assert_eq!(
+            marks,
+            vec![("unwrap", false), ("unwrap", true), ("unwrap", false)]
+        );
+    }
+
+    #[test]
+    fn cfg_all_test_and_test_attr_are_marked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            r#"
+            #[cfg(all(unix, test))]
+            mod model_tests;
+            #[test]
+            fn a_unit_test() { q.unwrap(); }
+            "#,
+        );
+        assert!(idents(&f)
+            .iter()
+            .filter(|(s, _)| *s == "unwrap" || *s == "model_tests")
+            .all(|(_, t)| *t));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_gating() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            "#[cfg(not(test))] fn shipped() { x.unwrap(); }",
+        );
+        assert!(idents(&f)
+            .iter()
+            .filter(|(s, _)| *s == "unwrap")
+            .all(|(_, t)| !*t));
+    }
+
+    #[test]
+    fn inner_cfg_test_gates_whole_file() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            "#![cfg(test)]\nfn anything() { x.unwrap(); }",
+        );
+        assert!(f.toks.iter().all(|t| t.in_test));
+    }
+
+    #[test]
+    fn annotation_proximity() {
+        let f = SourceFile::parse(
+            "x.rs",
+            FileKind::Library,
+            "// SAFETY: fine\nunsafe { }\n\n\n\n\n\n\n\n\n\n\n\nunsafe { }",
+        );
+        let lines: Vec<usize> = f
+            .toks
+            .iter()
+            .filter(|t| t.ident() == Some("unsafe"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![2, 14]);
+        assert!(f.has_annotation_near("SAFETY:", 2, 10));
+        assert!(!f.has_annotation_near("SAFETY:", 14, 10));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let f = SourceFile::parse("x.rs", FileKind::Library, "for i in 0..n { a[i] = 1.5e3; }");
+        assert!(f.toks.iter().any(|t| t.ident() == Some("n")));
+        assert_eq!(f.toks.iter().filter(|t| t.kind == TokKind::Num).count(), 2);
+    }
+}

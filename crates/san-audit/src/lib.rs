@@ -1,0 +1,245 @@
+//! `san-audit` — the workspace invariant linter.
+//!
+//! A registry-free static-analysis pass over the workspace's own Rust
+//! sources (a lightweight lexer, no `syn`) that enforces, as ordinary
+//! `cargo test -p san-audit` failures:
+//!
+//! * **unsafe-safety** — every `unsafe` keyword (block, fn, or impl)
+//!   carries a `// SAFETY:` justification (or a `/// # Safety` doc
+//!   contract) within [`SAFETY_WINDOW`] lines, and the per-file unsafe
+//!   counts match the checked-in `audit/unsafe_inventory.toml` exactly —
+//!   a new unsafe site fails CI until the inventory is deliberately
+//!   updated, and a removed site fails until the inventory shrinks.
+//! * **panic-freedom** — no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   `todo!`/`unimplemented!` in the *library* (non-test) code of
+//!   [`PANIC_SCOPED_CRATES`], except sites counted by
+//!   `audit/panic_allowlist.toml`. The allowlist is an exact two-way
+//!   ratchet: it can only shrink.
+//! * **ordering-rationale** — every `Ordering::Relaxed` in library code
+//!   carries a `// ORDERING:` comment within [`ORDERING_WINDOW`] lines
+//!   arguing why relaxed memory ordering is sufficient.
+//! * **store-error-coverage** — every `StoreError` variant is actually
+//!   constructed by library code *and* exercised by the corruption
+//!   matrix (`tests/store_corruption.rs`), minus a named exempt set.
+//! * **untrusted-indexing** — direct `bytes[..]` / `buf[..]` indexing in
+//!   the snapshot decode paths (`store.rs`, `view.rs`) carries a
+//!   `// BOUNDS:` comment within [`BOUNDS_WINDOW`] lines proving the
+//!   index is in range for untrusted input.
+//!
+//! The pass never executes workspace code: it lexes text. Tokens inside
+//! string/char literals and comments are invisible to the rules, so a
+//! log message mentioning `unwrap` cannot trip the linter.
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use lexer::{FileKind, SourceFile};
+use manifest::Manifest;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lines above an `unsafe` keyword a `SAFETY:` / `# Safety` comment may
+/// sit (fn-level contracts document a handful of sites below them).
+pub const SAFETY_WINDOW: usize = 12;
+/// Lines above an `Ordering::Relaxed` an `ORDERING:` comment may sit.
+pub const ORDERING_WINDOW: usize = 10;
+/// Lines above an untrusted index a `BOUNDS:` comment may sit.
+pub const BOUNDS_WINDOW: usize = 6;
+
+/// Crates whose library code is held to the panic-freedom policy: the
+/// snapshot data plane. (Model/stats/bench crates exit noisily by
+/// design; the serving path must not.)
+pub const PANIC_SCOPED_CRATES: [&str; 3] = [
+    "crates/san-graph/src/",
+    "crates/san-serve/src/",
+    "crates/san-metrics/src/",
+];
+
+/// `StoreError` variants legitimately outside the corruption matrix,
+/// with the reason they are exempt.
+pub const CORRUPTION_EXEMPT: [(&str, &str); 3] = [
+    (
+        "BadManifest",
+        "vault manifest text parsing, covered by vault tests, not byte corruption",
+    ),
+    (
+        "DayNotPersisted",
+        "lookup miss, not a decode failure; covered by vault/serve tests",
+    ),
+    (
+        "Io",
+        "OS-level failure injected by the filesystem, not by corrupt bytes",
+    ),
+];
+
+/// One rule violation. The audit's test fails iff any exist.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired (`unsafe-safety`, `panic-freedom`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// The lexed workspace: every `.rs` file under `crates/` and `vendor/`.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from already-lexed files — how the negative
+    /// tests plant violations without touching the real tree.
+    pub fn from_files(files: Vec<SourceFile>) -> Workspace {
+        Workspace { files }
+    }
+
+    /// Lexes every `.rs` file under `root/crates` and `root/vendor`,
+    /// skipping build output. Deterministic order (sorted paths).
+    pub fn load_from(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for top in ["crates", "vendor"] {
+            collect_rs(&root.join(top), &mut paths)?;
+        }
+        paths.sort();
+        let mut files = Vec::new();
+        for p in paths {
+            let rel = p
+                .strip_prefix(root)
+                .expect("collected under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let text = fs::read_to_string(&p)?;
+            files.push(SourceFile::parse(&rel, classify(&rel), &text));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// The file at `rel_path`, if the workspace has it.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// The workspace root when running inside `cargo test -p san-audit`:
+/// two levels up from this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// How a path participates in the build. Directory layout is the source
+/// of truth (cargo's own convention).
+pub fn classify(rel_path: &str) -> FileKind {
+    if rel_path.contains("/tests/") {
+        FileKind::Test
+    } else if rel_path.contains("/benches/") {
+        FileKind::Bench
+    } else if rel_path.contains("/examples/") {
+        FileKind::Example
+    } else {
+        FileKind::Library
+    }
+}
+
+/// The loaded audit: workspace sources plus the checked-in manifests.
+pub struct Audit {
+    pub ws: Workspace,
+    pub unsafe_inventory: Manifest,
+    pub panic_allowlist: Manifest,
+}
+
+impl Audit {
+    /// Loads the real workspace and its `audit/` manifests.
+    pub fn load() -> Result<Audit, String> {
+        let root = workspace_root();
+        let ws = Workspace::load_from(&root).map_err(|e| format!("walk workspace: {e}"))?;
+        let read = |name: &str| -> Result<Manifest, String> {
+            let path = root.join("audit").join(name);
+            let text =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            manifest::parse(&text).map_err(|e| format!("{name}: {e}"))
+        };
+        Ok(Audit {
+            ws,
+            unsafe_inventory: read("unsafe_inventory.toml")?,
+            panic_allowlist: read("panic_allowlist.toml")?,
+        })
+    }
+
+    /// Runs every rule; the returned list is empty iff the workspace is
+    /// clean.
+    pub fn run_all(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        v.extend(rules::unsafe_safety(&self.ws, &self.unsafe_inventory));
+        v.extend(rules::panic_freedom(&self.ws, &self.panic_allowlist));
+        v.extend(rules::ordering_rationale(&self.ws));
+        v.extend(rules::store_error_coverage(&self.ws));
+        v.extend(rules::untrusted_indexing(&self.ws));
+        v
+    }
+}
+
+/// Renders the unsafe inventory for the current workspace — what
+/// `audit/unsafe_inventory.toml` must contain, byte for byte (modulo the
+/// header comment). Used by `examples/regen_manifests.rs`.
+pub fn render_unsafe_inventory(ws: &Workspace) -> String {
+    render_counts("site", &rules::unsafe_counts(ws))
+}
+
+/// Renders the panic allowlist for the current workspace. The ratchet:
+/// regenerate only when a site was *removed*; adding one should instead
+/// be fixed.
+pub fn render_panic_allowlist(ws: &Workspace) -> String {
+    render_counts("allow", &rules::panic_counts(ws))
+}
+
+fn render_counts(table: &str, counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::new();
+    for (file, count) in counts {
+        out.push_str(&format!(
+            "[[{table}]]\nfile = \"{file}\"\ncount = {count}\n\n"
+        ));
+    }
+    out
+}

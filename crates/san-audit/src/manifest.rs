@@ -1,0 +1,155 @@
+//! A hand-written parser for the TOML subset the audit manifests use —
+//! `[[section]]` array-of-tables with `key = "string"` / `key = integer`
+//! entries, `#` comments and blank lines. No registry TOML crate (the
+//! workspace builds without registry access), and the manifests are
+//! machine-regenerated so the subset never needs to grow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[name]]` table: string and integer keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Entry {
+    pub strings: BTreeMap<String, String>,
+    pub ints: BTreeMap<String, u64>,
+}
+
+impl Entry {
+    /// The string value for `key`, or `""`.
+    pub fn str(&self, key: &str) -> &str {
+        self.strings.get(key).map(String::as_str).unwrap_or("")
+    }
+
+    /// The integer value for `key`, or 0.
+    pub fn int(&self, key: &str) -> u64 {
+        self.ints.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// A parsed manifest: `[[table]]` entries in file order, grouped by name.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    pub tables: Vec<(String, Entry)>,
+}
+
+impl Manifest {
+    /// All entries of the `[[name]]` tables, in file order.
+    pub fn entries<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Entry> + 'a {
+        self.tables
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+}
+
+/// A manifest syntax error with its 1-based line.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parses the manifest subset. Strict: anything outside the subset is an
+/// error, so a hand-edit that silently changes meaning cannot slip by.
+pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    let mut m = Manifest::default();
+    let mut current: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("bad table name {name:?}")));
+            }
+            m.tables.push((name.to_string(), Entry::default()));
+            current = Some(m.tables.len() - 1);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+        };
+        let Some(cur) = current else {
+            return Err(err(lineno, "key outside any [[table]]"));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err(lineno, format!("bad key {key:?}")));
+        }
+        let value = line[eq + 1..].trim();
+        let entry = &mut m.tables[cur].1;
+        if let Some(rest) = value.strip_prefix('"') {
+            // Strings: no escapes needed — paths and identifiers only.
+            let Some(s) = rest.strip_suffix('"') else {
+                return Err(err(lineno, "unterminated string"));
+            };
+            if s.contains('"') || s.contains('\\') {
+                return Err(err(lineno, "escapes not supported in manifest strings"));
+            }
+            entry.strings.insert(key.to_string(), s.to_string());
+        } else {
+            let Ok(n) = value.parse::<u64>() else {
+                return Err(err(
+                    lineno,
+                    format!("expected integer or string, got {value:?}"),
+                ));
+            };
+            entry.ints.insert(key.to_string(), n);
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_strings_and_ints() {
+        let m = parse(
+            r#"
+            # unsafe inventory
+            [[site]]
+            file = "crates/san-graph/src/mmap.rs"
+            count = 5
+
+            [[site]]
+            file = "crates/san-graph/src/view.rs"
+            count = 3
+            "#,
+        )
+        .expect("parse");
+        let sites: Vec<_> = m.entries("site").collect();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].str("file"), "crates/san-graph/src/mmap.rs");
+        assert_eq!(sites[1].int("count"), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_subset_syntax() {
+        assert!(parse("[single_bracket]").is_err());
+        assert!(parse("[[s]]\nkey = 'single quotes'").is_err());
+        assert!(parse("[[s]]\nkey = \"unterminated").is_err());
+        assert!(parse("key_before_table = 1").is_err());
+        assert!(parse("[[s]]\nkey = [1, 2]").is_err());
+        assert!(parse("[[s]]\nkey = \"back\\\\slash\"").is_err());
+    }
+}

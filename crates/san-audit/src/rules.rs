@@ -1,0 +1,480 @@
+//! The audit rules. Each is a pure function from lexed sources (plus,
+//! where ratcheted, a checked-in manifest) to a list of [`Violation`]s.
+//! Rules work on token streams, never on raw text, so literals and
+//! comments can't produce false positives.
+
+use crate::lexer::{FileKind, SourceFile, Tok, TokKind};
+use crate::manifest::Manifest;
+use crate::{
+    Violation, Workspace, BOUNDS_WINDOW, CORRUPTION_EXEMPT, ORDERING_WINDOW, PANIC_SCOPED_CRATES,
+    SAFETY_WINDOW,
+};
+use std::collections::BTreeMap;
+
+fn violation(rule: &'static str, file: &str, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Lines of `unsafe` keywords in `f`, every file kind (tests write
+/// unsafe too, and theirs needs justifying just the same).
+fn unsafe_lines(f: &SourceFile) -> Vec<usize> {
+    f.toks
+        .iter()
+        .filter(|t| t.ident() == Some("unsafe"))
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Per-file unsafe counts across the whole workspace (vendor included).
+pub fn unsafe_counts(ws: &Workspace) -> BTreeMap<String, usize> {
+    ws.files
+        .iter()
+        .map(|f| (f.rel_path.clone(), unsafe_lines(f).len()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+/// Rule 1: every `unsafe` keyword carries a nearby `// SAFETY:` comment
+/// (or a `/// # Safety` doc contract), and per-file counts match the
+/// checked-in inventory exactly in both directions.
+pub fn unsafe_safety(ws: &Workspace, inventory: &Manifest) -> Vec<Violation> {
+    const RULE: &str = "unsafe-safety";
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for line in unsafe_lines(f) {
+            let justified = f.has_annotation_near("SAFETY:", line, SAFETY_WINDOW)
+                || f.has_annotation_near("# Safety", line, SAFETY_WINDOW);
+            if !justified {
+                out.push(violation(
+                    RULE,
+                    &f.rel_path,
+                    line,
+                    format!(
+                        "`unsafe` without a `// SAFETY:` justification within {SAFETY_WINDOW} lines"
+                    ),
+                ));
+            }
+        }
+    }
+    // Inventory ratchet: exact in both directions.
+    let actual = unsafe_counts(ws);
+    let allowed: BTreeMap<&str, u64> = inventory
+        .entries("site")
+        .map(|e| (e.str("file"), e.int("count")))
+        .collect();
+    for (file, n) in &actual {
+        match allowed.get(file.as_str()) {
+            None => out.push(violation(
+                RULE,
+                file,
+                0,
+                format!(
+                    "{n} unsafe site(s) in a file absent from audit/unsafe_inventory.toml — \
+                     new unsafe requires a deliberate inventory update"
+                ),
+            )),
+            Some(&a) if a != *n as u64 => out.push(violation(
+                RULE,
+                file,
+                0,
+                format!(
+                    "unsafe count drifted from inventory: {n} in source, {a} inventoried — \
+                     update audit/unsafe_inventory.toml to match"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in allowed.keys() {
+        if !actual.contains_key(*file) {
+            out.push(violation(
+                RULE,
+                file,
+                0,
+                "inventoried file has no unsafe left (or vanished) — shrink the inventory"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// True when this file's library (non-test) code is in panic-freedom
+/// scope.
+fn in_panic_scope(f: &SourceFile) -> bool {
+    f.kind == FileKind::Library
+        && !f.vendored
+        && PANIC_SCOPED_CRATES
+            .iter()
+            .any(|p| f.rel_path.starts_with(p))
+}
+
+/// Lines of panic sites in `f`'s non-test code: `.unwrap(` / `.expect(`
+/// method calls and `panic!` / `unreachable!` / `todo!` /
+/// `unimplemented!` macro invocations.
+fn panic_lines(f: &SourceFile) -> Vec<usize> {
+    let toks = &f.toks;
+    let mut lines = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next = toks.get(i + 1);
+        let next_bang = next.is_some_and(|n| n.is_punct('!'));
+        let next_paren = next.is_some_and(|n| n.is_punct('('));
+        let is_site = match id {
+            "unwrap" | "expect" => prev_dot && next_paren,
+            "panic" | "unreachable" | "todo" | "unimplemented" => !prev_dot && next_bang,
+            _ => false,
+        };
+        if is_site {
+            lines.push(t.line);
+        }
+    }
+    lines
+}
+
+/// Per-file panic-site counts over panic-scoped library code.
+pub fn panic_counts(ws: &Workspace) -> BTreeMap<String, usize> {
+    ws.files
+        .iter()
+        .filter(|f| in_panic_scope(f))
+        .map(|f| (f.rel_path.clone(), panic_lines(f).len()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+/// Rule 2: panic-freedom ratchet over the serving data plane. Both
+/// directions are exact: a new site fails until fixed (never by growing
+/// the allowlist — fix the code), a removed site fails until the
+/// allowlist shrinks, so the checked-in count is always the true count.
+pub fn panic_freedom(ws: &Workspace, allowlist: &Manifest) -> Vec<Violation> {
+    const RULE: &str = "panic-freedom";
+    let mut out = Vec::new();
+    let actual = panic_counts(ws);
+    let allowed: BTreeMap<&str, u64> = allowlist
+        .entries("allow")
+        .map(|e| (e.str("file"), e.int("count")))
+        .collect();
+    for (file, n) in &actual {
+        let a = allowed.get(file.as_str()).copied().unwrap_or(0);
+        if *n as u64 > a {
+            // Point at the concrete sites so the failure is actionable.
+            let f = ws.file(file).expect("counted file is in workspace");
+            let lines = panic_lines(f);
+            out.push(violation(
+                RULE,
+                file,
+                lines.last().copied().unwrap_or(0),
+                format!(
+                    "{n} panic site(s) (unwrap/expect/panic!/…) in library code, allowlist \
+                     permits {a} — convert the new site to a typed error (lines: {lines:?})"
+                ),
+            ));
+        } else if (*n as u64) < a {
+            out.push(violation(
+                RULE,
+                file,
+                0,
+                format!(
+                    "panic sites burned down ({n} < allowlisted {a}) — ratchet \
+                     audit/panic_allowlist.toml down so they can't come back"
+                ),
+            ));
+        }
+    }
+    for (file, a) in &allowed {
+        if *a > 0 && !actual.contains_key(*file) {
+            out.push(violation(
+                RULE,
+                file,
+                0,
+                "allowlisted file now has zero panic sites (or vanished) — remove its entry"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Lines where the token sequence `Ordering :: Relaxed` occurs in
+/// non-test code of `f`.
+fn relaxed_lines(f: &SourceFile) -> Vec<usize> {
+    let t = &f.toks;
+    let mut lines = Vec::new();
+    for i in 0..t.len().saturating_sub(3) {
+        if t[i].in_test {
+            continue;
+        }
+        if t[i].ident() == Some("Ordering")
+            && t[i + 1].is_punct(':')
+            && t[i + 2].is_punct(':')
+            && t[i + 3].ident() == Some("Relaxed")
+        {
+            lines.push(t[i + 3].line);
+        }
+    }
+    lines
+}
+
+/// Rule 3: every relaxed atomic in library code argues its memory-model
+/// correctness in a `// ORDERING:` comment. Test code is exempt (it
+/// asserts on quiesced state), vendor shims are exempt (their docs cover
+/// it crate-wide).
+pub fn ordering_rationale(ws: &Workspace) -> Vec<Violation> {
+    const RULE: &str = "ordering-rationale";
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if f.kind != FileKind::Library || f.vendored {
+            continue;
+        }
+        for line in relaxed_lines(f) {
+            if !f.has_annotation_near("ORDERING:", line, ORDERING_WINDOW) {
+                out.push(violation(
+                    RULE,
+                    &f.rel_path,
+                    line,
+                    format!(
+                        "`Ordering::Relaxed` without an `// ORDERING:` rationale within \
+                         {ORDERING_WINDOW} lines"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Variant names of `enum StoreError` parsed from a token stream: idents
+/// at brace depth 1 directly after the opening `{` or a depth-1 `,`.
+fn store_error_variants(f: &SourceFile) -> Vec<String> {
+    let t = &f.toks;
+    let mut i = 0;
+    while i + 1 < t.len() {
+        if t[i].ident() == Some("enum") && t[i + 1].ident() == Some("StoreError") {
+            break;
+        }
+        i += 1;
+    }
+    let mut variants = Vec::new();
+    // Find the opening brace.
+    while i < t.len() && !t[i].is_punct('{') {
+        i += 1;
+    }
+    if i == t.len() {
+        return variants;
+    }
+    let mut depth = 1usize;
+    let mut expect_variant = true;
+    i += 1;
+    while i < t.len() && depth > 0 {
+        match &t[i].kind {
+            TokKind::Punct('{') | TokKind::Punct('(') => {
+                depth += 1;
+            }
+            TokKind::Punct('}') | TokKind::Punct(')') => {
+                depth -= 1;
+            }
+            TokKind::Punct(',') if depth == 1 => {
+                expect_variant = true;
+            }
+            TokKind::Punct('#') => {} // attribute on the variant
+            TokKind::Punct('[') | TokKind::Punct(']') => {}
+            TokKind::Ident(name) if depth == 1 && expect_variant => {
+                variants.push(name.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Lines in `f` (filtered by `in_test`) referencing `StoreError::<v>`.
+fn references_variant(f: &SourceFile, variant: &str, want_test: Option<bool>) -> bool {
+    let t = &f.toks;
+    (0..t.len().saturating_sub(3)).any(|i| {
+        want_test.is_none_or(|w| t[i].in_test == w)
+            && t[i].ident() == Some("StoreError")
+            && t[i + 1].is_punct(':')
+            && t[i + 2].is_punct(':')
+            && t[i + 3].ident() == Some(variant)
+    })
+}
+
+/// Rule 4: `StoreError` exhaustiveness — every variant is constructed by
+/// reachable library code (no dead error taxonomy) and exercised by the
+/// corruption matrix, except the named [`CORRUPTION_EXEMPT`] set. A
+/// variant in the exempt set that *is* in the matrix is also flagged, so
+/// the exempt list can't go stale.
+pub fn store_error_coverage(ws: &Workspace) -> Vec<Violation> {
+    const RULE: &str = "store-error-coverage";
+    const STORE: &str = "crates/san-graph/src/store.rs";
+    const MATRIX: &str = "crates/san-graph/tests/store_corruption.rs";
+    let mut out = Vec::new();
+    let Some(store) = ws.file(STORE) else {
+        out.push(violation(RULE, STORE, 0, "store.rs missing".to_string()));
+        return out;
+    };
+    let variants = store_error_variants(store);
+    if variants.is_empty() {
+        out.push(violation(
+            RULE,
+            STORE,
+            0,
+            "could not find `enum StoreError` variants".to_string(),
+        ));
+        return out;
+    }
+    let matrix = ws.file(MATRIX);
+    for v in &variants {
+        let constructed = ws
+            .files
+            .iter()
+            .filter(|f| f.kind == FileKind::Library && !f.vendored)
+            .any(|f| references_variant(f, v, Some(false)));
+        if !constructed {
+            out.push(violation(
+                RULE,
+                STORE,
+                0,
+                format!("StoreError::{v} is never constructed by library code — dead variant"),
+            ));
+        }
+        let exempt = CORRUPTION_EXEMPT.iter().find(|(name, _)| name == v);
+        let in_matrix = matrix.is_some_and(|m| references_variant(m, v, None));
+        match (exempt, in_matrix) {
+            (None, false) => out.push(violation(
+                RULE,
+                MATRIX,
+                0,
+                format!(
+                    "StoreError::{v} is not exercised by the corruption matrix — add a \
+                     corruption case or an entry to CORRUPTION_EXEMPT with a reason"
+                ),
+            )),
+            (Some((_, why)), true) => out.push(violation(
+                RULE,
+                MATRIX,
+                0,
+                format!(
+                    "StoreError::{v} is exempt (\"{why}\") but the corruption matrix now \
+                     covers it — remove the stale exemption"
+                ),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Files whose byte-slice indexing handles *untrusted* input (snapshot
+/// decode paths).
+const UNTRUSTED_FILES: [&str; 2] = [
+    "crates/san-graph/src/store.rs",
+    "crates/san-graph/src/view.rs",
+];
+
+/// Rule 5: direct indexing of `bytes`/`buf` in the decode paths must
+/// justify its range with a `// BOUNDS:` comment — indexing untrusted
+/// offsets is how corrupt snapshots turn into panics.
+pub fn untrusted_indexing(ws: &Workspace) -> Vec<Violation> {
+    const RULE: &str = "untrusted-indexing";
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !UNTRUSTED_FILES.contains(&f.rel_path.as_str()) {
+            continue;
+        }
+        let t = &f.toks;
+        for i in 0..t.len().saturating_sub(1) {
+            if t[i].in_test {
+                continue;
+            }
+            let is_buf = matches!(t[i].ident(), Some("bytes") | Some("buf"));
+            if is_buf && t[i + 1].is_punct('[') && !is_field_access(t, i) {
+                let line = t[i].line;
+                if !f.has_annotation_near("BOUNDS:", line, BOUNDS_WINDOW) {
+                    out.push(violation(
+                        RULE,
+                        &f.rel_path,
+                        line,
+                        format!(
+                            "indexing `{}` without a `// BOUNDS:` justification within \
+                             {BOUNDS_WINDOW} lines",
+                            t[i].ident().unwrap_or("?")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `x.bytes[..]` is field access on a typed struct, not a raw slice of
+/// untrusted input; the rule targets local `bytes[..]` only.
+fn is_field_access(t: &[Tok], i: usize) -> bool {
+    i > 0 && t[i - 1].is_punct('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn lib(path: &str, text: &str) -> SourceFile {
+        SourceFile::parse(path, crate::classify(path), text)
+    }
+
+    #[test]
+    fn panic_sites_need_call_shape() {
+        let f = lib(
+            "crates/san-graph/src/x.rs",
+            r#"
+            fn a(o: Option<u8>) {
+                o.unwrap();          // site
+                let unwrap = 1;      // not a site: no dot/paren
+                self.expect_more();  // not a site: different method
+                panic!("boom");      // site
+                should_panic();      // not a site
+            }
+            "#,
+        );
+        assert_eq!(panic_lines(&f).len(), 2);
+    }
+
+    #[test]
+    fn relaxed_needs_full_path() {
+        let f = lib(
+            "crates/san-graph/src/x.rs",
+            "a.load(Ordering::Relaxed); let Relaxed = 1; Ordering::SeqCst;",
+        );
+        assert_eq!(relaxed_lines(&f).len(), 1);
+    }
+
+    #[test]
+    fn store_error_variant_parse_handles_fields() {
+        let f = lib(
+            "crates/san-graph/src/store.rs",
+            r#"
+            pub enum StoreError {
+                Truncated { section: &'static str },
+                BadMagic { found: [u8; 8] },
+                Io(io::Error),
+            }
+            "#,
+        );
+        assert_eq!(
+            store_error_variants(&f),
+            vec!["Truncated", "BadMagic", "Io"]
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Negative tests: plant each class of violation in a synthetic
+//! workspace and prove the audit catches it. (The real-workspace gate in
+//! `workspace_audit.rs` proves zero false positives; these prove the
+//! rules aren't vacuous.)
+
+use san_audit::lexer::SourceFile;
+use san_audit::manifest::{self, Manifest};
+use san_audit::rules;
+use san_audit::{classify, Workspace};
+
+fn ws(files: &[(&str, &str)]) -> Workspace {
+    Workspace::from_files(
+        files
+            .iter()
+            .map(|(path, text)| SourceFile::parse(path, classify(path), text))
+            .collect(),
+    )
+}
+
+fn empty_manifest() -> Manifest {
+    manifest::parse("").expect("empty manifest parses")
+}
+
+fn rules_of(violations: &[san_audit::Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn unjustified_unsafe_is_caught() {
+    let w = ws(&[(
+        "crates/san-graph/src/planted.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+    )]);
+    let inv = manifest::parse("[[site]]\nfile = \"crates/san-graph/src/planted.rs\"\ncount = 1\n")
+        .expect("parse");
+    let v = rules::unsafe_safety(&w, &inv);
+    assert_eq!(rules_of(&v), vec!["unsafe-safety"]);
+    assert!(v[0].message.contains("SAFETY"), "{}", v[0].message);
+}
+
+#[test]
+fn justified_unsafe_passes() {
+    let w = ws(&[(
+        "crates/san-graph/src/planted.rs",
+        "// SAFETY: caller contract guarantees p is valid\npub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+    )]);
+    let inv = manifest::parse("[[site]]\nfile = \"crates/san-graph/src/planted.rs\"\ncount = 1\n")
+        .expect("parse");
+    assert!(rules::unsafe_safety(&w, &inv).is_empty());
+}
+
+#[test]
+fn new_unsafe_site_fails_the_inventory_ratchet() {
+    // Justified, but not inventoried: still fails.
+    let w = ws(&[(
+        "crates/san-graph/src/planted.rs",
+        "// SAFETY: fine\npub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+    )]);
+    let v = rules::unsafe_safety(&w, &empty_manifest());
+    assert_eq!(rules_of(&v), vec!["unsafe-safety"]);
+    assert!(v[0].message.contains("inventory"), "{}", v[0].message);
+}
+
+#[test]
+fn stale_inventory_entry_fails() {
+    let w = ws(&[("crates/san-graph/src/clean.rs", "pub fn f() {}")]);
+    let inv = manifest::parse("[[site]]\nfile = \"crates/san-graph/src/clean.rs\"\ncount = 2\n")
+        .expect("parse");
+    let v = rules::unsafe_safety(&w, &inv);
+    assert_eq!(rules_of(&v), vec!["unsafe-safety"]);
+    assert!(v[0].message.contains("shrink"), "{}", v[0].message);
+}
+
+#[test]
+fn library_unwrap_is_caught_and_located() {
+    let w = ws(&[(
+        "crates/san-serve/src/planted.rs",
+        "pub fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}",
+    )]);
+    let v = rules::panic_freedom(&w, &empty_manifest());
+    assert_eq!(rules_of(&v), vec!["panic-freedom"]);
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("lines: [2]"), "{}", v[0].message);
+}
+
+#[test]
+fn test_code_and_out_of_scope_crates_may_panic() {
+    let w = ws(&[
+        // Unit-test region of a scoped crate.
+        (
+            "crates/san-graph/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t(o: Option<u8>) { o.unwrap(); } }",
+        ),
+        // Integration test of a scoped crate.
+        (
+            "crates/san-serve/tests/t.rs",
+            "fn t(o: Option<u8>) { o.unwrap(); }",
+        ),
+        // Library code of an unscoped crate (CLI/bench tooling).
+        (
+            "crates/san-bench/src/lib.rs",
+            "fn t(o: Option<u8>) { o.unwrap(); }",
+        ),
+    ]);
+    assert!(rules::panic_freedom(&w, &empty_manifest()).is_empty());
+}
+
+#[test]
+fn burned_down_sites_must_ratchet_the_allowlist() {
+    let w = ws(&[(
+        "crates/san-graph/src/x.rs",
+        "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }",
+    )]);
+    let allow = manifest::parse("[[allow]]\nfile = \"crates/san-graph/src/x.rs\"\ncount = 3\n")
+        .expect("parse");
+    let v = rules::panic_freedom(&w, &allow);
+    assert_eq!(rules_of(&v), vec!["panic-freedom"]);
+    assert!(v[0].message.contains("ratchet"), "{}", v[0].message);
+}
+
+#[test]
+fn unwrap_in_string_literal_is_not_a_site() {
+    let w = ws(&[(
+        "crates/san-graph/src/x.rs",
+        r#"pub fn f() -> &'static str { "call .unwrap() and panic!" }"#,
+    )]);
+    assert!(rules::panic_freedom(&w, &empty_manifest()).is_empty());
+}
+
+#[test]
+fn bare_relaxed_ordering_is_caught() {
+    let w = ws(&[(
+        "crates/san-serve/src/planted.rs",
+        "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }",
+    )]);
+    let v = rules::ordering_rationale(&w);
+    assert_eq!(rules_of(&v), vec!["ordering-rationale"]);
+}
+
+#[test]
+fn annotated_relaxed_ordering_passes() {
+    let w = ws(&[(
+        "crates/san-serve/src/planted.rs",
+        "// ORDERING: monotonic counter, no cross-thread ordering implied.\nfn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }",
+    )]);
+    assert!(rules::ordering_rationale(&w).is_empty());
+}
+
+#[test]
+fn uncovered_store_error_variant_is_caught() {
+    let w = ws(&[
+        (
+            "crates/san-graph/src/store.rs",
+            "pub enum StoreError { Truncated { section: &'static str }, Planted { x: u8 } }\n\
+             fn c() -> StoreError { StoreError::Truncated { section: \"s\" } }\n\
+             fn d() -> StoreError { StoreError::Planted { x: 1 } }",
+        ),
+        (
+            "crates/san-graph/tests/store_corruption.rs",
+            "fn m() { matches!(e, StoreError::Truncated { .. }); }",
+        ),
+    ]);
+    let v = rules::store_error_coverage(&w);
+    assert_eq!(rules_of(&v), vec!["store-error-coverage"]);
+    assert!(v[0].message.contains("Planted"), "{}", v[0].message);
+}
+
+#[test]
+fn dead_store_error_variant_is_caught() {
+    let w = ws(&[
+        (
+            "crates/san-graph/src/store.rs",
+            "pub enum StoreError { Dead { x: u8 } }",
+        ),
+        (
+            "crates/san-graph/tests/store_corruption.rs",
+            "fn m() { matches!(e, StoreError::Dead { .. }); }",
+        ),
+    ]);
+    let v = rules::store_error_coverage(&w);
+    assert_eq!(rules_of(&v), vec!["store-error-coverage"]);
+    assert!(
+        v[0].message.contains("never constructed"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
+fn stale_corruption_exemption_is_caught() {
+    // `Io` is in the exempt set; a matrix that covers it anyway must
+    // force the exemption to be removed.
+    let w = ws(&[
+        (
+            "crates/san-graph/src/store.rs",
+            "pub enum StoreError { Io(io::Error) }\n\
+             fn c(e: io::Error) -> StoreError { StoreError::Io(e) }",
+        ),
+        (
+            "crates/san-graph/tests/store_corruption.rs",
+            "fn m() { matches!(e, StoreError::Io(_)); }",
+        ),
+    ]);
+    let v = rules::store_error_coverage(&w);
+    assert_eq!(rules_of(&v), vec!["store-error-coverage"]);
+    assert!(v[0].message.contains("stale"), "{}", v[0].message);
+}
+
+#[test]
+fn unbounded_untrusted_indexing_is_caught() {
+    let w = ws(&[(
+        "crates/san-graph/src/view.rs",
+        "fn f(bytes: &[u8]) -> u8 { bytes[9] }",
+    )]);
+    let v = rules::untrusted_indexing(&w);
+    assert_eq!(rules_of(&v), vec!["untrusted-indexing"]);
+}
+
+#[test]
+fn bounded_indexing_and_field_access_pass() {
+    let w = ws(&[(
+        "crates/san-graph/src/view.rs",
+        "// BOUNDS: length checked against HEADER_BYTES above.\n\
+         fn f(bytes: &[u8]) -> u8 { bytes[9] }\n\
+         fn g(s: &S) -> usize { s.bytes[0] as usize }",
+    )]);
+    assert!(rules::untrusted_indexing(&w).is_empty());
+}
+
+#[test]
+fn indexing_outside_decode_paths_is_not_flagged() {
+    let w = ws(&[(
+        "crates/san-graph/src/csr.rs",
+        "fn f(bytes: &[u8]) -> u8 { bytes[9] }",
+    )]);
+    assert!(rules::untrusted_indexing(&w).is_empty());
+}

@@ -131,7 +131,9 @@ impl CsrSan {
             let o = row(&out_off, &out_dst, i);
             let inc = row(&in_off, &in_src, i);
             let (mut a, mut b) = (0, 0);
-            while a < o.len() || b < inc.len() {
+            // Sorted-merge union; the (None, None) arm doubles as the
+            // loop exit so no arm needs to be unreachable.
+            loop {
                 let next = match (o.get(a), inc.get(b)) {
                     (Some(&x), Some(&y)) if x == y => {
                         a += 1;
@@ -154,7 +156,7 @@ impl CsrSan {
                         b += 1;
                         y
                     }
-                    (None, None) => unreachable!("loop condition"),
+                    (None, None) => break,
                 };
                 und_nbr.push(next);
             }

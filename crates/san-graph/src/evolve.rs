@@ -301,9 +301,10 @@ impl SanTimeline {
         start: u32,
         step: u32,
     ) -> SnapshotStream<'_> {
-        let last = self
-            .max_day()
-            .expect("resume_stream callers checked the timeline is nonempty");
+        // Callers checked the timeline is nonempty; on an empty one the
+        // seed day is trivially the last day, which routes into the
+        // exhausted-stream arm below instead of panicking.
+        let last = self.max_day().unwrap_or(seed_day);
         // The seeded snapshot IS the end-of-day state of `seed_day`;
         // emit it first if that day is on the grid.
         let pending = (seed_day == start && (seed_day.is_multiple_of(step) || seed_day == last))

@@ -94,7 +94,9 @@ pub fn from_text(text: &str) -> Result<San, SanIoError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("nonempty line has a token");
+        // split_whitespace on a trimmed nonempty line always yields a
+        // first token; an empty fallback falls into the unknown-kind arm.
+        let kind = parts.next().unwrap_or("");
         let bad = |reason: &str| SanIoError::BadLine {
             line: line_no,
             reason: reason.to_string(),

@@ -14,6 +14,21 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Adds `delta` to a byte/nanosecond accumulator, saturating at
+/// `u64::MAX` instead of wrapping — a meter that has been up for years
+/// must degrade to "pinned at max", never to a small lie.
+///
+/// # ORDERING:
+/// Relaxed on both the success and failure orderings: the accumulators
+/// are independent monotonic counters with no cross-variable protocol —
+/// exactness comes from the compare-exchange atomicity of
+/// `fetch_update`, which no memory ordering strengthens or weakens.
+fn saturating_fetch_add(counter: &AtomicU64, delta: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(delta))
+    });
+}
+
 /// Number of power-of-two latency buckets: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds, so the histogram spans 1 ns to ~9 min.
 const BUCKETS: usize = 40;
@@ -51,13 +66,22 @@ impl LatencyHistogram {
     pub fn record(&self, elapsed: Duration) {
         let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
         let bucket = (nanos.max(1).ilog2() as usize).min(BUCKETS - 1);
+        // ORDERING: relaxed fetch-adds — increments are exact by RMW
+        // atomicity alone; no reader needs to observe bucket/count/sum as
+        // a consistent triple. The bucket is bumped *before* the count so
+        // a racing quantile scan never sees a rank its bucket walk can't
+        // cover (tests/loom_meter.rs explores every interleaving).
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        // Saturates: ~585 years of summed nanoseconds pins at u64::MAX
+        // rather than wrapping the mean back toward zero.
+        saturating_fetch_add(&self.sum_nanos, nanos);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
+        // ORDERING: relaxed load of one monotonic counter; callers get
+        // an at-least-this-many snapshot, never tearing.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -67,6 +91,8 @@ impl LatencyHistogram {
         if count == 0 {
             return 0.0;
         }
+        // ORDERING: relaxed — sum and count are sampled independently;
+        // mid-record skew moves the mean by at most one sample's weight.
         self.sum_nanos.load(Ordering::Relaxed) as f64 / count as f64
     }
 
@@ -85,6 +111,9 @@ impl LatencyHistogram {
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // ORDERING: relaxed — record() bumps a bucket before the
+            // count, so the rank computed above is always covered by the
+            // bucket mass this scan accumulates; no acquire needed.
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
                 // Geometric midpoint of [2^i, 2^(i+1)): 2^i * 1.5.
@@ -141,35 +170,44 @@ impl VaultMetrics {
 
     /// Records one completed read (load or mmap open+validate).
     pub fn record_read(&self, bytes: u64, elapsed: Duration) {
-        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        // ORDERING: relaxed — byte totals and op counts are independent
+        // monotonic meters; nothing synchronizes on them. Byte totals
+        // saturate (a busy vault can move > 2^64 bytes over its life).
+        saturating_fetch_add(&self.read_bytes, bytes);
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.read_latency.record(elapsed);
     }
 
     /// Records one completed write (persist).
     pub fn record_write(&self, bytes: u64, elapsed: Duration) {
-        self.written_bytes.fetch_add(bytes, Ordering::Relaxed);
+        // ORDERING: relaxed — same argument as record_read.
+        saturating_fetch_add(&self.written_bytes, bytes);
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.write_latency.record(elapsed);
     }
 
-    /// Total bytes read so far.
+    /// Total bytes read so far (saturating at `u64::MAX`).
     pub fn read_bytes(&self) -> u64 {
+        // ORDERING: relaxed load of one monotonic counter — a
+        // single-variable snapshot needs no inter-variable ordering.
         self.read_bytes.load(Ordering::Relaxed)
     }
 
-    /// Total bytes written so far.
+    /// Total bytes written so far (saturating at `u64::MAX`).
     pub fn written_bytes(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
         self.written_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of completed reads.
     pub fn reads(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
         self.reads.load(Ordering::Relaxed)
     }
 
     /// Number of completed writes.
     pub fn writes(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
         self.writes.load(Ordering::Relaxed)
     }
 
@@ -234,6 +272,66 @@ mod tests {
     #[should_panic(expected = "quantile out of")]
     fn quantile_rejects_out_of_range() {
         LatencyHistogram::new().quantile_nanos(1.5);
+    }
+
+    /// Bucket `i` covers `[2^i, 2^(i+1))`: an exact power of two lands in
+    /// its own bucket, one nanosecond less lands one bucket down.
+    #[test]
+    fn power_of_two_boundaries_split_buckets() {
+        for i in 1..BUCKETS as u32 - 1 {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(1u64 << i));
+            h.record(Duration::from_nanos((1u64 << i) - 1));
+            // Midpoints of buckets i and i-1 are distinct, and the
+            // median (rank 1 of 2) is the lower sample's bucket.
+            assert_eq!(
+                h.median_nanos(),
+                (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2,
+                "i={i}"
+            );
+            assert_eq!(
+                h.quantile_nanos(1.0),
+                (1u64 << i) + (1u64 << i) / 2,
+                "i={i}"
+            );
+        }
+    }
+
+    /// `Duration::MAX` clamps to `u64::MAX` nanoseconds and lands in the
+    /// last bucket instead of indexing out of bounds.
+    #[test]
+    fn duration_max_clamps_into_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 1);
+        let top = (1u64 << (BUCKETS - 1)) + (1u64 << (BUCKETS - 1)) / 2;
+        assert_eq!(h.median_nanos(), top);
+        assert_eq!(h.quantile_nanos(1.0), top);
+    }
+
+    /// The nanosecond sum pins at `u64::MAX` instead of wrapping: the
+    /// mean degrades to "huge", never to a small lie.
+    #[test]
+    fn sum_nanos_saturates_instead_of_wrapping() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(u64::MAX));
+        h.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_nanos(), u64::MAX as f64 / 2.0);
+    }
+
+    /// Byte totals saturate too — and the op counters keep counting.
+    #[test]
+    fn vault_byte_counters_saturate() {
+        let m = VaultMetrics::new();
+        m.record_read(u64::MAX, Duration::from_nanos(1));
+        m.record_read(u64::MAX, Duration::from_nanos(1));
+        m.record_write(u64::MAX - 10, Duration::from_nanos(1));
+        m.record_write(100, Duration::from_nanos(1));
+        assert_eq!(m.read_bytes(), u64::MAX);
+        assert_eq!(m.written_bytes(), u64::MAX);
+        assert_eq!(m.reads(), 2);
+        assert_eq!(m.writes(), 2);
     }
 
     #[test]

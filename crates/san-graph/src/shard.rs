@@ -70,7 +70,8 @@ fn balance_bounds(rows: usize, k: usize, weight: impl Fn(usize) -> u64) -> Vec<u
     for i in 1..k {
         let target = total * i as u64 / k as u64;
         // First row index whose cumulative weight reaches the target.
-        let (mut lo, mut hi) = (*bounds.last().unwrap() as usize, rows);
+        // bounds starts as vec![0] and only grows, so last() exists.
+        let (mut lo, mut hi) = (bounds.last().copied().unwrap_or(0) as usize, rows);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             if weight(mid) < target {
@@ -200,7 +201,12 @@ impl ShardedCsrSan {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Forward a worker's panic payload instead of replacing
+                    // it with a fresh panic here.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }

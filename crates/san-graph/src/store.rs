@@ -388,6 +388,19 @@ pub(crate) fn attr_type_from_tag(tag: u8) -> Result<AttrType, StoreError> {
     }
 }
 
+/// Copies the `N` bytes at `at`, zero-filling anything out of range —
+/// the panic-free replacement for `slice[at..at + N].try_into().unwrap()`.
+/// Every caller passes in-range offsets (length-guarded, or reading a
+/// fixed-size buffer); if a future bug breaks that, the zeros surface as
+/// a downstream validation failure instead of a panic on untrusted input.
+pub(crate) fn array_at<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    if let Some(src) = bytes.get(at..at + N) {
+        out.copy_from_slice(src);
+    }
+    out
+}
+
 /// Bounded staging buffer for LE encode/decode: arrays stream through this
 /// many bytes at a time, so (de)serialisation never allocates proportional
 /// to the snapshot — the only heap the store path touches is the final
@@ -406,6 +419,8 @@ fn write_col<W: Write, T: Copy>(
     for chunk in data.chunks(STAGE_BYTES / 4) {
         let bytes = &mut stage[..chunk.len() * 4];
         for (i, &v) in chunk.iter().enumerate() {
+            // BOUNDS: bytes spans chunk.len()*4 and i < chunk.len(), so
+            // i*4 + 4 <= len — trusted in-memory data, not reader input.
             bytes[i * 4..i * 4 + 4].copy_from_slice(&as_u32(v).to_le_bytes());
         }
         w.put(bytes)?;
@@ -438,9 +453,9 @@ fn read_col<T>(
         read_exact_or(r, bytes, section)?;
         hash.update(bytes);
         for i in 0..take {
-            out.push(from_u32(u32::from_le_bytes(
-                bytes[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"),
-            )));
+            // BOUNDS: bytes was sliced to exactly take*4 above and
+            // i < take, so i*4 + 4 <= len whatever the stream contained.
+            out.push(from_u32(u32::from_le_bytes(array_at(bytes, i * 4))));
         }
         remaining -= take;
     }
@@ -497,12 +512,12 @@ impl StoreHeader {
     /// same typed [`StoreError`] that [`CsrSan::read_from`] reports for
     /// the same bytes; nothing is allocated.
     pub fn parse(header: &[u8; HEADER_BYTES]) -> Result<StoreHeader, StoreError> {
-        let magic: [u8; 8] = header[0..8].try_into().expect("8-byte magic");
+        let magic: [u8; 8] = array_at(header, 0);
         if magic != MAGIC {
             return Err(StoreError::BadMagic { found: magic });
         }
-        let u32_at = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("u32"));
-        let u64_at = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("u64"));
+        let u32_at = |i: usize| u32::from_le_bytes(array_at(header, i));
+        let u64_at = |i: usize| u64::from_le_bytes(array_at(header, i));
         let version = u32_at(8);
         if version != FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion { found: version });
@@ -644,7 +659,8 @@ pub(crate) fn check_offsets(
     if off.first() != Some(&0) || off.windows(2).any(|w| w[0] > w[1]) {
         return Err(StoreError::NonMonotoneOffsets { array });
     }
-    let last = *off.last().expect("offset tables are never empty") as usize;
+    // The first() check above already rejected an empty table.
+    let last = off.last().copied().unwrap_or(0) as usize;
     if last != payload_len {
         return Err(StoreError::CountMismatch {
             what: array,
@@ -735,6 +751,8 @@ impl CsrSan {
         for chunk in self.attr_types.chunks(STAGE_BYTES) {
             let bytes = &mut tags[..chunk.len()];
             for (i, &ty) in chunk.iter().enumerate() {
+                // BOUNDS: bytes spans chunk.len() and i < chunk.len();
+                // trusted in-memory tags, not reader input.
                 bytes[i] = attr_type_tag(ty);
             }
             hw.put(bytes)?;
@@ -843,8 +861,10 @@ impl CsrSan {
     /// [`CsrSan::write_to`]).
     pub fn to_store_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.write_to(&mut buf)
-            .expect("writing to a Vec cannot fail");
+        if let Err(err) = self.write_to(&mut buf) {
+            // Vec<u8> IO is infallible; reaching this is a serializer bug.
+            debug_assert!(false, "in-memory serialisation failed: {err}");
+        }
         buf
     }
 

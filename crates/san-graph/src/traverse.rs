@@ -22,7 +22,8 @@ pub fn bfs_directed(san: &impl SanRead, src: SocialId) -> Vec<Option<u32>> {
     dist[src.index()] = Some(0);
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+        // Queued nodes always have distances; skip defensively if not.
+        let Some(du) = dist[u.index()] else { continue };
         for &v in san.out_neighbors(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
@@ -40,7 +41,8 @@ pub fn bfs_undirected(san: &impl SanRead, src: SocialId) -> Vec<Option<u32>> {
     dist[src.index()] = Some(0);
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+        // Queued nodes always have distances; skip defensively if not.
+        let Some(du) = dist[u.index()] else { continue };
         for &v in san.out_neighbors(u).iter().chain(san.in_neighbors(u)) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
@@ -82,12 +84,16 @@ pub fn largest_wcc(san: &impl SanRead) -> Vec<SocialId> {
         return Vec::new();
     }
     let (ids, sizes) = weakly_connected_components(san);
-    let best = sizes
+    // The early return above guarantees at least one component, so the
+    // max exists; an empty fallback yields an empty id list.
+    let Some(best) = sizes
         .iter()
         .enumerate()
         .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
         .map(|(i, _)| i)
-        .expect("nonempty sizes");
+    else {
+        return Vec::new();
+    };
     ids.iter()
         .enumerate()
         .filter(|&(_, &c)| c == best)

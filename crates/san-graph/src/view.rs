@@ -48,7 +48,7 @@ use crate::csr::{row, sorted_intersection_count, CsrSan};
 use crate::ids::{AttrId, AttrType, SocialId};
 use crate::read::SanRead;
 use crate::store::{
-    attr_type_from_tag, check_id_range, check_offsets, elem_bytes, fnv1a64, StoreError,
+    array_at, attr_type_from_tag, check_id_range, check_offsets, elem_bytes, fnv1a64, StoreError,
     StoreHeader, ARRAY_NAMES, CHECKSUM_BYTES, HEADER_BYTES, NUM_ARRAYS,
 };
 use std::borrow::Cow;
@@ -68,6 +68,10 @@ unsafe fn cast_column<T>(bytes: &[u8]) -> &[T] {
     debug_assert_eq!(std::mem::size_of::<T>(), 4, "4-byte element type");
     debug_assert_eq!(bytes.len() % 4, 0, "whole elements");
     debug_assert_eq!(bytes.as_ptr() as usize % COLUMN_ALIGN, 0, "aligned base");
+    // SAFETY: forwards this fn's `# Safety` contract — the caller
+    // guarantees T is (transparently) u32, the byte length is a whole
+    // number of elements, and the base pointer is 4-byte aligned, so the
+    // raw-parts slice covers exactly the bytes of `bytes`.
     unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / 4) }
 }
 
@@ -133,9 +137,10 @@ impl<'a> CsrSanView<'a> {
         if bytes.len() < HEADER_BYTES {
             return Err(StoreError::Truncated { section: "header" });
         }
-        let header_bytes: &[u8; HEADER_BYTES] =
-            bytes[..HEADER_BYTES].try_into().expect("sized header");
-        let header = StoreHeader::parse(header_bytes)?;
+        // BOUNDS: the length guard above keeps this untrusted-input
+        // read fully in range (array_at zero-fills on a bug).
+        let header_bytes: [u8; HEADER_BYTES] = array_at(bytes, 0);
+        let header = StoreHeader::parse(&header_bytes)?;
         // Column bounds before touching any payload, in file order, so a
         // short buffer names the first section it cannot hold (matching
         // the stream reader's truncation reporting).
@@ -151,12 +156,11 @@ impl<'a> CsrSanView<'a> {
                 section: "checksum",
             });
         }
+        // BOUNDS: the guard above checked
+        // bytes.len() >= payload_end + CHECKSUM_BYTES, covering both the
+        // payload slice and the trailer slice on untrusted input.
         let expected = fnv1a64(&bytes[..payload_end]);
-        let found = u64::from_le_bytes(
-            bytes[payload_end..payload_end + CHECKSUM_BYTES]
-                .try_into()
-                .expect("8-byte trailer"),
-        );
+        let found = u64::from_le_bytes(array_at(bytes, payload_end));
         if expected != found {
             return Err(StoreError::BadChecksum { expected, found });
         }
@@ -195,6 +199,8 @@ impl<'a> CsrSanView<'a> {
             let start = header.array_offset(i) as usize;
             let len = header.array_count(i) as usize * elem_bytes(i) as usize;
             debug_assert!(i == NUM_ARRAYS - 1 || start.is_multiple_of(COLUMN_ALIGN));
+            // BOUNDS: from_trusted's contract — this exact header already
+            // passed new_with_header's per-array end <= len validation.
             &bytes[start..start + len]
         };
         // SAFETY: the ten u32 columns sit at validated, 4-byte-aligned
@@ -268,7 +274,9 @@ impl<'a> CsrSanView<'a> {
             attr_types: self
                 .attr_tags
                 .iter()
-                .map(|&t| attr_type_from_tag(t).expect("tags validated at construction"))
+                // Tags were validated at construction; `Other` is the
+                // defensive catch-all if that invariant ever breaks.
+                .map(|&t| attr_type_from_tag(t).unwrap_or(AttrType::Other))
                 .collect(),
             num_social_links: self.num_social_links,
             num_attr_links: self.num_attr_links,
@@ -319,7 +327,9 @@ impl SanRead for CsrSanView<'_> {
 
     #[inline]
     fn attr_type(&self, a: AttrId) -> AttrType {
-        attr_type_from_tag(self.attr_tags[a.index()]).expect("tags validated at construction")
+        // Tags were validated at construction; `Other` is the defensive
+        // catch-all if that invariant ever breaks.
+        attr_type_from_tag(self.attr_tags[a.index()]).unwrap_or(AttrType::Other)
     }
 
     /// Binary search on the shorter of the two sorted rows (same

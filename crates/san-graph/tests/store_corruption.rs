@@ -12,7 +12,7 @@
 //! an actual file — and each must reject with a typed error (the same
 //! variant family; never UB, never a panic on any path).
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 use san_graph::mmap::MappedSnapshot;
 use san_graph::store::{self, StoreError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, NUM_ARRAYS};
 use san_graph::view::{AlignedBytes, CsrSanView};
@@ -72,8 +72,10 @@ fn view_err(bytes: &[u8], ctx: &str) -> StoreError {
 }
 
 /// Rejection through the mmap path: the bytes land in a real file which
-/// [`MappedSnapshot::open`] must refuse to serve.
-#[cfg(unix)]
+/// [`MappedSnapshot::open`] must refuse to serve. Gated off under Miri:
+/// the interpreter cannot call the foreign `mmap(2)`; the eager + view
+/// legs of `reject_all` still cover every corruption under it.
+#[cfg(all(unix, not(miri)))]
 fn mapped_err(bytes: &[u8], ctx: &str) -> StoreError {
     use std::sync::atomic::{AtomicU32, Ordering};
     static SEQ: AtomicU32 = AtomicU32::new(0);
@@ -102,7 +104,7 @@ fn reject_all(bytes: &[u8], ctx: &str) -> Vec<StoreError> {
         },
         view_err(bytes, ctx),
     ];
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     errors.push(mapped_err(bytes, ctx));
     errors
 }

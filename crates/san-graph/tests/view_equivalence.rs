@@ -152,6 +152,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The mapped path serves the same answers as the in-memory view.
+    /// Ignored under Miri: the interpreter cannot call the foreign
+    /// `mmap(2)`; the in-memory view proptests above cover the shared
+    /// validation and query code.
+    #[cfg_attr(miri, ignore)]
     #[test]
     fn mapped_snapshot_is_query_identical(tl in arb_timeline(60)) {
         use std::sync::atomic::{AtomicU32, Ordering};
@@ -196,6 +200,9 @@ fn empty_and_attr_only_graphs_view_identically() {
 
 /// The 10k-node/98-day fixture: columns cross the staging buffer many
 /// times; per-node comparisons cover every row, pairwise queries sample.
+/// Ignored under Miri — same code paths as the proptests above, at a
+/// volume the interpreter would take hours over.
+#[cfg_attr(miri, ignore)]
 #[test]
 fn ten_k_fixture_views_identically() {
     use san_stats::SplitRng;

@@ -92,10 +92,12 @@ fn propagate(
                     }
                 }
             }
-            if let Some((&best, _)) = votes
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(a.0)))
-            {
+            if let Some((&best, _)) = votes.iter().max_by(|a, b| {
+                // Modularity gains are finite; order NaN (impossible) low.
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Less)
+                    .then(b.0.cmp(a.0))
+            }) {
                 if best != label[u.index()] {
                     label[u.index()] = best;
                     changed = true;

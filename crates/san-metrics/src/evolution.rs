@@ -33,7 +33,20 @@ use san_graph::{CsrSan, SanTimeline, ShardedCsrSan};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks recovering from poisoning: the sweep's shared state (result
+/// rows, the caught-panic slot, the channel receiver) stays coherent
+/// under a panicking holder, and the caught panic is re-thrown after the
+/// join anyway — cascading a second panic would only mask the first.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Mutex::into_inner`] with the same poisoning recovery as [`lock_ok`].
+fn into_inner_ok<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The three evolution phases of Google+.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -321,23 +334,23 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let received = rx.lock().expect("receiver lock").recv();
+                let received = lock_ok(&rx).recv();
                 let Ok((day, snap)) = received else {
                     break; // channel closed and drained: sweep done
                 };
-                if panicked.lock().expect("panic slot").is_some() {
+                if lock_ok(&panicked).is_some() {
                     continue;
                 }
                 match catch_unwind(AssertUnwindSafe(|| eval(day, snap))) {
-                    Ok(value) => results.lock().expect("results lock").push((day, value)),
-                    Err(payload) => *panicked.lock().expect("panic slot") = Some(payload),
+                    Ok(value) => lock_ok(&results).push((day, value)),
+                    Err(payload) => *lock_ok(&panicked) = Some(payload),
                 }
             });
         }
         for item in stream {
             // Stop patching the remaining days once a worker has caught a
             // metric panic — the sweep is dead either way.
-            if panicked.lock().expect("panic slot").is_some() {
+            if lock_ok(&panicked).is_some() {
                 break;
             }
             if tx.send(item).is_err() {
@@ -346,10 +359,10 @@ where
         }
         drop(tx); // close the channel so workers exit their recv loops
     });
-    if let Some(payload) = panicked.into_inner().expect("panic slot") {
+    if let Some(payload) = into_inner_ok(panicked) {
         resume_unwind(payload);
     }
-    let mut rows = results.into_inner().expect("results lock");
+    let mut rows = into_inner_ok(results);
     rows.sort_unstable_by_key(|&(day, _)| day);
     for (day, value) in rows {
         series.days.push(day);

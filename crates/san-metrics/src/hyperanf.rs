@@ -259,7 +259,11 @@ pub fn neighborhood_function_sharded(
                 .map(|(chunk, range)| scope.spawn(|| union_chunk(chunk, range.clone(), cur)))
                 .collect();
             handles.into_iter().fold(false, |acc, h| {
-                acc | h.join().expect("hyperanf shard worker panicked")
+                acc | match h.join() {
+                    Ok(v) => v,
+                    // Forward the worker's panic payload unchanged.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             })
         })
     };

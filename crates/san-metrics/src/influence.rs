@@ -40,7 +40,7 @@ pub fn degree_percentiles_by_attr(san: &impl SanRead, attrs: &[AttrId]) -> Vec<A
                 .iter()
                 .map(|&u| san.out_degree(u) as f64)
                 .collect();
-            degrees.sort_by(|x, y| x.partial_cmp(y).expect("degrees are finite"));
+            degrees.sort_by(f64::total_cmp);
             AttrDegreeStats {
                 attr: a,
                 members: degrees.len(),

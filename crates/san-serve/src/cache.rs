@@ -14,9 +14,25 @@
 //! eviction drops the least-recently-served day's `Arc`, and the mapping
 //! itself is unmapped only when the last outstanding reader drops its
 //! handle — eviction can never invalidate a view someone is using.
+//!
+//! The shard locks are [`loom_lite::sync::Mutex`]: plain `std` mutexes
+//! in production (one thread-local flag check of overhead per lock), and
+//! scheduler-visible locks under the `loom-lite` model checker — the
+//! `model_tests` module explores every interleaving of 2–3 threads
+//! hitting get/insert/evict on *this exact code*, not a shadow copy.
 
+use loom_lite::sync::Mutex;
 use san_graph::mmap::MappedSnapshot;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// Locks a shard, recovering the data on poisoning: a panicking holder
+/// leaves shard state coherent (counters and entries are updated in
+/// consistent snapshots), so serving continues rather than cascading.
+fn lock_shard(shard: &Mutex<CacheShard>) -> loom_lite::sync::MutexGuard<'_, CacheShard> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One cached day.
 struct Entry {
@@ -68,7 +84,10 @@ impl ShardedLru {
 
     /// Looks a day up, bumping its recency on hit.
     pub(crate) fn get(&self, day: u32) -> Option<Arc<MappedSnapshot>> {
-        let mut shard = self.shard(day).lock().expect("cache shard lock");
+        // Shard state stays coherent under poisoning (a panicking thread
+        // leaves counters and entries in a consistent snapshot), so
+        // serving continues instead of cascading the panic.
+        let mut shard = lock_shard(self.shard(day));
         shard.clock += 1;
         let clock = shard.clock;
         let entry = shard.entries.iter_mut().find(|e| e.day == day)?;
@@ -83,7 +102,7 @@ impl ShardedLru {
     /// day keep the incumbent.
     pub(crate) fn insert(&self, day: u32, snap: Arc<MappedSnapshot>) -> InsertOutcome {
         let bytes = snap.mapped_bytes() as u64;
-        let mut shard = self.shard(day).lock().expect("cache shard lock");
+        let mut shard = lock_shard(self.shard(day));
         shard.clock += 1;
         let clock = shard.clock;
         if let Some(entry) = shard.entries.iter_mut().find(|e| e.day == day) {
@@ -99,14 +118,18 @@ impl ShardedLru {
         shard.bytes += bytes;
         let mut outcome = InsertOutcome::default();
         while shard.bytes > self.per_shard_budget && shard.entries.len() > 1 {
-            let victim = shard
+            // len > 1 and one entry is `day`, so a victim exists; stop
+            // evicting defensively if that invariant ever breaks.
+            let Some(victim) = shard
                 .entries
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| e.day != day)
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("len > 1 entries, one is not `day`");
+            else {
+                break;
+            };
             let evicted = shard.entries.swap_remove(victim);
             shard.bytes -= evicted.snap.mapped_bytes() as u64;
             outcome.evicted += 1;
@@ -117,18 +140,56 @@ impl ShardedLru {
     /// Total mapped bytes currently cached (sum over shards; each shard
     /// read is individually consistent).
     pub(crate) fn resident_bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard lock").bytes)
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).bytes).sum()
     }
 
     /// Number of cached days.
     pub(crate) fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").entries.len())
+            .map(|s| lock_shard(s).entries.len())
             .sum()
+    }
+
+    /// Asserts every shard's accounting invariants — the properties the
+    /// `loom-lite` model check re-verifies in **every** interleaving:
+    ///
+    /// 1. the shard byte counter equals the sum of its entries' mapped
+    ///    bytes (no accounting drift through any get/insert/evict race);
+    /// 2. no day is cached twice within a shard (racing inserts keep the
+    ///    incumbent);
+    /// 3. the shard is within its byte budget, except for the documented
+    ///    single-oversized-entry case.
+    #[cfg(test)]
+    pub(crate) fn assert_accounting(&self) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("cache shard lock");
+            let sum: u64 = shard
+                .entries
+                .iter()
+                .map(|e| e.snap.mapped_bytes() as u64)
+                .sum();
+            assert_eq!(
+                shard.bytes, sum,
+                "shard {i}: byte counter {} != entry sum {sum}",
+                shard.bytes
+            );
+            let mut days: Vec<u32> = shard.entries.iter().map(|e| e.day).collect();
+            days.sort_unstable();
+            days.dedup();
+            assert_eq!(
+                days.len(),
+                shard.entries.len(),
+                "shard {i}: duplicate day cached"
+            );
+            assert!(
+                shard.bytes <= self.per_shard_budget || shard.entries.len() == 1,
+                "shard {i}: over budget ({} > {}) with {} entries",
+                shard.bytes,
+                self.per_shard_budget,
+                shard.entries.len()
+            );
+        }
     }
 }
 

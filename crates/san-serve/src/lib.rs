@@ -45,6 +45,8 @@
 pub mod cache;
 #[cfg(unix)]
 pub mod metrics;
+#[cfg(all(unix, test))]
+mod model_tests;
 #[cfg(unix)]
 pub mod server;
 

@@ -32,27 +32,34 @@ impl ServeMetrics {
 
     /// Cache hits: `get` served an already-mapped day (`Arc` clone).
     pub fn hits(&self) -> u64 {
+        // ORDERING: relaxed load of one monotonic counter — nothing
+        // synchronizes through the meters (here and in every getter and
+        // recorder below; single-variable snapshots need no ordering).
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses: `get` had to map + validate a snapshot file.
     pub fn misses(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Days evicted from the cache to stay under the resident-byte bound.
     pub fn evictions(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
         self.evictions.load(Ordering::Relaxed)
     }
 
     /// Queries routed through [`for_each_query`](crate::SnapshotServer::for_each_query).
     pub fn queries(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
         self.queries.load(Ordering::Relaxed)
     }
 
     /// `get` calls for days before the first persisted snapshot (served
     /// as "no snapshot", not an error).
     pub fn no_snapshot(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
         self.no_snapshot.load(Ordering::Relaxed)
     }
 
@@ -64,22 +71,29 @@ impl ServeMetrics {
     }
 
     pub(crate) fn record_hit(&self) {
+        // ORDERING: relaxed fetch-adds, here and in the recorders below —
+        // increments are exact by RMW atomicity alone; readers only need
+        // eventual values (loom_meter.rs in san-graph models the protocol).
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_miss(&self) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_evictions(&self, n: u64) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
         self.evictions.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_query(&self) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_no_snapshot(&self) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
         self.no_snapshot.fetch_add(1, Ordering::Relaxed);
     }
 }

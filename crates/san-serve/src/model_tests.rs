@@ -1,0 +1,234 @@
+//! `loom-lite` model checks of the sharded LRU: every interleaving of
+//! 2–3 threads racing get/insert/evict on the **production**
+//! [`ShardedLru`](crate::cache::ShardedLru) code (its shard locks are
+//! dual-mode `loom_lite::sync::Mutex`es, so the model explores the same
+//! compiled paths the server runs).
+//!
+//! Each scenario asserts, in **every** explored schedule:
+//!
+//! * byte accounting — shard byte counters equal the sum of resident
+//!   entries' mapped bytes, and the budget bound holds (modulo the
+//!   documented single-oversized-entry case);
+//! * no duplicate days — racing inserts of one day keep the incumbent;
+//! * hit/miss-counter consistency — hits + misses equals issued gets,
+//!   and every miss maps exactly once.
+//!
+//! The checks also *reproduce* the known *cold-miss double-map* gap
+//! ([`double_map_race_is_reachable`]): two threads missing the same day
+//! both pay the map+validate cost before one insert wins. That finding
+//! is tracked in `audit/findings.md` and stays reproduced here until the
+//! serving layer grows single-flight deduplication (ROADMAP: network
+//! front-end work).
+
+// Redundant with the gated `mod` declaration in lib.rs, but makes this
+// file self-describing as test-only code (san-audit classifies files
+// with a test-gating inner attribute as test code).
+#![cfg(test)]
+
+use crate::cache::ShardedLru;
+use san_graph::mmap::MappedSnapshot;
+use san_graph::{SanRead, TimelineBuilder};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One mapped snapshot fixture, created outside the model and shared
+/// (read-only) across every iteration.
+fn mapped_fixture(tag: &str) -> (Arc<MappedSnapshot>, PathBuf) {
+    let mut tb = TimelineBuilder::new();
+    let u0 = tb.add_social_node();
+    let u1 = tb.add_social_node();
+    tb.add_social_link(u0, u1);
+    let bytes = tb.finish().1.freeze().to_store_bytes();
+    let path =
+        std::env::temp_dir().join(format!("san-serve-model-{tag}-{}.csr", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(&bytes).expect("write");
+    (Arc::new(MappedSnapshot::open(&path).expect("map")), path)
+}
+
+/// The tracked finding: two threads cold-missing the same day both map
+/// it (no single-flight), though only one mapping is cached. The model
+/// proves (a) the double map is reachable, (b) the cache still converges
+/// to exactly one entry with exact byte accounting, and (c) hit+miss
+/// counters stay consistent in every schedule.
+#[test]
+fn double_map_race_is_reachable() {
+    let (snap, path) = mapped_fixture("double-map");
+    // Cross-iteration observations (std atomics: invisible to the model).
+    let max_maps = Arc::new(AtomicU64::new(0));
+    let min_maps = Arc::new(AtomicU64::new(u64::MAX));
+    let (snap2, max2, min2) = (
+        Arc::clone(&snap),
+        Arc::clone(&max_maps),
+        Arc::clone(&min_maps),
+    );
+    let report = loom_lite::model(move || {
+        let cache = Arc::new(ShardedLru::new(2, u64::MAX));
+        let maps = Arc::new(AtomicU64::new(0));
+        let gets = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let snap = Arc::clone(&snap2);
+                let (maps, gets, hits) = (Arc::clone(&maps), Arc::clone(&gets), Arc::clone(&hits));
+                loom_lite::thread::spawn(move || {
+                    // The server's fetch() shape: get-miss → map → insert.
+                    gets.fetch_add(1, Ordering::SeqCst);
+                    match cache.get(7) {
+                        Some(_) => {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            maps.fetch_add(1, Ordering::SeqCst); // the mmap+validate cost
+                            cache.insert(7, snap);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        let mapped = maps.load(Ordering::SeqCst);
+        let hit = hits.load(Ordering::SeqCst);
+        // Counter consistency in this schedule: every get either hit or
+        // mapped, and at least one thread mapped (the day started cold).
+        assert_eq!(hit + mapped, gets.load(Ordering::SeqCst));
+        assert!((1..=2).contains(&mapped), "maps {mapped}");
+        // The cache converges: exactly one cached copy, exact accounting.
+        assert_eq!(cache.len(), 1);
+        cache.assert_accounting();
+        max2.fetch_max(mapped, Ordering::SeqCst);
+        min2.fetch_min(mapped, Ordering::SeqCst);
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    assert_eq!(
+        max_maps.load(Ordering::SeqCst),
+        2,
+        "the double-map race must be reachable — if this starts failing, \
+         single-flight deduplication has landed: close the finding in \
+         audit/findings.md and flip this test to assert maps == 1"
+    );
+    assert_eq!(
+        min_maps.load(Ordering::SeqCst),
+        1,
+        "the hit-after-insert schedule must also be reachable"
+    );
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}
+
+/// Three threads, one shard, budget for two snapshots: inserts of three
+/// distinct days race, forcing eviction in some schedules. Byte
+/// accounting, the budget bound and no-duplicate-days must hold in every
+/// interleaving; the survivor set depends on the schedule but its size
+/// never exceeds the budget.
+#[test]
+fn eviction_races_keep_byte_accounting_exact() {
+    let (snap, path) = mapped_fixture("evict");
+    let one = snap.mapped_bytes() as u64;
+    let snap2 = Arc::clone(&snap);
+    let report = loom_lite::model(move || {
+        let cache = Arc::new(ShardedLru::new(1, 2 * one));
+        let handles: Vec<_> = [0u32, 1, 2]
+            .into_iter()
+            .map(|day| {
+                let cache = Arc::clone(&cache);
+                let snap = Arc::clone(&snap2);
+                loom_lite::thread::spawn(move || {
+                    let outcome = cache.insert(day, snap);
+                    // An insert can evict at most the number of already-
+                    // resident days.
+                    assert!(outcome.evicted <= 2, "evicted {}", outcome.evicted);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        cache.assert_accounting();
+        assert_eq!(cache.len(), 2, "budget holds two snapshots");
+        assert_eq!(cache.resident_bytes(), 2 * one);
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}
+
+/// Mixed get/insert/evict with 3 threads across 2 shards: a reader
+/// races an inserter of the same day and an inserter of a day that
+/// hashes to the same shard. Whatever the schedule, the reader sees
+/// either a miss or the incumbent mapping (never a torn entry), and the
+/// accounting invariants hold.
+#[test]
+fn get_insert_evict_mix_is_linearizable() {
+    let (snap, path) = mapped_fixture("mix");
+    let one = snap.mapped_bytes() as u64;
+    let snap2 = Arc::clone(&snap);
+    let report = loom_lite::model(move || {
+        let cache = Arc::new(ShardedLru::new(2, 2 * one));
+        let c1 = Arc::clone(&cache);
+        let s1 = Arc::clone(&snap2);
+        // Day 0 and day 2 share shard 0 (2 shards, day % shards).
+        let t1 = loom_lite::thread::spawn(move || {
+            c1.insert(0, s1);
+        });
+        let c2 = Arc::clone(&cache);
+        let s2 = Arc::clone(&snap2);
+        let t2 = loom_lite::thread::spawn(move || {
+            c2.insert(2, s2);
+        });
+        let c3 = Arc::clone(&cache);
+        let t3 = loom_lite::thread::spawn(move || {
+            if let Some(hit) = c3.get(0) {
+                // A hit must be the incumbent fixture mapping, readable.
+                assert_eq!(hit.view().num_social_nodes(), 2);
+            }
+        });
+        for t in [t1, t2, t3] {
+            t.join().expect("model thread");
+        }
+        cache.assert_accounting();
+        // Shard 0 holds days {0, 2} — per-shard budget is one snapshot
+        // (2×one split over 2 shards), so exactly one survives.
+        assert_eq!(cache.len(), 1);
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}
+
+/// Racing inserts of the *same* day from three threads: the incumbent
+/// always wins, the day is cached exactly once and bytes are counted
+/// exactly once, in every schedule.
+#[test]
+fn racing_same_day_inserts_keep_one_copy() {
+    let (snap, path) = mapped_fixture("same-day");
+    let one = snap.mapped_bytes() as u64;
+    let snap2 = Arc::clone(&snap);
+    let report = loom_lite::model(move || {
+        let cache = Arc::new(ShardedLru::new(1, u64::MAX));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let snap = Arc::clone(&snap2);
+                loom_lite::thread::spawn(move || {
+                    cache.insert(5, snap);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), one);
+        cache.assert_accounting();
+        assert!(cache.get(5).is_some());
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}

@@ -241,6 +241,10 @@ impl SnapshotServer {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, QueryOutcome<R>)> = Vec::new();
                     loop {
+                        // ORDERING: relaxed work-stealing ticket — the RMW
+                        // hands each index out exactly once, and the scope
+                        // join below is the only publication point workers
+                        // synchronize on.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(day, ref payload)) = queries.get(i) else {
                             break;
@@ -260,11 +264,18 @@ impl SnapshotServer {
                         };
                         local.push((i, outcome));
                     }
-                    collected.lock().expect("result lock").extend(local);
+                    // Extend keeps the Vec coherent even if a sibling
+                    // worker panicked while holding the lock.
+                    collected
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
                 });
             }
         });
-        let mut rows = collected.into_inner().expect("result lock");
+        let mut rows = collected
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         rows.sort_unstable_by_key(|&(i, _)| i);
         rows.into_iter().map(|(_, outcome)| outcome).collect()
     }

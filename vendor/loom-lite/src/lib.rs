@@ -1,0 +1,81 @@
+//! `loom-lite`: a vendored, dependency-free, loom-style deterministic
+//! model checker for concurrent code.
+//!
+//! The workspace has no registry access, so this crate carries the
+//! smallest scheduler that still gives the serving layer real
+//! model-checking teeth: [`model`] runs a closure over **every**
+//! interleaving of the threads it spawns (depth-first enumeration of
+//! scheduler choices, replayed deterministically), with schedule points
+//! at every [`sync::Mutex`] acquisition and every [`sync::atomic`]
+//! operation.
+//!
+//! # Dual-mode primitives
+//!
+//! Unlike real loom, the primitives here are **runtime-switched**, not
+//! compile-time-switched: outside a model run, [`sync::Mutex`] and the
+//! atomics delegate straight to their `std::sync` counterparts (the only
+//! overhead is one thread-local flag check per operation), so production
+//! code can use them unconditionally and the *same compiled code* is what
+//! the model checker explores — no `--cfg loom` build split, no risk of
+//! checking a shadow copy that drifts from the shipped one.
+//!
+//! # What the model covers (and what it does not)
+//!
+//! * Explores every ordering of schedule points under **sequential
+//!   consistency**. Lost-update races, check-then-act races across
+//!   critical sections, deadlocks (reported with the failing schedule)
+//!   and invariant violations in any interleaving are all found
+//!   exhaustively.
+//! * Does **not** model weak memory: `Ordering::Relaxed` is explored as
+//!   if it were `SeqCst`. Reordering-sensitive claims must be argued in
+//!   `// ORDERING:` comments (enforced by `san-audit`), not proven here.
+//! * No partial-order reduction: state spaces must be kept small (2–3
+//!   threads, a handful of schedule points each). The iteration cap in
+//!   [`Builder::max_iterations`] turns accidental explosion into a loud
+//!   failure instead of a hung test.
+//!
+//! # Example
+//!
+//! ```
+//! use loom_lite::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // Racy read-modify-write: the model finds the lost update.
+//! let lost = Arc::new(std::sync::atomic::AtomicU64::new(0)); // plain std: cross-iteration stats
+//! let lost2 = Arc::clone(&lost);
+//! loom_lite::model(move || {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let threads: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&c);
+//!             loom_lite::thread::spawn(move || {
+//!                 let v = c.load(Ordering::SeqCst);
+//!                 c.store(v + 1, Ordering::SeqCst);
+//!             })
+//!         })
+//!         .collect();
+//!     for t in threads {
+//!         t.join().unwrap();
+//!     }
+//!     if c.load(Ordering::SeqCst) == 1 {
+//!         lost2.store(1, std::sync::atomic::Ordering::Relaxed);
+//!     }
+//! });
+//! assert_eq!(lost.load(std::sync::atomic::Ordering::Relaxed), 1);
+//! ```
+
+pub(crate) mod sched;
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Report};
+
+/// True while the calling thread is running under a [`model`] scheduler.
+///
+/// Production code should never need this; it exists so tests can assert
+/// which mode they exercised.
+pub fn is_model_thread() -> bool {
+    sched::current().is_some()
+}

@@ -1,0 +1,116 @@
+//! Exhaustive interleaving exploration: depth-first enumeration over the
+//! scheduler's choice tree.
+
+use crate::sched::{Choice, Scheduler};
+use std::sync::Arc;
+
+/// Exploration statistics handed back by a completed model check.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct complete interleavings executed.
+    pub iterations: usize,
+    /// Length of the longest schedule explored (total schedule points).
+    pub max_depth: usize,
+}
+
+/// Exploration configuration. The defaults suit "2–3 threads, a handful
+/// of schedule points each" models; anything bigger should be rethought,
+/// not given a bigger budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Hard cap on explored interleavings — exceeding it panics, turning
+    /// accidental state-space explosion into a loud failure instead of a
+    /// multi-minute test.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            max_iterations: 200_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default iteration cap.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Runs `f` under every interleaving of its model threads.
+    ///
+    /// `f` is re-executed once per interleaving and must be deterministic
+    /// apart from scheduling: same spawns, same lock/atomic ops, given
+    /// the same schedule. Shared `std` atomics captured by the closure
+    /// are invisible to the scheduler and can accumulate observations
+    /// *across* interleavings (e.g. "did any schedule lose an update?").
+    ///
+    /// # Panics
+    /// Propagates the first assertion failure (or deadlock) found, with
+    /// the offending schedule, and panics if `max_iterations` is hit.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let sched = Arc::new(Scheduler::new());
+        let mut prefix: Vec<Choice> = Vec::new();
+        let mut iterations = 0usize;
+        let mut max_depth = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom-lite: exceeded {} iterations — shrink the model \
+                 (fewer threads / fewer schedule points), do not raise the cap",
+                self.max_iterations
+            );
+            let (choices, panic) = sched.run_iteration(&f, &prefix);
+            if let Some(msg) = panic {
+                let schedule: Vec<usize> = choices.iter().map(|c| c.enabled[c.chosen]).collect();
+                panic!(
+                    "loom-lite: failing interleaving found on iteration {iterations}\n\
+                     schedule (thread ids in run order): {schedule:?}\n{msg}"
+                );
+            }
+            max_depth = max_depth.max(choices.len());
+            // Backtrack: rewind to the deepest choice with an untried
+            // alternative and advance it; exploration is complete when
+            // none remains.
+            prefix = choices;
+            loop {
+                match prefix.pop() {
+                    None => {
+                        return Report {
+                            iterations,
+                            max_depth,
+                        }
+                    }
+                    Some(c) if c.chosen + 1 < c.enabled.len() => {
+                        prefix.push(Choice {
+                            chosen: c.chosen + 1,
+                            enabled: c.enabled,
+                        });
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// [`Builder::check`] with default settings. The usual entry point:
+///
+/// ```ignore
+/// loom_lite::model(|| {
+///     // spawn loom_lite threads, assert invariants
+/// });
+/// ```
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

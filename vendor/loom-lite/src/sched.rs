@@ -1,0 +1,325 @@
+//! The cooperative scheduler underneath [`crate::model`].
+//!
+//! One *token* circulates: exactly one model thread runs at a time, and
+//! it runs uninterrupted until its next schedule point (mutex acquire,
+//! atomic op, join, or finish). At a schedule point the thread parks and
+//! the controller picks the next runnable thread — by replaying a
+//! recorded choice prefix, then first-choice beyond it — so a run is a
+//! pure function of its choice sequence and the exploration in
+//! `model.rs` can enumerate the whole tree.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub(crate) type ThreadId = usize;
+
+/// Where a model thread currently stands, as the controller sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum RunState {
+    /// Parked at a schedule point, eligible to be scheduled.
+    Ready,
+    /// Holds the token and is executing user code.
+    Running,
+    /// Parked until the lock keyed by this address is released.
+    BlockedLock(usize),
+    /// Parked until the target thread finishes.
+    BlockedJoin(ThreadId),
+    /// Returned (or unwound) out of its closure.
+    Finished,
+}
+
+/// One scheduler decision: which of the then-enabled threads ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    /// Thread ids that were schedulable at this point, ascending.
+    pub enabled: Vec<ThreadId>,
+    /// Index into `enabled` of the thread that was scheduled.
+    pub chosen: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct Shared {
+    /// The thread holding the token; `None` while the controller decides.
+    active: Option<ThreadId>,
+    states: Vec<RunState>,
+    /// Model-lock ownership, keyed by the `Mutex`'s address (stable for
+    /// its lifetime; the map is reset every iteration so address reuse
+    /// across iterations is harmless).
+    lock_owners: HashMap<usize, ThreadId>,
+    /// First panic captured from a model thread this iteration.
+    panic: Option<String>,
+    /// Thread ids in scheduling order, for failure reports.
+    trace: Vec<ThreadId>,
+}
+
+pub(crate) struct Scheduler {
+    shared: Mutex<Shared>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// Fast flag: is this OS thread a registered model thread? Checked
+    /// before touching the heavier context below, so the non-model path
+    /// through every primitive costs one thread-local read.
+    static IS_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static CONTEXT: std::cell::RefCell<Option<(Arc<Scheduler>, ThreadId)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's scheduler context, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, ThreadId)> {
+    if !IS_MODEL.with(|f| f.get()) {
+        return None;
+    }
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Scheduler>, ThreadId)>) {
+    IS_MODEL.with(|f| f.set(ctx.is_some()));
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Scheduler {
+        Scheduler {
+            shared: Mutex::new(Shared::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_shared(&self) -> MutexGuard<'_, Shared> {
+        // A model thread can panic while holding this lock only inside
+        // scheduler code itself (user panics are caught before reaching
+        // it); recover the state rather than cascading poison.
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a new model thread (called with the token held by the
+    /// spawning thread, or by the controller for the root).
+    pub(crate) fn register_thread(&self) -> ThreadId {
+        let mut s = self.lock_shared();
+        s.states.push(RunState::Ready);
+        s.states.len() - 1
+    }
+
+    /// Parks until the controller schedules `me` for the first time.
+    fn park_until_scheduled(&self, me: ThreadId) {
+        let mut s = self.lock_shared();
+        while s.active != Some(me) {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        s.states[me] = RunState::Running;
+    }
+
+    /// A plain schedule point: hand the token back, park, resume when
+    /// rescheduled.
+    pub(crate) fn yield_point(&self, me: ThreadId) {
+        let mut s = self.lock_shared();
+        s.states[me] = RunState::Ready;
+        s.active = None;
+        self.cv.notify_all();
+        while s.active != Some(me) {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        s.states[me] = RunState::Running;
+    }
+
+    /// Schedule point + model-lock acquisition for the mutex at `addr`.
+    /// Returns holding both the token and the model lock.
+    pub(crate) fn lock_acquire(&self, me: ThreadId, addr: usize) {
+        // Preemption point before the acquire attempt: this is where a
+        // rival thread can slip between a caller's check and its act.
+        self.yield_point(me);
+        let mut s = self.lock_shared();
+        loop {
+            if let std::collections::hash_map::Entry::Vacant(e) = s.lock_owners.entry(addr) {
+                e.insert(me);
+                return;
+            }
+            s.states[me] = RunState::BlockedLock(addr);
+            s.active = None;
+            self.cv.notify_all();
+            while s.active != Some(me) {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            s.states[me] = RunState::Running;
+            // Re-check: another thread scheduled between the release that
+            // woke us and now may have re-taken the lock.
+        }
+    }
+
+    /// Releases the model lock at `addr` and readies its waiters. Not a
+    /// schedule point: the holder keeps running until its next visible
+    /// op, which is where the preemption choice lives.
+    pub(crate) fn lock_release(&self, me: ThreadId, addr: usize) {
+        let mut s = self.lock_shared();
+        let owner = s.lock_owners.remove(&addr);
+        debug_assert_eq!(owner, Some(me), "release by non-owner");
+        for st in s.states.iter_mut() {
+            if *st == RunState::BlockedLock(addr) {
+                *st = RunState::Ready;
+            }
+        }
+    }
+
+    /// Schedule point + block until `target` finishes.
+    pub(crate) fn join_wait(&self, me: ThreadId, target: ThreadId) {
+        self.yield_point(me);
+        let mut s = self.lock_shared();
+        loop {
+            if s.states[target] == RunState::Finished {
+                return;
+            }
+            s.states[me] = RunState::BlockedJoin(target);
+            s.active = None;
+            self.cv.notify_all();
+            while s.active != Some(me) {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            s.states[me] = RunState::Running;
+        }
+    }
+
+    /// Marks `me` finished (recording its panic, if any), readies its
+    /// joiners and returns the token to the controller.
+    fn finish(&self, me: ThreadId, panic: Option<String>) {
+        let mut s = self.lock_shared();
+        if let Some(msg) = panic {
+            s.panic.get_or_insert(msg);
+        }
+        s.states[me] = RunState::Finished;
+        for st in s.states.iter_mut() {
+            if *st == RunState::BlockedJoin(me) {
+                *st = RunState::Ready;
+            }
+        }
+        s.active = None;
+        self.cv.notify_all();
+    }
+
+    /// The OS-thread body wrapping every model thread's closure.
+    pub(crate) fn thread_main<T>(self: &Arc<Scheduler>, me: ThreadId, f: impl FnOnce() -> T) -> T {
+        set_current(Some((Arc::clone(self), me)));
+        self.park_until_scheduled(me);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        set_current(None);
+        match result {
+            Ok(v) => {
+                self.finish(me, None);
+                v
+            }
+            Err(e) => {
+                self.finish(me, Some(panic_message(e.as_ref())));
+                std::panic::resume_unwind(e)
+            }
+        }
+    }
+
+    /// Runs one full iteration of `f` under the choice prefix `replay`,
+    /// returning the complete choice sequence taken and any panic.
+    ///
+    /// On deadlock the iteration is abandoned: the deadlocked OS threads
+    /// stay parked until process exit (they hold no OS resources beyond
+    /// their stacks) and the deadlock is reported as a model failure.
+    pub(crate) fn run_iteration(
+        self: &Arc<Scheduler>,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        replay: &[Choice],
+    ) -> (Vec<Choice>, Option<String>) {
+        {
+            let mut s = self.lock_shared();
+            debug_assert!(s.active.is_none(), "iteration started mid-run");
+            s.states.clear();
+            s.lock_owners.clear();
+            s.panic = None;
+            s.trace.clear();
+        }
+        let root = self.register_thread();
+        debug_assert_eq!(root, 0, "root thread registers first");
+        let sched = Arc::clone(self);
+        let body = Arc::clone(f);
+        let root_handle = std::thread::spawn(move || sched.thread_main(root, move || body()));
+
+        let mut choices: Vec<Choice> = Vec::new();
+        loop {
+            let mut s = self.lock_shared();
+            while s.active.is_some() {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            let enabled: Vec<ThreadId> = s
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| **st == RunState::Ready)
+                .map(|(i, _)| i)
+                .collect();
+            if enabled.is_empty() {
+                if s.states.iter().all(|st| *st == RunState::Finished) {
+                    break;
+                }
+                // Blocked threads with no runnable peer: a real deadlock
+                // (or the aftermath of a panic that stranded waiters on a
+                // lock the unwinder could not release).
+                let msg = format!(
+                    "deadlock: no runnable thread; states {:?}, schedule so far {:?}",
+                    s.states, s.trace
+                );
+                let panic = Some(s.panic.take().unwrap_or(msg));
+                drop(s);
+                // Deliberately do not join: the stranded threads never
+                // exit. The root handle leaks with them.
+                drop(root_handle);
+                return (choices, panic);
+            }
+            let step = choices.len();
+            let chosen = if step < replay.len() {
+                assert_eq!(
+                    replay[step].enabled, enabled,
+                    "nondeterministic execution: replay diverged at step {step} \
+                     (the modelled closure must be deterministic apart from scheduling)"
+                );
+                replay[step].chosen
+            } else {
+                0
+            };
+            let tid = enabled[chosen];
+            choices.push(Choice { enabled, chosen });
+            s.trace.push(tid);
+            s.active = Some(tid);
+            self.cv.notify_all();
+        }
+        let panic = self.lock_shared().panic.take();
+        // All threads finished; reap the root's OS thread. Child OS
+        // threads are reaped by the user's `join` calls (or detach
+        // harmlessly after finishing).
+        let _ = root_handle.join();
+        (choices, panic)
+    }
+}

@@ -1,0 +1,187 @@
+//! Dual-mode sync primitives: `std::sync` semantics outside a model run,
+//! scheduler-visible operations inside one.
+
+use crate::sched;
+use std::sync::{LockResult, PoisonError};
+
+/// A mutex that is exactly [`std::sync::Mutex`] in production and a
+/// model-checked lock under [`crate::model`].
+///
+/// The data always lives in the inner std mutex (so `&mut` access is
+/// safe in both modes); under a model, acquisition additionally routes
+/// through the scheduler: a schedule point before the acquire attempt,
+/// blocking bookkeeping while the model lock is held elsewhere. The
+/// inner std lock is uncontended under a model (the scheduler serialises
+/// all model threads), so it only ever provides storage and poisoning.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the model lock (if any) before the
+/// underlying std guard unlocks.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `(scheduler, thread id, lock address)` when held under a model.
+    model: Option<(std::sync::Arc<crate::sched::Scheduler>, usize, usize)>,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex (const, like `std`).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking (or, under a model, parking at a
+    /// schedule point) until it is available. Poisoning passes through
+    /// from the underlying std mutex.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    model: None,
+                    inner: g,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    model: None,
+                    inner: p.into_inner(),
+                })),
+            },
+            Some((sched, me)) => {
+                let addr = self as *const Mutex<T> as *const u8 as usize;
+                sched.lock_acquire(me, addr);
+                // Uncontended: the model serialises threads, and the
+                // model lock at `addr` is ours.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    model: Some((sched, me, addr)),
+                    inner,
+                })
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Model release first, std unlock second (when `inner` drops):
+        // no schedule point separates them, so no model thread can
+        // observe the window where the model lock is free but the std
+        // lock still held.
+        if let Some((sched, me, addr)) = self.model.take() {
+            sched.lock_release(me, addr);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Dual-mode atomics. Under a model every operation is a schedule
+    //! point explored under sequential consistency — the `Ordering`
+    //! argument is accepted for source compatibility but does not weaken
+    //! the exploration (loom-lite does not model weak memory).
+
+    use crate::sched;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! dual_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Dual-mode atomic integer (see module docs).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (const, like `std`).
+                pub const fn new(v: $int) -> $name {
+                    $name {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn schedule_point(&self) {
+                    if let Some((sched, me)) = sched::current() {
+                        sched.yield_point(me);
+                    }
+                }
+
+                /// Loads the value (schedule point under a model).
+                pub fn load(&self, order: Ordering) -> $int {
+                    self.schedule_point();
+                    self.inner.load(order)
+                }
+
+                /// Stores a value (schedule point under a model).
+                pub fn store(&self, v: $int, order: Ordering) {
+                    self.schedule_point();
+                    self.inner.store(v, order)
+                }
+
+                /// Atomic add, returning the previous value (schedule
+                /// point under a model; the RMW itself is indivisible).
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    self.schedule_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic `fetch_update` (schedule point under a model;
+                /// the RMW itself is indivisible).
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$int, $int>
+                where
+                    F: FnMut($int) -> Option<$int>,
+                {
+                    self.schedule_point();
+                    self.inner.fetch_update(set_order, fetch_order, f)
+                }
+            }
+        };
+    }
+
+    dual_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    dual_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+}

@@ -1,0 +1,61 @@
+//! Dual-mode threads: plain `std::thread` outside a model, registered
+//! scheduler participants inside one.
+
+use crate::sched;
+use std::sync::Arc;
+
+/// Handle to a spawned (possibly model-scheduled) thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// `(scheduler, target thread id)` when spawned under a model.
+    model: Option<(Arc<sched::Scheduler>, sched::ThreadId)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err` with
+    /// the panic payload if it panicked, exactly like `std`). Under a
+    /// model the wait is a scheduler blocking point, so every ordering
+    /// of "joiner parks" versus "target finishes" is explored.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.model {
+            let (_, me) =
+                sched::current().expect("model JoinHandle joined from a non-model thread");
+            sched.join_wait(me, *target);
+        }
+        self.inner.join()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("model", &self.model.as_ref().map(|(_, id)| *id))
+            .finish()
+    }
+}
+
+/// Spawns a thread. Inside a model run the new thread is registered with
+/// the scheduler and becomes schedulable immediately (its first slice of
+/// user code runs when the scheduler first picks it); outside one this
+/// is exactly `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some((sched, _me)) => {
+            let id = sched.register_thread();
+            let sched2 = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || sched2.thread_main(id, f));
+            JoinHandle {
+                inner,
+                model: Some((sched, id)),
+            }
+        }
+    }
+}

@@ -77,16 +77,34 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases per test.
+    /// A config running `cases` cases per test (capped by the
+    /// `PROPTEST_CASES` environment variable when set).
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().map_or(cases, |cap| cases.min(cap)),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
+}
+
+/// The `PROPTEST_CASES` environment variable, when set to a positive
+/// count. CI's Miri job sets it to shrink every proptest: interpreted
+/// execution is orders of magnitude slower than native, and Miri checks
+/// each *executed* path for UB — a handful of cases reaches the same
+/// paths 64 would.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 /// A generator of random values (no shrinking in this shim).
