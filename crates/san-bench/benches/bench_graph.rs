@@ -457,6 +457,39 @@ fn bench_mmap_serve(c: &mut Criterion) {
             black_box(outcomes.len())
         });
     });
+    // Thundering herd: 8 threads hit one *cold* day simultaneously on a
+    // fresh server. With single-flight (SAN-001 fix) the herd performs
+    // exactly one map+validate — `total_maps` printed below confirms it —
+    // so the measured time is one cold open plus wake-up costs, not 8
+    // serialized-by-the-page-cache opens' worth of redundant work.
+    group.bench_function("thundering_herd/8threads_cold", |b| {
+        let mut total_maps = 0u64;
+        let mut total_iters = 0u64;
+        b.iter(|| {
+            let server =
+                SnapshotServer::open(&dir, ServeConfig::default()).expect("open herd server");
+            let start = std::sync::Barrier::new(8);
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let server = &server;
+                    let start = &start;
+                    scope.spawn(move || {
+                        start.wait();
+                        let handle = server.get(final_day).expect("get").expect("served");
+                        black_box(handle.day());
+                    });
+                }
+            });
+            total_maps += server.metrics().io().reads();
+            total_iters += 1;
+            black_box(server.metrics().dedup_waits())
+        });
+        eprintln!(
+            "thundering_herd/8threads_cold: {total_maps} maps over {total_iters} herds \
+             (single-flight holds at 1 map/herd)"
+        );
+        assert_eq!(total_maps, total_iters, "one map per herd");
+    });
     group.finish();
     drop(mapped);
     let _ = std::fs::remove_dir_all(&dir);

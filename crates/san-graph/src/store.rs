@@ -327,6 +327,57 @@ impl std::error::Error for StoreError {
     }
 }
 
+/// Manual `Clone`: every variant is plain data except [`StoreError::Io`],
+/// whose `io::Error` is not `Clone` — that one is rebuilt from its kind
+/// and message (the serving layer's single-flight path broadcasts one
+/// mapper's failure to every deduplicated waiter, each of which needs an
+/// owned error).
+impl Clone for StoreError {
+    fn clone(&self) -> StoreError {
+        match self {
+            StoreError::Truncated { section } => StoreError::Truncated { section },
+            StoreError::BadMagic { found } => StoreError::BadMagic { found: *found },
+            StoreError::UnsupportedVersion { found } => {
+                StoreError::UnsupportedVersion { found: *found }
+            }
+            StoreError::OffsetMismatch {
+                array,
+                expected,
+                found,
+            } => StoreError::OffsetMismatch {
+                array,
+                expected: *expected,
+                found: *found,
+            },
+            StoreError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => StoreError::CountMismatch {
+                what,
+                expected: *expected,
+                found: *found,
+            },
+            StoreError::NonMonotoneOffsets { array } => StoreError::NonMonotoneOffsets { array },
+            StoreError::BadAttrType { value } => StoreError::BadAttrType { value: *value },
+            StoreError::IdOutOfRange { array } => StoreError::IdOutOfRange { array },
+            StoreError::BadChecksum { expected, found } => StoreError::BadChecksum {
+                expected: *expected,
+                found: *found,
+            },
+            StoreError::BadManifest { line, reason } => StoreError::BadManifest {
+                line: *line,
+                reason: reason.clone(),
+            },
+            StoreError::DayNotPersisted { day } => StoreError::DayNotPersisted { day: *day },
+            StoreError::Misaligned { required } => StoreError::Misaligned {
+                required: *required,
+            },
+            StoreError::Io(e) => StoreError::Io(io::Error::new(e.kind(), e.to_string())),
+        }
+    }
+}
+
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> StoreError {
         StoreError::Io(e)

@@ -9,8 +9,10 @@
 //!
 //! The bound is **resident mapped bytes**, not entry count: snapshots
 //! grow with the day, so a count bound would let the tail of a long
-//! timeline blow the memory budget. Each shard polices an equal slice of
-//! [`ServeConfig::max_resident_bytes`](crate::ServeConfig::max_resident_bytes);
+//! timeline blow the memory budget. Each shard polices its slice of
+//! [`ServeConfig::max_resident_bytes`](crate::ServeConfig::max_resident_bytes)
+//! (near-equal split; division remainders go to the lowest-indexed
+//! shards so the slices sum to the configured bound exactly);
 //! eviction drops the least-recently-served day's `Arc`, and the mapping
 //! itself is unmapped only when the last outstanding reader drops its
 //! handle — eviction can never invalidate a view someone is using.
@@ -55,31 +57,51 @@ struct CacheShard {
 pub(crate) struct InsertOutcome {
     /// Days evicted to make room.
     pub evicted: u64,
+    /// The day was already cached: the incumbent was kept and the
+    /// caller's freshly-created mapping was dropped. Before single-flight
+    /// this was the silent cost of the cold-miss race; the metrics layer
+    /// counts it (`duplicate_inserts`) so the dedup win is observable.
+    pub duplicate: bool,
 }
 
 /// The sharded LRU. Keys are persisted days.
 pub(crate) struct ShardedLru {
     shards: Vec<Mutex<CacheShard>>,
-    per_shard_budget: u64,
+    /// Per-shard byte budgets, indexed like `shards`. They sum to the
+    /// configured `max_bytes` exactly: integer division spreads the
+    /// remainder over the first `max_bytes % shards` shards instead of
+    /// silently discarding up to `shards - 1` bytes of budget.
+    budgets: Vec<u64>,
 }
 
 impl ShardedLru {
-    /// A cache of `shards` independent shards splitting `max_bytes`
-    /// evenly (both clamped to at least 1 shard / 1 byte so a
-    /// zero-budget cache degenerates to "keep only the newest day per
-    /// shard" instead of dividing by zero).
+    /// A cache of `shards` independent shards splitting `max_bytes` so
+    /// the shard budgets sum to `max_bytes` exactly (shard `i` gets
+    /// `max_bytes / shards`, plus one of the `max_bytes % shards`
+    /// remainder bytes for the lowest-indexed shards). Both inputs are
+    /// clamped to at least 1 shard / 1 total byte so a zero-budget cache
+    /// degenerates to "keep only the newest day per shard" instead of
+    /// dividing by zero.
     pub(crate) fn new(shards: usize, max_bytes: u64) -> ShardedLru {
         let shards = shards.max(1);
+        let max_bytes = max_bytes.max(1);
+        let (base, remainder) = (max_bytes / shards as u64, max_bytes % shards as u64);
         ShardedLru {
-            per_shard_budget: (max_bytes / shards as u64).max(1),
+            budgets: (0..shards as u64)
+                .map(|i| base + u64::from(i < remainder))
+                .collect(),
             shards: (0..shards)
                 .map(|_| Mutex::new(CacheShard::default()))
                 .collect(),
         }
     }
 
+    fn shard_index(&self, day: u32) -> usize {
+        day as usize % self.shards.len()
+    }
+
     fn shard(&self, day: u32) -> &Mutex<CacheShard> {
-        &self.shards[day as usize % self.shards.len()]
+        &self.shards[self.shard_index(day)]
     }
 
     /// Looks a day up, bumping its recency on hit.
@@ -102,13 +124,18 @@ impl ShardedLru {
     /// day keep the incumbent.
     pub(crate) fn insert(&self, day: u32, snap: Arc<MappedSnapshot>) -> InsertOutcome {
         let bytes = snap.mapped_bytes() as u64;
+        let budget = self.budgets[self.shard_index(day)];
         let mut shard = lock_shard(self.shard(day));
         shard.clock += 1;
         let clock = shard.clock;
         if let Some(entry) = shard.entries.iter_mut().find(|e| e.day == day) {
-            // Another thread won the mapping race; keep its entry.
+            // Another thread won the mapping race; keep its entry and
+            // report the duplicate so the wasted map is visible.
             entry.last_used = clock;
-            return InsertOutcome::default();
+            return InsertOutcome {
+                duplicate: true,
+                ..InsertOutcome::default()
+            };
         }
         shard.entries.push(Entry {
             day,
@@ -117,7 +144,7 @@ impl ShardedLru {
         });
         shard.bytes += bytes;
         let mut outcome = InsertOutcome::default();
-        while shard.bytes > self.per_shard_budget && shard.entries.len() > 1 {
+        while shard.bytes > budget && shard.entries.len() > 1 {
             // len > 1 and one entry is `day`, so a victim exists; stop
             // evicting defensively if that invariant ever breaks.
             let Some(victim) = shard
@@ -183,13 +210,20 @@ impl ShardedLru {
                 "shard {i}: duplicate day cached"
             );
             assert!(
-                shard.bytes <= self.per_shard_budget || shard.entries.len() == 1,
+                shard.bytes <= self.budgets[i] || shard.entries.len() == 1,
                 "shard {i}: over budget ({} > {}) with {} entries",
                 shard.bytes,
-                self.per_shard_budget,
+                self.budgets[i],
                 shard.entries.len()
             );
         }
+    }
+
+    /// Per-shard byte budgets, for tests asserting the configured bound
+    /// is fully distributed.
+    #[cfg(test)]
+    pub(crate) fn shard_budgets(&self) -> &[u64] {
+        &self.budgets
     }
 }
 
@@ -249,12 +283,17 @@ mod tests {
     }
 
     #[test]
-    fn racing_insert_keeps_incumbent() {
+    fn racing_insert_keeps_incumbent_and_reports_duplicate() {
         let (snap, path) = mapped_sample("race");
         let cache = ShardedLru::new(4, u64::MAX);
-        cache.insert(5, Arc::clone(&snap));
+        assert!(
+            !cache.insert(5, Arc::clone(&snap)).duplicate,
+            "first insert is no duplicate"
+        );
         let before = Arc::as_ptr(&cache.get(5).expect("cached"));
-        cache.insert(5, Arc::new(MappedSnapshot::open(&path).expect("remap")));
+        let outcome = cache.insert(5, Arc::new(MappedSnapshot::open(&path).expect("remap")));
+        assert!(outcome.duplicate, "losing insert is reported");
+        assert_eq!(outcome.evicted, 0);
         assert_eq!(
             Arc::as_ptr(&cache.get(5).expect("still cached")),
             before,
@@ -262,6 +301,38 @@ mod tests {
         );
         drop(snap);
         let _ = std::fs::remove_file(path);
+    }
+
+    /// The configured byte budget is distributed without loss: shard
+    /// budgets always sum to `max_bytes` (the old integer division threw
+    /// away up to `shards - 1` bytes — `max_bytes = 7, shards = 4` used
+    /// to yield a total budget of 4).
+    #[test]
+    fn budget_remainder_is_distributed_not_discarded() {
+        let cache = ShardedLru::new(4, 7);
+        assert_eq!(cache.shard_budgets(), &[2, 2, 2, 1]);
+        for (shards, max_bytes) in [
+            (1usize, 1u64),
+            (3, 10),
+            (4, 7),
+            (8, 8),
+            (5, 3),
+            (7, 1 << 40),
+        ] {
+            let cache = ShardedLru::new(shards, max_bytes);
+            assert_eq!(
+                cache.shard_budgets().iter().sum::<u64>(),
+                max_bytes,
+                "shards {shards} max_bytes {max_bytes}"
+            );
+            let (lo, hi) = (
+                cache.shard_budgets().iter().min().expect("nonempty"),
+                cache.shard_budgets().iter().max().expect("nonempty"),
+            );
+            assert!(hi - lo <= 1, "near-equal split: {lo}..{hi}");
+        }
+        // Zero budget still clamps to one real byte in total.
+        assert_eq!(ShardedLru::new(3, 0).shard_budgets(), &[1, 0, 0]);
     }
 
     #[test]

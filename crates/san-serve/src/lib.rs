@@ -19,12 +19,36 @@
 //!   spread across independently-locked shards (no global cache lock on
 //!   the hit path), and total resident mapped bytes are bounded by
 //!   [`ServeConfig::max_resident_bytes`] with least-recently-served
-//!   eviction. Evicted days merely drop an `Arc`; readers still holding
-//!   the handle keep the mapping alive until they finish.
+//!   eviction (the byte budget is split near-evenly across shards, the
+//!   division remainder going to the lowest-indexed ones so the shard
+//!   budgets always sum to the configured bound). Evicted days merely
+//!   drop an `Arc`; readers still holding the handle keep the mapping
+//!   alive until they finish.
+//! * **Per-day single-flight deduplication** of cold misses (the fix for
+//!   finding SAN-001): the first thread to miss a day claims that day's
+//!   in-flight latch, maps + validates once, and publishes the shared
+//!   mapping — or the typed [`StoreError`](san_graph::store::StoreError)
+//!   — to every thread that piled up behind it. The latch protocol
+//!   (`flight` module) guarantees three things under all interleavings,
+//!   model-checked by `loom-lite` in `model_tests.rs`:
+//!   1. *one map per herd* — N threads racing one cold day perform
+//!      exactly one `mmap` + validation pass;
+//!   2. *failures broadcast, never cache* — a failing map hands every
+//!      waiter the same typed error and clears the latch, so the next
+//!      fetch (after the file is repaired) retries from scratch;
+//!   3. *no stranded waiters* — a leader that panics mid-map broadcasts
+//!      an abort from its drop guard; waiters loop back and one of them
+//!      claims the vacated latch.
+//!
+//!   Eviction racing a publish stays exact: the cache's byte accounting
+//!   is updated under the shard lock, independent of the latch.
 //! * [`ServeMetrics`] meters the whole path — hit/miss/eviction
-//!   counters, per-vault read bytes and an open/validate latency
-//!   histogram (reusing [`VaultMetrics`](san_graph::meter::VaultMetrics),
-//!   the same shape the vault itself meters with).
+//!   counters, single-flight `dedup_waits`/`dedup_hits` with a
+//!   wait-latency histogram, `duplicate_inserts` (redundant maps that
+//!   slipped past dedup; held at zero by single-flight), per-vault read
+//!   bytes and an open/validate latency histogram (reusing
+//!   [`VaultMetrics`](san_graph::meter::VaultMetrics), the same shape
+//!   the vault itself meters with).
 //! * [`SnapshotServer::for_each_query`] is the thread-pool driver for
 //!   mixed-day query streams: any `SanRead`-generic analytic (all of
 //!   `san-metrics` qualifies) runs against whichever day each query
@@ -43,6 +67,8 @@
 
 #[cfg(unix)]
 pub mod cache;
+#[cfg(unix)]
+mod flight;
 #[cfg(unix)]
 pub mod metrics;
 #[cfg(all(unix, test))]

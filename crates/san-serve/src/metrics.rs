@@ -3,8 +3,9 @@
 //! uses, so capacity planning reads one format on both sides of the
 //! cache.
 
-use san_graph::meter::VaultMetrics;
+use san_graph::meter::{LatencyHistogram, VaultMetrics};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters and IO meters for one [`SnapshotServer`](crate::SnapshotServer).
 ///
@@ -14,6 +15,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// total bytes of snapshot files mapped+validated by cold misses, and
 /// `read_latency` is the open/validate latency histogram (sub-ms for
 /// MiB-scale days; a hit never touches it).
+///
+/// The single-flight path (the SAN-001 fix — see
+/// [`flight`](crate::SnapshotServer)) has its own meters: every fetch
+/// records exactly one of `hits` (cached), `misses` (led the map), or
+/// `dedup_waits` (blocked behind another thread's in-flight map; the
+/// wait's duration lands in [`dedup_wait_latency`](ServeMetrics::dedup_wait_latency)).
+/// `dedup_hits` counts the waits that resolved into a shared mapping —
+/// each one is a whole mmap+validate the herd did *not* pay — and
+/// `duplicate_inserts` counts cache inserts that lost to an incumbent
+/// (each one a wasted map; single-flight holds this at zero).
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     hits: AtomicU64,
@@ -21,6 +32,10 @@ pub struct ServeMetrics {
     evictions: AtomicU64,
     queries: AtomicU64,
     no_snapshot: AtomicU64,
+    dedup_waits: AtomicU64,
+    dedup_hits: AtomicU64,
+    duplicate_inserts: AtomicU64,
+    dedup_wait_latency: LatencyHistogram,
     io: VaultMetrics,
 }
 
@@ -63,6 +78,37 @@ impl ServeMetrics {
         self.no_snapshot.load(Ordering::Relaxed)
     }
 
+    /// Fetches that found their day already being mapped by another
+    /// thread and blocked on its single-flight latch instead of mapping
+    /// again (every outcome: shared mapping, broadcast failure, or
+    /// leader abort).
+    pub fn dedup_waits(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
+        self.dedup_waits.load(Ordering::Relaxed)
+    }
+
+    /// Deduplicated waits that resolved into the leader's shared mapping
+    /// — each one an mmap+validate the thundering herd did not pay.
+    pub fn dedup_hits(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache inserts that lost to an already-cached incumbent, dropping
+    /// the caller's freshly-created mapping. Nonzero means redundant maps
+    /// slipped past deduplication; with single-flight it stays zero.
+    pub fn duplicate_inserts(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter argument as hits().
+        self.duplicate_inserts.load(Ordering::Relaxed)
+    }
+
+    /// Latency distribution of single-flight waits: how long deduplicated
+    /// fetches blocked behind the leading mapper (bounded by the cold
+    /// open+validate cost; typically a fraction of it).
+    pub fn dedup_wait_latency(&self) -> &LatencyHistogram {
+        &self.dedup_wait_latency
+    }
+
     /// The IO meters of the cold-miss path: bytes mapped+validated and
     /// the open/validate latency histogram — the same [`VaultMetrics`]
     /// shape as [`SnapshotVault::metrics`](san_graph::store::SnapshotVault::metrics).
@@ -96,12 +142,27 @@ impl ServeMetrics {
         // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
         self.no_snapshot.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn record_dedup_wait(&self, waited: Duration) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
+        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+        self.dedup_wait_latency.record(waited);
+    }
+
+    pub(crate) fn record_dedup_hit(&self) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
+        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_duplicate_insert(&self) {
+        // ORDERING: relaxed; same RMW-atomicity argument as record_hit.
+        self.duplicate_inserts.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     const fn assert_send_sync<T: Send + Sync>() {}
     const _: () = assert_send_sync::<ServeMetrics>();
@@ -123,5 +184,20 @@ mod tests {
         assert_eq!(m.no_snapshot(), 1);
         assert_eq!(m.io().read_bytes(), 1024);
         assert_eq!(m.io().read_latency().count(), 1);
+    }
+
+    #[test]
+    fn dedup_meters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_dedup_wait(Duration::from_micros(200));
+        m.record_dedup_wait(Duration::from_micros(300));
+        m.record_dedup_hit();
+        m.record_duplicate_insert();
+        assert_eq!(m.dedup_waits(), 2);
+        assert_eq!(m.dedup_hits(), 1);
+        assert_eq!(m.duplicate_inserts(), 1);
+        assert_eq!(m.dedup_wait_latency().count(), 2);
+        let p50 = m.dedup_wait_latency().median_nanos();
+        assert!((131_072..524_288).contains(&p50), "p50 {p50}");
     }
 }

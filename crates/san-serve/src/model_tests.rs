@@ -1,24 +1,28 @@
-//! `loom-lite` model checks of the sharded LRU: every interleaving of
-//! 2–3 threads racing get/insert/evict on the **production**
-//! [`ShardedLru`](crate::cache::ShardedLru) code (its shard locks are
-//! dual-mode `loom_lite::sync::Mutex`es, so the model explores the same
-//! compiled paths the server runs).
+//! `loom-lite` model checks of the serving layer's concurrency: every
+//! interleaving of 2–3 threads racing the **production**
+//! [`ShardedLru`](crate::cache::ShardedLru) and
+//! [`FlightTable`](crate::flight::FlightTable) code (shard locks, latch
+//! locks and latch condvars are all dual-mode `loom_lite::sync`
+//! primitives, so the model explores the same compiled paths the server
+//! runs).
 //!
 //! Each scenario asserts, in **every** explored schedule:
 //!
 //! * byte accounting — shard byte counters equal the sum of resident
 //!   entries' mapped bytes, and the budget bound holds (modulo the
 //!   documented single-oversized-entry case);
-//! * no duplicate days — racing inserts of one day keep the incumbent;
-//! * hit/miss-counter consistency — hits + misses equals issued gets,
-//!   and every miss maps exactly once.
-//!
-//! The checks also *reproduce* the known *cold-miss double-map* gap
-//! ([`double_map_race_is_reachable`]): two threads missing the same day
-//! both pay the map+validate cost before one insert wins. That finding
-//! is tracked in `audit/findings.md` and stays reproduced here until the
-//! serving layer grows single-flight deduplication (ROADMAP: network
-//! front-end work).
+//! * no duplicate days — racing inserts of one day keep the incumbent,
+//!   and the loser is counted as a duplicate;
+//! * single-flight — threads cold-missing one day map it **exactly
+//!   once** ([`cold_miss_maps_exactly_once`]; this flips the former
+//!   `double_map_race_is_reachable` reproduction of finding SAN-001,
+//!   now closed in `audit/findings.md`), failures broadcast to every
+//!   waiter and clear the latch
+//!   ([`failed_map_wakes_waiters_and_clears_latch`]), an aborting
+//!   leader never strands waiters
+//!   ([`aborted_leader_unblocks_waiters`]), and eviction racing a
+//!   publish keeps accounting exact
+//!   ([`eviction_racing_publish_keeps_accounting_exact`]).
 
 // Redundant with the gated `mod` declaration in lib.rs, but makes this
 // file self-describing as test-only code (san-audit classifies files
@@ -26,7 +30,9 @@
 #![cfg(test)]
 
 use crate::cache::ShardedLru;
+use crate::flight::{Flight, FlightOutcome, FlightTable};
 use san_graph::mmap::MappedSnapshot;
+use san_graph::store::StoreError;
 use san_graph::{SanRead, TimelineBuilder};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -48,75 +54,271 @@ fn mapped_fixture(tag: &str) -> (Arc<MappedSnapshot>, PathBuf) {
     (Arc::new(MappedSnapshot::open(&path).expect("map")), path)
 }
 
-/// The tracked finding: two threads cold-missing the same day both map
-/// it (no single-flight), though only one mapping is cached. The model
-/// proves (a) the double map is reachable, (b) the cache still converges
-/// to exactly one entry with exact byte accounting, and (c) hit+miss
-/// counters stay consistent in every schedule.
+/// The server's single-flighted fetch shape, run against the production
+/// cache + flight table inside the model: cache check → join → leader
+/// maps/inserts/publishes, waiter consumes the outcome, abort retries.
+/// Counts each map (the mmap+validate cost stand-in) into `maps`.
+fn model_fetch(
+    table: &FlightTable,
+    cache: &ShardedLru,
+    day: u32,
+    snap: &Arc<MappedSnapshot>,
+    maps: &AtomicU64,
+) -> FetchPath {
+    loop {
+        if cache.get(day).is_some() {
+            return FetchPath::Hit;
+        }
+        match table.join(day) {
+            Flight::Leader(leader) => {
+                // The server's double-check: a flight that completed
+                // between the cache miss and this join already inserted
+                // the day — publish the cached copy instead of remapping.
+                if let Some(cached) = cache.get(day) {
+                    leader.publish(FlightOutcome::Mapped(cached));
+                    return FetchPath::Hit;
+                }
+                maps.fetch_add(1, Ordering::SeqCst);
+                cache.insert(day, Arc::clone(snap));
+                leader.publish(FlightOutcome::Mapped(Arc::clone(snap)));
+                return FetchPath::Led;
+            }
+            Flight::Waiter(FlightOutcome::Mapped(_)) => return FetchPath::Waited,
+            Flight::Waiter(FlightOutcome::Failed(_)) => panic!("nobody published a failure"),
+            Flight::Waiter(FlightOutcome::Aborted) => continue,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum FetchPath {
+    Hit,
+    Led,
+    Waited,
+}
+
+/// SAN-001, closed: two threads cold-missing the same day map it
+/// **exactly once in every schedule** — the loser either waits on the
+/// leader's latch or hits the already-populated cache, never maps. This
+/// flips the former `double_map_race_is_reachable` reproduction (which
+/// asserted `maps == 2` was reachable pre-fix) into the fix's exit
+/// criterion.
 #[test]
-fn double_map_race_is_reachable() {
-    let (snap, path) = mapped_fixture("double-map");
+fn cold_miss_maps_exactly_once() {
+    let (snap, path) = mapped_fixture("single-flight");
     // Cross-iteration observations (std atomics: invisible to the model).
-    let max_maps = Arc::new(AtomicU64::new(0));
-    let min_maps = Arc::new(AtomicU64::new(u64::MAX));
-    let (snap2, max2, min2) = (
+    let waited_schedules = Arc::new(AtomicU64::new(0));
+    let hit_schedules = Arc::new(AtomicU64::new(0));
+    let (snap2, waited2, hit2) = (
         Arc::clone(&snap),
-        Arc::clone(&max_maps),
-        Arc::clone(&min_maps),
+        Arc::clone(&waited_schedules),
+        Arc::clone(&hit_schedules),
     );
     let report = loom_lite::model(move || {
         let cache = Arc::new(ShardedLru::new(2, u64::MAX));
+        let table = Arc::new(FlightTable::new());
         let maps = Arc::new(AtomicU64::new(0));
-        let gets = Arc::new(AtomicU64::new(0));
-        let hits = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let cache = Arc::clone(&cache);
+                let table = Arc::clone(&table);
                 let snap = Arc::clone(&snap2);
-                let (maps, gets, hits) = (Arc::clone(&maps), Arc::clone(&gets), Arc::clone(&hits));
-                loom_lite::thread::spawn(move || {
-                    // The server's fetch() shape: get-miss → map → insert.
-                    gets.fetch_add(1, Ordering::SeqCst);
-                    match cache.get(7) {
-                        Some(_) => {
-                            hits.fetch_add(1, Ordering::SeqCst);
-                        }
-                        None => {
-                            maps.fetch_add(1, Ordering::SeqCst); // the mmap+validate cost
-                            cache.insert(7, snap);
-                        }
-                    }
-                })
+                let maps = Arc::clone(&maps);
+                loom_lite::thread::spawn(move || model_fetch(&table, &cache, 7, &snap, &maps))
             })
             .collect();
-        for h in handles {
-            h.join().expect("model thread");
-        }
-        let mapped = maps.load(Ordering::SeqCst);
-        let hit = hits.load(Ordering::SeqCst);
-        // Counter consistency in this schedule: every get either hit or
-        // mapped, and at least one thread mapped (the day started cold).
-        assert_eq!(hit + mapped, gets.load(Ordering::SeqCst));
-        assert!((1..=2).contains(&mapped), "maps {mapped}");
-        // The cache converges: exactly one cached copy, exact accounting.
+        let paths: Vec<FetchPath> = handles
+            .into_iter()
+            .map(|h| h.join().expect("model thread"))
+            .collect();
+        // The SAN-001 exit criterion: one map, in EVERY schedule.
+        assert_eq!(maps.load(Ordering::SeqCst), 1, "exactly one map per herd");
+        assert_eq!(
+            paths.iter().filter(|p| **p == FetchPath::Led).count(),
+            1,
+            "exactly one leader"
+        );
+        // Convergence: one cached copy, exact accounting, latch cleared.
         assert_eq!(cache.len(), 1);
         cache.assert_accounting();
-        max2.fetch_max(mapped, Ordering::SeqCst);
-        min2.fetch_min(mapped, Ordering::SeqCst);
+        assert_eq!(table.in_flight(), 0);
+        if paths.contains(&FetchPath::Waited) {
+            waited2.fetch_add(1, Ordering::SeqCst);
+        }
+        if paths.contains(&FetchPath::Hit) {
+            hit2.fetch_add(1, Ordering::SeqCst);
+        }
     });
     assert!(report.iterations > 1, "explored {}", report.iterations);
-    assert_eq!(
-        max_maps.load(Ordering::SeqCst),
-        2,
-        "the double-map race must be reachable — if this starts failing, \
-         single-flight deduplication has landed: close the finding in \
-         audit/findings.md and flip this test to assert maps == 1"
+    // Exploration sanity: both contended shapes were exercised — some
+    // schedule parked the loser on the latch, some schedule let it hit
+    // the cache the leader had already populated.
+    assert!(
+        waited_schedules.load(Ordering::SeqCst) > 0,
+        "no schedule made the loser wait on the latch"
     );
-    assert_eq!(
-        min_maps.load(Ordering::SeqCst),
-        1,
-        "the hit-after-insert schedule must also be reachable"
+    assert!(
+        hit_schedules.load(Ordering::SeqCst) > 0,
+        "no schedule let the loser hit the populated cache"
     );
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}
+
+/// A leader whose map fails broadcasts the typed error to every waiter
+/// and clears the latch, in every schedule: a thread that joined while
+/// the flight was up gets [`FlightOutcome::Failed`]; one that arrived
+/// after the clear leads a fresh flight itself (no negative caching).
+#[test]
+fn failed_map_wakes_waiters_and_clears_latch() {
+    let waited_schedules = Arc::new(AtomicU64::new(0));
+    let waited2 = Arc::clone(&waited_schedules);
+    let report = loom_lite::model(move || {
+        let table = Arc::new(FlightTable::new());
+        let t_lead = {
+            let table = Arc::clone(&table);
+            loom_lite::thread::spawn(move || loop {
+                match table.join(3) {
+                    Flight::Leader(leader) => {
+                        leader.publish(FlightOutcome::Failed(Arc::new(StoreError::BadChecksum {
+                            expected: 1,
+                            found: 2,
+                        })));
+                        return;
+                    }
+                    // The sibling won the race to lead and aborted; retry
+                    // until this thread gets to publish its failure.
+                    Flight::Waiter(FlightOutcome::Aborted) => continue,
+                    Flight::Waiter(_) => panic!("the sibling only publishes aborts"),
+                }
+            })
+        };
+        let t_wait = {
+            let table = Arc::clone(&table);
+            loom_lite::thread::spawn(move || match table.join(3) {
+                // Joined before the failing flight existed, or after its
+                // failure cleared the latch: this thread would retry the
+                // map itself — errors are never cached.
+                Flight::Leader(leader) => {
+                    leader.publish(FlightOutcome::Aborted);
+                    false
+                }
+                Flight::Waiter(FlightOutcome::Failed(err)) => {
+                    assert!(matches!(*err, StoreError::BadChecksum { .. }));
+                    true
+                }
+                Flight::Waiter(_) => panic!("only a failure was published"),
+            })
+        };
+        t_lead.join().expect("leader thread");
+        let waited = t_wait.join().expect("waiter thread");
+        assert_eq!(table.in_flight(), 0, "failure cleared the latch");
+        if waited {
+            waited2.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    assert!(
+        waited_schedules.load(Ordering::SeqCst) > 0,
+        "no schedule delivered the failure through the latch"
+    );
+}
+
+/// A leader that unwinds without publishing (mapper panic — modelled as
+/// an explicit drop, since the model propagates panics) broadcasts
+/// `Aborted` from its drop guard: waiters retry, one claims the vacated
+/// latch, and the day completes. No schedule strands a waiter or leaks
+/// a latch.
+#[test]
+fn aborted_leader_unblocks_waiters() {
+    let (snap, path) = mapped_fixture("abort");
+    let retried_schedules = Arc::new(AtomicU64::new(0));
+    let (snap2, retried2) = (Arc::clone(&snap), Arc::clone(&retried_schedules));
+    let report = loom_lite::model(move || {
+        let table = Arc::new(FlightTable::new());
+        let t_abort = {
+            let table = Arc::clone(&table);
+            loom_lite::thread::spawn(move || match table.join(9) {
+                // The mapper "panics": drop without publish; the guard
+                // broadcasts Aborted.
+                Flight::Leader(leader) => drop(leader),
+                // The recoverer won the race to lead and already
+                // completed the day; nothing left to abort.
+                Flight::Waiter(FlightOutcome::Mapped(_)) => {}
+                Flight::Waiter(_) => panic!("the sibling only publishes mappings"),
+            })
+        };
+        let t_recover = {
+            let table = Arc::clone(&table);
+            let snap = Arc::clone(&snap2);
+            loom_lite::thread::spawn(move || {
+                let mut retried = false;
+                loop {
+                    match table.join(9) {
+                        Flight::Leader(leader) => {
+                            leader.publish(FlightOutcome::Mapped(Arc::clone(&snap)));
+                            return retried;
+                        }
+                        Flight::Waiter(FlightOutcome::Aborted) => {
+                            retried = true; // as the server's fetch loop does
+                        }
+                        Flight::Waiter(_) => panic!("nobody published a result"),
+                    }
+                }
+            })
+        };
+        t_abort.join().expect("aborting leader thread");
+        let retried = t_recover.join().expect("recovering thread");
+        assert_eq!(table.in_flight(), 0, "abort cleared the latch");
+        if retried {
+            retried2.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    assert!(
+        retried_schedules.load(Ordering::SeqCst) > 0,
+        "no schedule parked the recoverer behind the aborting leader"
+    );
+    drop(snap);
+    let _ = std::fs::remove_file(path);
+}
+
+/// Eviction racing a publish: one thread runs the full single-flighted
+/// fetch of day 0 while another inserts day 2 into the same shard with
+/// budget for only one snapshot — in some schedules day 0 is evicted
+/// between the leader's insert and its publish. Byte accounting stays
+/// exact and the budget holds in every schedule; the fetch still
+/// returns a usable mapping because waiters share the leader's `Arc`,
+/// never the cache's.
+#[test]
+fn eviction_racing_publish_keeps_accounting_exact() {
+    let (snap, path) = mapped_fixture("evict-publish");
+    let one = snap.mapped_bytes() as u64;
+    let snap2 = Arc::clone(&snap);
+    let report = loom_lite::model(move || {
+        let cache = Arc::new(ShardedLru::new(1, one));
+        let table = Arc::new(FlightTable::new());
+        let maps = Arc::new(AtomicU64::new(0));
+        let t_fetch = {
+            let (cache, table, snap) = (Arc::clone(&cache), Arc::clone(&table), Arc::clone(&snap2));
+            let maps = Arc::clone(&maps);
+            loom_lite::thread::spawn(move || model_fetch(&table, &cache, 0, &snap, &maps))
+        };
+        let t_evict = {
+            let (cache, snap) = (Arc::clone(&cache), Arc::clone(&snap2));
+            loom_lite::thread::spawn(move || {
+                cache.insert(2, snap);
+            })
+        };
+        t_fetch.join().expect("fetch thread");
+        t_evict.join().expect("evictor thread");
+        assert_eq!(maps.load(Ordering::SeqCst), 1, "single flight held");
+        cache.assert_accounting();
+        assert_eq!(cache.len(), 1, "budget holds one snapshot");
+        assert_eq!(cache.resident_bytes(), one);
+        assert_eq!(table.in_flight(), 0);
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
     drop(snap);
     let _ = std::fs::remove_file(path);
 }
@@ -202,8 +404,11 @@ fn get_insert_evict_mix_is_linearizable() {
 }
 
 /// Racing inserts of the *same* day from three threads: the incumbent
-/// always wins, the day is cached exactly once and bytes are counted
-/// exactly once, in every schedule.
+/// always wins, the day is cached exactly once, bytes are counted
+/// exactly once, and both losers are reported as duplicates — in every
+/// schedule. (The server holds `duplicate_inserts` at zero by routing
+/// cold misses through single-flight; this checks the cache-level
+/// counter those metrics are built on.)
 #[test]
 fn racing_same_day_inserts_keep_one_copy() {
     let (snap, path) = mapped_fixture("same-day");
@@ -211,12 +416,16 @@ fn racing_same_day_inserts_keep_one_copy() {
     let snap2 = Arc::clone(&snap);
     let report = loom_lite::model(move || {
         let cache = Arc::new(ShardedLru::new(1, u64::MAX));
+        let duplicates = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..3)
             .map(|_| {
                 let cache = Arc::clone(&cache);
                 let snap = Arc::clone(&snap2);
+                let duplicates = Arc::clone(&duplicates);
                 loom_lite::thread::spawn(move || {
-                    cache.insert(5, snap);
+                    if cache.insert(5, snap).duplicate {
+                        duplicates.fetch_add(1, Ordering::SeqCst);
+                    }
                 })
             })
             .collect();
@@ -227,6 +436,9 @@ fn racing_same_day_inserts_keep_one_copy() {
         assert_eq!(cache.resident_bytes(), one);
         cache.assert_accounting();
         assert!(cache.get(5).is_some());
+        // One incumbent, two dropped mappings — each loss is visible to
+        // the metrics layer, never silent.
+        assert_eq!(duplicates.load(Ordering::SeqCst), 2);
     });
     assert!(report.iterations > 1, "explored {}", report.iterations);
     drop(snap);

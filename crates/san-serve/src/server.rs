@@ -2,6 +2,7 @@
 //! the mixed-day query driver.
 
 use crate::cache::ShardedLru;
+use crate::flight::{Flight, FlightOutcome, FlightTable};
 use crate::metrics::ServeMetrics;
 use san_graph::mmap::MappedSnapshot;
 use san_graph::store::{SnapshotVault, StoreError};
@@ -109,13 +110,17 @@ impl<R> QueryOutcome<R> {
 /// Serves historical snapshots out of a [`SnapshotVault`] to any number
 /// of threads: nearest-at-or-before day resolution, an mmap-backed
 /// sharded LRU (cold miss ≈ `mmap` + one validation pass; hit ≈ one
-/// atomic increment), and full [`ServeMetrics`] metering.
+/// atomic increment), per-day **single-flight deduplication** of cold
+/// misses (a thundering herd on a cold day pays for exactly one
+/// map+validate — the rest briefly block and share the leader's
+/// mapping), and full [`ServeMetrics`] metering.
 ///
 /// The server is `Sync`: share it by reference (or `Arc`) across worker
 /// threads and call [`get`](SnapshotServer::get) concurrently.
 pub struct SnapshotServer {
     vault: SnapshotVault,
     cache: ShardedLru,
+    flights: FlightTable,
     metrics: ServeMetrics,
 }
 
@@ -136,6 +141,7 @@ impl SnapshotServer {
         SnapshotServer {
             vault,
             cache: ShardedLru::new(config.cache_shards, config.max_resident_bytes),
+            flights: FlightTable::new(),
             metrics: ServeMetrics::new(),
         }
     }
@@ -164,9 +170,11 @@ impl SnapshotServer {
     /// Serves the nearest persisted snapshot at or before `day`:
     /// `Ok(None)` when the vault holds nothing that early, otherwise a
     /// handle whose [`view`](SnapshotHandle::view) reads the mapped file
-    /// in place. Concurrent callers of the same day race only on that
-    /// day's cache shard; a lost mapping race wastes one redundant
-    /// `mmap`, never serves twice-cached state.
+    /// in place. Concurrent callers of the same cold day are
+    /// single-flighted: the first maps+validates once, the rest block on
+    /// its latch and share the result (mapping or typed error) — a
+    /// thundering herd never multiplies the open cost or the transient
+    /// mapped memory.
     pub fn get(&self, day: u32) -> Result<Option<SnapshotHandle>, StoreError> {
         let Some(persisted) = self.vault.nearest_at_or_before(day) else {
             self.metrics.record_no_snapshot();
@@ -185,27 +193,79 @@ impl SnapshotServer {
         self.fetch(day)
     }
 
-    /// Cache-through fetch of a day known to be persisted.
+    /// Cache-through, single-flighted fetch of a day known to be
+    /// persisted. Every pass through the loop records exactly one of
+    /// `hits`, `misses`, or `dedup_waits`; an aborted leader (a sibling
+    /// panicked mid-map) sends waiters back around the loop, where one
+    /// of them claims the vacated latch.
     fn fetch(&self, persisted: u32) -> Result<SnapshotHandle, StoreError> {
-        if let Some(snap) = self.cache.get(persisted) {
-            self.metrics.record_hit();
-            return Ok(SnapshotHandle {
-                day: persisted,
-                snap,
-            });
+        loop {
+            if let Some(snap) = self.cache.get(persisted) {
+                self.metrics.record_hit();
+                return Ok(SnapshotHandle {
+                    day: persisted,
+                    snap,
+                });
+            }
+            let waited = Instant::now();
+            match self.flights.join(persisted) {
+                Flight::Leader(leader) => {
+                    // Double-check before paying the map: a flight that
+                    // completed between this thread's cache miss and its
+                    // join has already inserted the day (leaders insert
+                    // before they publish), so this re-check is what makes
+                    // "one map per cold day" hold across back-to-back
+                    // flights, not just overlapping ones.
+                    if let Some(snap) = self.cache.get(persisted) {
+                        self.metrics.record_hit();
+                        leader.publish(FlightOutcome::Mapped(Arc::clone(&snap)));
+                        return Ok(SnapshotHandle {
+                            day: persisted,
+                            snap,
+                        });
+                    }
+                    self.metrics.record_miss();
+                    let started = Instant::now();
+                    let snap = match self.vault.map_day(persisted) {
+                        Ok(snap) => Arc::new(snap),
+                        Err(error) => {
+                            // Broadcast the typed failure to the herd; the
+                            // latch clears, so the day is retried — never
+                            // negatively cached — on the next fetch.
+                            leader.publish(FlightOutcome::Failed(Arc::new(error.clone())));
+                            return Err(error);
+                        }
+                    };
+                    self.metrics
+                        .io()
+                        .record_read(snap.mapped_bytes() as u64, started.elapsed());
+                    let outcome = self.cache.insert(persisted, Arc::clone(&snap));
+                    self.metrics.record_evictions(outcome.evicted);
+                    if outcome.duplicate {
+                        self.metrics.record_duplicate_insert();
+                    }
+                    leader.publish(FlightOutcome::Mapped(Arc::clone(&snap)));
+                    return Ok(SnapshotHandle {
+                        day: persisted,
+                        snap,
+                    });
+                }
+                Flight::Waiter(outcome) => {
+                    self.metrics.record_dedup_wait(waited.elapsed());
+                    match outcome {
+                        FlightOutcome::Mapped(snap) => {
+                            self.metrics.record_dedup_hit();
+                            return Ok(SnapshotHandle {
+                                day: persisted,
+                                snap,
+                            });
+                        }
+                        FlightOutcome::Failed(error) => return Err((*error).clone()),
+                        FlightOutcome::Aborted => continue,
+                    }
+                }
+            }
         }
-        self.metrics.record_miss();
-        let started = Instant::now();
-        let snap = Arc::new(self.vault.map_day(persisted)?);
-        self.metrics
-            .io()
-            .record_read(snap.mapped_bytes() as u64, started.elapsed());
-        let outcome = self.cache.insert(persisted, Arc::clone(&snap));
-        self.metrics.record_evictions(outcome.evicted);
-        Ok(SnapshotHandle {
-            day: persisted,
-            snap,
-        })
     }
 
     /// Runs a mixed-day query stream on a pool of `threads` scoped

@@ -271,10 +271,135 @@ fn concurrent_gets_share_one_server() {
             });
         }
     });
-    // Every get either hit or missed; misses are bounded by distinct days.
+    // Every get recorded exactly one of hit / miss / dedup-wait; misses
+    // are bounded by distinct days (single-flight: a day's herd pays one).
     let m = server.metrics();
-    assert_eq!(m.hits() + m.misses(), 8 * 50);
+    assert_eq!(m.hits() + m.misses() + m.dedup_waits(), 8 * 50);
     assert!(m.misses() >= saved.len() as u64 - 1, "most days touched");
+    assert!(
+        m.misses() <= saved.len() as u64,
+        "single-flight bounds misses by distinct days, got {} for {} days",
+        m.misses(),
+        saved.len()
+    );
+    assert_eq!(
+        m.dedup_hits(),
+        m.dedup_waits(),
+        "all waits resolved to mappings"
+    );
+    assert_eq!(
+        m.duplicate_inserts(),
+        0,
+        "no redundant maps reached the cache"
+    );
+}
+
+/// The SAN-001 acceptance test: a real 8-thread thundering herd on one
+/// cold day performs exactly **one** map+validate (observed through the
+/// server's vault-side IO meters), and every thread gets a handle to the
+/// *same* mapping with identical query results.
+#[test]
+fn thundering_herd_on_cold_day_maps_once() {
+    let (tmp, tl, saved) = served_vault("herd", 20, 5);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let day = saved[2];
+    let start = std::sync::Barrier::new(8);
+    let handles: Vec<_> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let server = &server;
+                let start = &start;
+                scope.spawn(move || {
+                    start.wait();
+                    server.get(day).expect("get").expect("served")
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("herd thread"))
+            .collect()
+    });
+    // One map for the whole herd: the vault-side IO meters saw a single
+    // read, and the serve counters account every thread exactly once.
+    let m = server.metrics();
+    assert_eq!(m.io().reads(), 1, "exactly one map+validate");
+    assert_eq!(m.misses(), 1, "exactly one leader");
+    assert_eq!(m.hits() + m.dedup_waits(), 7, "everyone else hit or waited");
+    assert_eq!(
+        m.dedup_hits(),
+        m.dedup_waits(),
+        "every wait got the mapping"
+    );
+    assert_eq!(m.duplicate_inserts(), 0);
+    assert_eq!(m.dedup_wait_latency().count(), m.dedup_waits());
+    // Every handle shares the leader's one mapping and reads identically.
+    let reference = tl.snapshot_csr(day);
+    let expect_bits = global_reciprocity(&reference).to_bits();
+    for h in &handles {
+        assert!(
+            std::sync::Arc::ptr_eq(h.mapped(), handles[0].mapped()),
+            "one shared mapping"
+        );
+        assert_eq!(h.day(), day);
+        assert_eq!(global_reciprocity(&h.view()).to_bits(), expect_bits);
+    }
+}
+
+/// Failure-path robustness under a herd: every thread racing a corrupt
+/// cold day receives the typed checksum error (leaders from their own
+/// map, waiters from the broadcast latch), nothing is negatively cached,
+/// and once the file is repaired the next fetch serves normally.
+#[test]
+fn herd_on_corrupt_day_all_fail_typed_then_repair_recovers() {
+    let (tmp, tl, saved) = served_vault("herd-corrupt", 10, 5);
+    let vault = SnapshotVault::open(&tmp.0).expect("reopen");
+    let victim = saved[1];
+    let path = vault.day_path(victim);
+    let pristine = std::fs::read(&path).expect("read victim");
+    let mut bytes = pristine.clone();
+    let len = bytes.len();
+    bytes[len - 1] ^= 0xff; // checksum trailer flip
+    std::fs::write(&path, &bytes).expect("corrupt victim");
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let start = std::sync::Barrier::new(8);
+    let errors: Vec<StoreError> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let server = &server;
+                let start = &start;
+                scope.spawn(move || {
+                    start.wait();
+                    server.get(victim).expect_err("corrupt day must fail")
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("herd thread"))
+            .collect()
+    });
+    assert_eq!(errors.len(), 8);
+    for e in &errors {
+        assert!(
+            matches!(e, StoreError::BadChecksum { .. }),
+            "typed failure for every thread, got {e:?}"
+        );
+    }
+    // Nothing was cached (positively or negatively), and the books
+    // balance: each fetch either led a failing map or waited one out.
+    let m = server.metrics();
+    assert_eq!(server.cached_days(), 0);
+    assert_eq!(m.hits(), 0);
+    assert_eq!(m.dedup_hits(), 0, "no wait resolved to a mapping");
+    assert_eq!(m.misses() + m.dedup_waits(), 8);
+    assert!(m.misses() >= 1, "someone led each failing flight");
+    // Repair the file: the very next fetch succeeds — failures were
+    // never latched.
+    std::fs::write(&path, &pristine).expect("repair victim");
+    let healed = server.get(victim).expect("repaired get").expect("served");
+    assert_eq!(healed.view().to_owned_csr(), tl.snapshot_csr(victim));
+    assert_eq!(server.cached_days(), 1);
 }
 
 #[test]

@@ -6,8 +6,8 @@
 //! model-checking teeth: [`model`] runs a closure over **every**
 //! interleaving of the threads it spawns (depth-first enumeration of
 //! scheduler choices, replayed deterministically), with schedule points
-//! at every [`sync::Mutex`] acquisition and every [`sync::atomic`]
-//! operation.
+//! at every [`sync::Mutex`] acquisition, every [`sync::Condvar`] wait,
+//! and every [`sync::atomic`] operation.
 //!
 //! # Dual-mode primitives
 //!

@@ -22,6 +22,9 @@ pub(crate) enum RunState {
     Running,
     /// Parked until the lock keyed by this address is released.
     BlockedLock(usize),
+    /// Parked on the condition variable keyed by this address until a
+    /// notify readies it (it then re-contends for its mutex).
+    BlockedCondvar(usize),
     /// Parked until the target thread finishes.
     BlockedJoin(ThreadId),
     /// Returned (or unwound) out of its closure.
@@ -148,6 +151,13 @@ impl Scheduler {
         // Preemption point before the acquire attempt: this is where a
         // rival thread can slip between a caller's check and its act.
         self.yield_point(me);
+        self.lock_reacquire(me, addr);
+    }
+
+    /// Model-lock acquisition *without* the leading preemption point:
+    /// used from [`lock_acquire`] (after its yield) and from a condvar
+    /// wakeup, where being rescheduled was itself the preemption choice.
+    pub(crate) fn lock_reacquire(&self, me: ThreadId, addr: usize) {
         let mut s = self.lock_shared();
         loop {
             if let std::collections::hash_map::Entry::Vacant(e) = s.lock_owners.entry(addr) {
@@ -178,6 +188,52 @@ impl Scheduler {
         debug_assert_eq!(owner, Some(me), "release by non-owner");
         for st in s.states.iter_mut() {
             if *st == RunState::BlockedLock(addr) {
+                *st = RunState::Ready;
+            }
+        }
+    }
+
+    /// Condvar wait: atomically (under the scheduler's own lock, so no
+    /// model thread can run in between) releases the model lock at
+    /// `lock_addr`, parks `me` on the condvar at `cv_addr`, and — once a
+    /// notify readies it and the controller schedules it — re-contends
+    /// for the model lock. The atomic release-and-park is what rules out
+    /// lost wakeups: a notifier can only run after `me` is already
+    /// registered as a condvar waiter.
+    pub(crate) fn condvar_wait(&self, me: ThreadId, cv_addr: usize, lock_addr: usize) {
+        {
+            let mut s = self.lock_shared();
+            let owner = s.lock_owners.remove(&lock_addr);
+            debug_assert_eq!(owner, Some(me), "condvar wait without holding the mutex");
+            for st in s.states.iter_mut() {
+                if *st == RunState::BlockedLock(lock_addr) {
+                    *st = RunState::Ready;
+                }
+            }
+            s.states[me] = RunState::BlockedCondvar(cv_addr);
+            s.active = None;
+            self.cv.notify_all();
+            while s.active != Some(me) {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            s.states[me] = RunState::Running;
+        }
+        // Woken: re-take the mutex. No leading yield — the controller's
+        // decision to schedule us here was the preemption choice.
+        self.lock_reacquire(me, lock_addr);
+    }
+
+    /// Readies every thread parked on the condvar at `cv_addr`. Like
+    /// [`lock_release`], not a schedule point: the notifier keeps running
+    /// until its next visible op, and the woken waiters re-contend for
+    /// their mutex (and re-check their predicate) when scheduled.
+    pub(crate) fn condvar_notify_all(&self, cv_addr: usize) {
+        let mut s = self.lock_shared();
+        for st in s.states.iter_mut() {
+            if *st == RunState::BlockedCondvar(cv_addr) {
                 *st = RunState::Ready;
             }
         }

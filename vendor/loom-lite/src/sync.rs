@@ -22,7 +22,13 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     /// `(scheduler, thread id, lock address)` when held under a model.
     model: Option<(std::sync::Arc<crate::sched::Scheduler>, usize, usize)>,
-    inner: std::sync::MutexGuard<'a, T>,
+    /// Backref to the mutex, so [`Condvar::wait`] can re-lock it after
+    /// waking without a separate parameter.
+    mutex: &'a Mutex<T>,
+    /// Always `Some` from construction to drop; an `Option` only so
+    /// [`Condvar::wait`] (which consumes the guard) can release the std
+    /// lock without running `Drop`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -48,11 +54,13 @@ impl<T: ?Sized> Mutex<T> {
             None => match self.inner.lock() {
                 Ok(g) => Ok(MutexGuard {
                     model: None,
-                    inner: g,
+                    mutex: self,
+                    inner: Some(g),
                 }),
                 Err(p) => Err(PoisonError::new(MutexGuard {
                     model: None,
-                    inner: p.into_inner(),
+                    mutex: self,
+                    inner: Some(p.into_inner()),
                 })),
             },
             Some((sched, me)) => {
@@ -63,7 +71,8 @@ impl<T: ?Sized> Mutex<T> {
                 let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
                 Ok(MutexGuard {
                     model: Some((sched, me, addr)),
-                    inner,
+                    mutex: self,
+                    inner: Some(inner),
                 })
             }
         }
@@ -92,13 +101,17 @@ impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        &self.inner
+        // `inner` is Some from construction to drop; only the consuming
+        // Condvar::wait takes it, and that never returns this guard.
+        self.inner.as_deref().expect("guard accessed after release")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner
+            .as_deref_mut()
+            .expect("guard accessed after release")
     }
 }
 
@@ -111,6 +124,106 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         if let Some((sched, me, addr)) = self.model.take() {
             sched.lock_release(me, addr);
         }
+    }
+}
+
+/// A condition variable that is exactly [`std::sync::Condvar`] in
+/// production and a model-checked wait/notify point under
+/// [`crate::model`].
+///
+/// Under a model, [`wait`](Condvar::wait) atomically (with respect to
+/// every other model thread) releases the guard's model lock and parks
+/// the thread on this condvar's address; `notify_all` readies all such
+/// waiters, who then re-contend for the mutex when scheduled. The
+/// atomicity of release-and-park is provided by the scheduler's own
+/// lock, so the classic lost-wakeup window (predicate check → unlock →
+/// notify slips in → park forever) cannot occur — exactly the guarantee
+/// real condvars give. Waiters must still re-check their predicate in a
+/// loop: the model explores wakeups where the predicate was re-falsified
+/// by another thread, and `notify_one` is modelled as `notify_all`
+/// (legal, since condvars permit spurious wakeups).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable (const, like `std`).
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified (or, under a
+    /// model, until the scheduler explores a wakeup), then re-locks the
+    /// mutex and returns a fresh guard. Like `std`, wakeups may be
+    /// spurious — always wait in a predicate loop. Poisoning passes
+    /// through from the underlying std mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        match guard.model.take() {
+            None => {
+                let std_guard = guard.inner.take().expect("guard accessed after release");
+                drop(guard); // inert: both fields already taken
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        model: None,
+                        mutex,
+                        inner: Some(g),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        model: None,
+                        mutex,
+                        inner: Some(p.into_inner()),
+                    })),
+                }
+            }
+            Some((sched, me, lock_addr)) => {
+                let cv_addr = self as *const Condvar as usize;
+                // Release the std lock first: it is uncontended under a
+                // model (threads are serialised), and no model thread can
+                // run between here and the scheduler op below, so the
+                // "model lock held, std lock free" window is unobservable.
+                drop(guard.inner.take());
+                drop(guard);
+                sched.condvar_wait(me, cv_addr, lock_addr);
+                // Model lock re-held; re-take the (uncontended) std lock.
+                let inner = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    model: Some((sched, me, lock_addr)),
+                    mutex,
+                    inner: Some(inner),
+                })
+            }
+        }
+    }
+
+    /// Wakes all threads blocked in [`wait`](Condvar::wait) on this
+    /// condvar.
+    pub fn notify_all(&self) {
+        match sched::current() {
+            None => self.inner.notify_all(),
+            Some((sched, _)) => sched.condvar_notify_all(self as *const Condvar as usize),
+        }
+    }
+
+    /// Wakes at least one blocked thread. Under a model this readies
+    /// *every* waiter — a sound over-approximation (condvars permit
+    /// spurious wakeups, so any subset of waiters running is a legal
+    /// real-world behaviour), which keeps the scheduler free to explore
+    /// each waiter running first.
+    pub fn notify_one(&self) {
+        match sched::current() {
+            None => self.inner.notify_one(),
+            Some((sched, _)) => sched.condvar_notify_all(self as *const Condvar as usize),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 

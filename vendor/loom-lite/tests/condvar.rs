@@ -1,0 +1,164 @@
+//! The dual-mode [`Condvar`](loom_lite::sync::Condvar) checking itself:
+//! model-mode handoff exploration (both the waited and the fast path
+//! must be reachable), lost-wakeup impossibility (notify-before-wait
+//! with a predicate loop never hangs), stranded-waiter deadlock
+//! detection, and the std-delegation (non-model) mode.
+
+use loom_lite::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+/// Classic one-shot handoff: a producer sets the flag under the mutex
+/// and notifies; a consumer waits in a predicate loop. Every schedule
+/// must deliver the value, and the exploration must cover both the
+/// consumer-waited and consumer-never-waited paths.
+#[test]
+fn handoff_is_delivered_in_every_schedule() {
+    let waited = Arc::new(StdAtomicU64::new(0));
+    let fast = Arc::new(StdAtomicU64::new(0));
+    let (waited2, fast2) = (Arc::clone(&waited), Arc::clone(&fast));
+    let report = loom_lite::model(move || {
+        let cell = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let producer = {
+            let cell = Arc::clone(&cell);
+            loom_lite::thread::spawn(move || {
+                let (lock, cv) = &*cell;
+                *lock.lock().expect("producer lock") = Some(42);
+                cv.notify_all();
+            })
+        };
+        let consumer = {
+            let cell = Arc::clone(&cell);
+            let waited = Arc::clone(&waited2);
+            let fast = Arc::clone(&fast2);
+            loom_lite::thread::spawn(move || {
+                let (lock, cv) = &*cell;
+                let mut guard = lock.lock().expect("consumer lock");
+                let mut ever_waited = false;
+                loop {
+                    if let Some(v) = *guard {
+                        assert_eq!(v, 42, "handoff delivered intact");
+                        break;
+                    }
+                    ever_waited = true;
+                    guard = cv.wait(guard).expect("wait");
+                }
+                if ever_waited {
+                    waited.fetch_add(1, StdOrdering::Relaxed);
+                } else {
+                    fast.fetch_add(1, StdOrdering::Relaxed);
+                }
+            })
+        };
+        producer.join().expect("producer");
+        consumer.join().expect("consumer");
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+    assert!(
+        waited.load(StdOrdering::Relaxed) > 0,
+        "some schedule must park the consumer on the condvar"
+    );
+    assert!(
+        fast.load(StdOrdering::Relaxed) > 0,
+        "some schedule must let the consumer see the value without waiting"
+    );
+}
+
+/// The lost-wakeup shape: the notify can land entirely before the
+/// waiter even locks the mutex. Because the waiter re-checks its
+/// predicate under the lock before parking, no schedule may hang — the
+/// model completing (instead of reporting a deadlock) is the assertion.
+#[test]
+fn notify_before_wait_is_not_lost_with_predicate_loop() {
+    let report = loom_lite::model(|| {
+        let cell = Arc::new((Mutex::new(false), Condvar::new()));
+        let setter = {
+            let cell = Arc::clone(&cell);
+            loom_lite::thread::spawn(move || {
+                let (lock, cv) = &*cell;
+                *lock.lock().expect("setter lock") = true;
+                cv.notify_all();
+            })
+        };
+        let (lock, cv) = &*cell;
+        let mut guard = lock.lock().expect("waiter lock");
+        while !*guard {
+            guard = cv.wait(guard).expect("wait");
+        }
+        drop(guard);
+        setter.join().expect("setter");
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+}
+
+/// `notify_one` under a model readies every waiter (a legal spurious-
+/// wakeup over-approximation): with two waiters and one notify, both
+/// must terminate in every schedule.
+#[test]
+fn notify_one_unblocks_all_model_waiters() {
+    let report = loom_lite::model(|| {
+        let cell = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                loom_lite::thread::spawn(move || {
+                    let (lock, cv) = &*cell;
+                    let mut guard = lock.lock().expect("waiter lock");
+                    while !*guard {
+                        guard = cv.wait(guard).expect("wait");
+                    }
+                })
+            })
+            .collect();
+        let (lock, cv) = &*cell;
+        *lock.lock().expect("setter lock") = true;
+        cv.notify_one();
+        for w in waiters {
+            w.join().expect("waiter");
+        }
+    });
+    assert!(report.iterations > 1, "explored {}", report.iterations);
+}
+
+/// A waiter nobody ever notifies is a deadlock, and the model must say
+/// so rather than hang.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn stranded_waiter_is_reported_as_deadlock() {
+    loom_lite::model(|| {
+        let cell = (Mutex::new(false), Condvar::new());
+        let (lock, cv) = &cell;
+        let mut guard = lock.lock().expect("lock");
+        while !*guard {
+            guard = cv.wait(guard).expect("wait");
+        }
+    });
+}
+
+/// Outside a model the primitives delegate to `std`: a real blocking
+/// handoff between OS threads works, and no model scheduler is involved.
+#[test]
+fn production_mode_delegates_to_std() {
+    assert!(!loom_lite::is_model_thread());
+    let cell = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+    let consumer = {
+        let cell = Arc::clone(&cell);
+        std::thread::spawn(move || {
+            let (lock, cv) = &*cell;
+            let mut guard = lock.lock().expect("consumer lock");
+            loop {
+                if let Some(v) = *guard {
+                    return v;
+                }
+                guard = cv.wait(guard).expect("wait");
+            }
+        })
+    };
+    // Give the consumer a chance to actually park (not required for
+    // correctness — notify_all after setting the flag is race-free).
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let (lock, cv) = &*cell;
+    *lock.lock().expect("producer lock") = Some(7);
+    cv.notify_all();
+    assert_eq!(consumer.join().expect("consumer"), 7);
+}
