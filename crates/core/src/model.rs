@@ -36,7 +36,7 @@
 use crate::attach::LapaSampler;
 use crate::closing::ClosingModel;
 use crate::error::ModelError;
-use san_graph::{AttrId, AttrType, San, SanTimeline, SocialId, TimelineBuilder};
+use san_graph::{AttrId, AttrType, San, SanEvent, SanTimeline, SocialId, TimelineBuilder};
 use san_stats::{DiscreteLognormal, Exponential, Geometric, SplitRng, TruncatedNormal};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -452,7 +452,29 @@ impl SanModel {
 
     /// Runs the process, producing the full event timeline and the final
     /// network. Deterministic in `seed`.
+    ///
+    /// This is the collecting wrapper over
+    /// [`generate_with`](SanModel::generate_with); runs that only need the
+    /// per-day event stream (e.g. to feed a
+    /// [`StreamingVaultWriter`](san_graph::store::StreamingVaultWriter))
+    /// should call that directly and skip the O(total events) log.
     pub fn generate(&self, seed: u64) -> (SanTimeline, San) {
+        let mut events = Vec::new();
+        let san = self.generate_with(seed, |_, day_events| {
+            events.extend_from_slice(day_events);
+        });
+        (SanTimeline::from_events(events), san)
+    }
+
+    /// Streaming form of [`generate`](SanModel::generate): runs the exact
+    /// same process (bit-identical for the same `seed`) but hands each
+    /// day's events to `sink(day, events)` as soon as the day completes,
+    /// instead of accumulating them into a [`SanTimeline`]. `sink` is
+    /// called exactly once per day `0..=days` (day 0 carries the seed
+    /// network), in order, and the events are dropped afterwards — peak
+    /// memory is the live network plus one day of events, which is what
+    /// makes million-node synthesize-and-persist runs feasible.
+    pub fn generate_with<F: FnMut(u32, &[SanEvent])>(&self, seed: u64, mut sink: F) -> San {
         let p = &self.params;
         let mut rng = SplitRng::new(seed);
         let mut tb = TimelineBuilder::new();
@@ -521,6 +543,9 @@ impl SanModel {
 
         // --- Day loop ----------------------------------------------------
         for t in 1..=p.days {
+            // Day t-1 is complete (day 0 = the seed network): flush its
+            // events before the clock moves.
+            sink(t - 1, &tb.drain_events());
             tb.advance_to_day(t);
             let recip = p.reciprocation_on(t);
             // Fire due reciprocations first: they respond to links from
@@ -636,7 +661,8 @@ impl SanModel {
                 });
             }
         }
-        tb.finish()
+        sink(p.days, &tb.drain_events());
+        tb.finish().1
     }
 
     fn sample_attr_type(&self, rng: &mut SplitRng) -> AttrType {
@@ -825,6 +851,32 @@ mod tests {
         let mut p = SanModelParams::paper_default(10, 5);
         p.seed_social = 1;
         assert!(SanModel::new(p).is_err());
+    }
+
+    #[test]
+    fn generate_with_streams_the_same_run() {
+        // The streaming form must be bit-identical to the batch form: the
+        // concatenated day slices ARE the timeline, each slice carries only
+        // its own day, every day 0..=days is flushed exactly once, and the
+        // returned network matches.
+        let params = SanModelParams::paper_default(25, 6);
+        let model = SanModel::new(params.clone()).unwrap();
+        let (tl, san) = model.generate(42);
+
+        let mut streamed = Vec::new();
+        let mut days_seen = Vec::new();
+        let streamed_san = model.generate_with(42, |day, events| {
+            days_seen.push(day);
+            assert!(events.iter().all(|e| e.day() == day), "day {day}");
+            streamed.extend_from_slice(events);
+        });
+        assert_eq!(days_seen, (0..=params.days).collect::<Vec<_>>());
+        assert_eq!(streamed, tl.events());
+        assert_eq!(streamed_san.num_social_nodes(), san.num_social_nodes());
+        assert_eq!(streamed_san.num_social_links(), san.num_social_links());
+        assert_eq!(streamed_san.num_attr_nodes(), san.num_attr_nodes());
+        assert_eq!(streamed_san.num_attr_links(), san.num_attr_links());
+        streamed_san.check_consistency().unwrap();
     }
 
     #[test]

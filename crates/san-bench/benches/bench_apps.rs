@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the application-fidelity pipelines (Fig. 19's
 //! inner loops) and the end-to-end dataset generation + crawl.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use san_apps::anonymity::{timing_analysis_probability, AnonymityConfig};
 use san_apps::sybil::{compromise_uniform, sybil_identities, SybilLimitConfig};
 use san_core::model::{SanModel, SanModelParams};
@@ -79,4 +79,11 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_sybil, bench_anonymity, bench_dataset
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Medians land at the repo root so recordings are versioned alongside
+    // the code they measure (suite → metric → ns/bytes).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_APPS.json");
+    criterion::write_json(out).expect("write BENCH_APPS.json");
+    println!("medians written to {out}");
+}

@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the SAN data-structure substrate: mutation
 //! throughput and the neighbourhood queries every metric sits on.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::traverse::bfs_directed;
 use san_graph::{CsrSan, San, SanRead, SanTimeline, ShardedCsrSan, SocialId};
@@ -322,6 +322,24 @@ fn bench_vault_io(c: &mut Criterion) {
     group.bench_function(format!("read_{mib:.1}MiB"), |b| {
         b.iter(|| black_box(CsrSan::from_store_bytes(&bytes).expect("read").heap_bytes()));
     });
+    // The compressed v2 format on the same snapshot: encode/decode cost vs
+    // the raw-column v1 path above, plus the size ratio it buys.
+    let bytes_v2 = final_day.to_store_bytes_v2();
+    let mib_v2 = bytes_v2.len() as f64 / (1024.0 * 1024.0);
+    group.bench_function(format!("write_v2_{mib_v2:.1}MiB"), |b| {
+        b.iter(|| black_box(final_day.to_store_bytes_v2().len()));
+    });
+    group.bench_function(format!("read_v2_{mib_v2:.1}MiB"), |b| {
+        b.iter(|| {
+            black_box(
+                CsrSan::from_store_bytes(&bytes_v2)
+                    .expect("read v2")
+                    .heap_bytes(),
+            )
+        });
+    });
+    criterion::record_value("graph/vault_io", "snapshot_v1_bytes", bytes.len() as f64);
+    criterion::record_value("graph/vault_io", "snapshot_v2_bytes", bytes_v2.len() as f64);
     // The suffix sweep [49, 98], step 1, global reciprocity per day.
     // Baseline: the no-vault fallback (delta-patch days 0..=98, withhold
     // the prefix — an empty vault source does exactly that, so the two
@@ -506,4 +524,11 @@ criterion_group! {
     targets = bench_mutation, bench_queries, bench_san_vs_csr, bench_timeline_replay,
         bench_timeline_sweep, bench_sharded_sweep, bench_vault_io, bench_mmap_serve
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Medians land at the repo root so recordings are versioned alongside
+    // the code they measure (suite → metric → ns/bytes).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_GRAPH.json");
+    criterion::write_json(out).expect("write BENCH_GRAPH.json");
+    println!("medians written to {out}");
+}

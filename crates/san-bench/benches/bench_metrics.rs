@@ -2,7 +2,7 @@
 //! accuracy/latency trade-offs DESIGN.md calls out: exact vs Algorithm 2
 //! clustering, and HyperANF register width.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::San;
 use san_metrics::clustering::{approx_average_clustering_k, average_clustering_exact, NodeSet};
@@ -92,4 +92,11 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_clustering, bench_hyperanf, bench_scalar_metrics, bench_degree_fitting
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Medians land at the repo root so recordings are versioned alongside
+    // the code they measure (suite → metric → ns/bytes).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_METRICS.json");
+    criterion::write_json(out).expect("write BENCH_METRICS.json");
+    println!("medians written to {out}");
+}

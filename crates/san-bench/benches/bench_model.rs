@@ -3,7 +3,7 @@
 //! evaluation (Fig. 15's inner loop), and the lifetime-distribution
 //! ablation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use san_core::attach::AttachModel;
 use san_core::model::{LifetimeDist, SanModel, SanModelParams};
 use san_graph::{San, SocialId};
@@ -132,4 +132,11 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_generation, bench_lapa_sampling, bench_likelihood
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Medians land at the repo root so recordings are versioned alongside
+    // the code they measure (suite → metric → ns/bytes).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_MODEL.json");
+    criterion::write_json(out).expect("write BENCH_MODEL.json");
+    println!("medians written to {out}");
+}

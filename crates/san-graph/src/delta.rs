@@ -95,8 +95,12 @@ impl Default for CsrSan {
 ///
 /// `adds` must be sorted by `(row, value)` and contain no value already
 /// present in its row (the caller deduplicates); rows past the end of
-/// `old_off` are new and start empty.
-fn patch_csr_into<T: Copy + Ord>(
+/// `old_off` are new and start empty. Crate-visible: the v2 delta-day
+/// loader in `store` reconstructs snapshots through this exact merge, so
+/// persisted deltas patch bit-identically to live ones. Callers feeding it
+/// untrusted add-lists must pre-validate sortedness, row bounds, and the
+/// `u32::MAX` data-length cap — the asserts here are for trusted inputs.
+pub(crate) fn patch_csr_into<T: Copy + Ord>(
     old_off: &[u32],
     old_data: &[T],
     new_rows: usize,

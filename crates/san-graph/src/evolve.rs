@@ -553,6 +553,21 @@ impl TimelineBuilder {
         added
     }
 
+    /// Hands out the events accumulated since the last drain (or since
+    /// construction) and clears the internal log — the streaming hand-off
+    /// used by `SanModel::generate_with` to flush one day at a time into a
+    /// [`DeltaFreezer`](crate::delta::DeltaFreezer) or
+    /// [`StreamingVaultWriter`](crate::store::StreamingVaultWriter)
+    /// without ever materialising the full event log. Draining does not
+    /// touch the live [`San`]; a builder that is drained every day holds
+    /// only the current day's events plus the network itself.
+    ///
+    /// [`finish`](TimelineBuilder::finish) after draining returns a
+    /// timeline holding only the undrained suffix.
+    pub fn drain_events(&mut self) -> Vec<SanEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Finalises the log, returning the timeline and the fully-grown
     /// network (identical to `timeline.final_snapshot()` but avoids a
     /// replay).
@@ -668,6 +683,44 @@ mod tests {
         assert!(!tb.add_social_link(u0, u1));
         let (tl, _) = tb.finish();
         assert_eq!(tl.social_link_arrivals().count(), 1);
+    }
+
+    #[test]
+    fn drain_events_hands_out_days_without_retaining_log() {
+        // Rebuild the sample timeline, draining after each day; the
+        // concatenation of the drained slices must equal the batch log and
+        // `finish` must return only the undrained suffix.
+        let batch = sample_timeline();
+        let mut tb = TimelineBuilder::new();
+        let u0 = tb.add_social_node();
+        let u1 = tb.add_social_node();
+        let a0 = tb.add_attr_node(AttrType::City);
+        tb.add_social_link(u0, u1);
+        let mut drained = tb.drain_events();
+        assert_eq!(drained.len(), 4);
+        tb.advance_to_day(1);
+        let u2 = tb.add_social_node();
+        tb.add_social_link(u2, u0);
+        tb.add_attr_link(u2, a0);
+        drained.extend(tb.drain_events());
+        tb.advance_to_day(3);
+        tb.add_social_link(u1, u2);
+        let tail = tb.drain_events();
+        assert_eq!(
+            tail,
+            [SanEvent::SocialLink {
+                day: 3,
+                src: u1,
+                dst: u2
+            }]
+        );
+        drained.extend(tail);
+        assert_eq!(drained, batch.events());
+        // The live network is untouched by draining and the residual
+        // timeline is empty.
+        let (tl, san) = tb.finish();
+        assert!(tl.events().is_empty());
+        assert_eq!(san.num_social_links(), 3);
     }
 
     #[test]

@@ -56,10 +56,15 @@
 //!   `map_shards`/`fold_shards` drivers, so one frozen day can saturate
 //!   every core (intra-snapshot parallelism),
 //! * [`store`] — the columnar binary snapshot store: `CsrSan::write_to` /
-//!   `read_from` (versioned header, little-endian columns, checksum) and
-//!   [`store::SnapshotVault`] directories of persisted days, so sweeps can
-//!   warm-start from disk ([`evolve::SanTimeline::resume_from_vault`])
-//!   instead of replaying the event log,
+//!   `read_from` (versioned header, little-endian columns, checksum; v2
+//!   adds frame-of-reference + varint column compression and delta-encoded
+//!   day files) and [`store::SnapshotVault`] directories of persisted
+//!   days, so sweeps can warm-start from disk
+//!   ([`evolve::SanTimeline::resume_from_vault`]) instead of replaying the
+//!   event log, plus [`store::StreamingVaultWriter`] for bounded-memory
+//!   synthesize-and-persist runs,
+//! * [`codec`] — the v2 column codec: frame-of-reference blocks with
+//!   zigzag + varint deltas over `u32` sequences, fully typed on decode,
 //! * [`view`] — [`view::CsrSanView`], a borrowed zero-copy `SanRead` over
 //!   raw snapshot bytes: validate once, then every column is read in
 //!   place (no `Vec` materialisation at all),
@@ -80,6 +85,7 @@
 //!   a ground-truth fixture across the workspace test suites.
 
 pub mod builder;
+pub mod codec;
 pub mod crawler;
 pub mod csr;
 pub mod degree;

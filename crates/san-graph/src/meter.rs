@@ -160,6 +160,9 @@ pub struct VaultMetrics {
     writes: AtomicU64,
     read_latency: LatencyHistogram,
     write_latency: LatencyHistogram,
+    delta_chain_loads: AtomicU64,
+    delta_links_applied: AtomicU64,
+    max_chain_len: AtomicU64,
 }
 
 impl VaultMetrics {
@@ -209,6 +212,40 @@ impl VaultMetrics {
     pub fn writes(&self) -> u64 {
         // ORDERING: relaxed; same single-counter-snapshot argument.
         self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Records one delta-chain reconstruction: a full-day load plus
+    /// `links` delta applications. Called *in addition to*
+    /// [`record_read`](VaultMetrics::record_read) (which meters the
+    /// combined bytes + latency), so chain loads remain visible among
+    /// plain reads.
+    pub fn record_chain(&self, links: u64) {
+        // ORDERING: relaxed — independent monotonic meters, like every
+        // other counter here; the max is a fetch_max RMW whose exactness
+        // needs no inter-variable ordering.
+        self.delta_chain_loads.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.delta_links_applied, links);
+        self.max_chain_len.fetch_max(links, Ordering::Relaxed);
+    }
+
+    /// Number of delta-chain reconstructions (reads that resolved at
+    /// least one delta day).
+    pub fn delta_chain_loads(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
+        self.delta_chain_loads.load(Ordering::Relaxed)
+    }
+
+    /// Total delta days applied across all chain reconstructions
+    /// (saturating at `u64::MAX`).
+    pub fn delta_links_applied(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
+        self.delta_links_applied.load(Ordering::Relaxed)
+    }
+
+    /// Longest chain resolved so far (0 when no chain load has happened).
+    pub fn max_chain_len(&self) -> u64 {
+        // ORDERING: relaxed; same single-counter-snapshot argument.
+        self.max_chain_len.load(Ordering::Relaxed)
     }
 
     /// Latency distribution of reads (load / open+validate).

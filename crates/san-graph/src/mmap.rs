@@ -46,10 +46,16 @@
 
 #![cfg(unix)]
 
-use crate::store::{StoreError, StoreHeader, HEADER_BYTES};
-use crate::view::CsrSanView;
+use crate::csr::CsrSan;
+use crate::store::{
+    array_at, decode_v2_image, StoreError, StoreHeader, FORMAT_VERSION_V2, HEADER_BYTES, MAGIC,
+    VERSION_PREFIX_BYTES,
+};
+use crate::view::{AlignedBytes, CsrSanView};
 use std::ffi::{c_int, c_long, c_void};
+use std::fmt;
 use std::fs;
+use std::io::Read;
 use std::os::unix::io::AsRawFd;
 use std::path::{Path, PathBuf};
 
@@ -73,25 +79,66 @@ extern "C" {
     fn munmap(addr: *mut c_void, len: usize) -> c_int;
 }
 
+/// How a [`MappedSnapshot`] holds its validated v1-layout bytes.
+///
+/// v1 files are served straight from the page cache (`Mapped`); v2 files
+/// have no v1-layout bytes on disk, so their columns are decoded once at
+/// open into an owned, 8-byte-aligned buffer (`Owned`) and served from
+/// there with the exact same zero-copy views. Either way, after `open`
+/// the bytes are immutable and every accessor is O(1).
+enum Backing {
+    /// A live `PROT_READ | MAP_PRIVATE` mapping (unmapped on drop).
+    Mapped { ptr: *const u8, len: usize },
+    /// An owned decoded snapshot image in v1 layout (heap memory).
+    Owned(AlignedBytes),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // `self`; the borrow ties the slice to the mapping's lifetime.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf.as_bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for Backing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backing::Mapped { len, .. } => f.debug_struct("Mapped").field("len", len).finish(),
+            Backing::Owned(buf) => f.debug_struct("Owned").field("len", &buf.len()).finish(),
+        }
+    }
+}
+
 /// A validated, read-only memory-mapped `SANCSRBF` snapshot file.
 ///
 /// Open once, validate once, then [`view`](MappedSnapshot::view) is O(1)
 /// and the views are plain borrowed slices over the page cache. The type
 /// is `Send + Sync`; the serving layer shares it as `Arc<MappedSnapshot>`
 /// so a cache hit is one atomic increment.
+///
+/// v2 files cannot be viewed in place (their columns are compressed), so
+/// [`open`](MappedSnapshot::open) transparently decodes a v2 *full* file
+/// into an owned v1-layout buffer behind the same handle — callers see an
+/// identical [`CsrSanView`] either way. A standalone v2 *delta* file is
+/// not self-contained and reports [`StoreError::DeltaWithoutBase`]; chain
+/// resolution lives in
+/// [`SnapshotVault::map_day`](crate::store::SnapshotVault::map_day).
 #[derive(Debug)]
 pub struct MappedSnapshot {
-    ptr: *const u8,
-    /// Full length of the mapping (the file length at open).
-    len: usize,
+    backing: Backing,
     header: StoreHeader,
     path: PathBuf,
 }
 
-// SAFETY: the mapping is immutable for its whole lifetime (PROT_READ |
-// MAP_PRIVATE, see the module contract): concurrent reads from any number
-// of threads race with nothing. The raw pointer is only a region handle;
-// no interior mutability exists.
+// SAFETY: the mapped backing is immutable for its whole lifetime
+// (PROT_READ | MAP_PRIVATE, see the module contract): concurrent reads
+// from any number of threads race with nothing. The raw pointer is only a
+// region handle; no interior mutability exists. The owned backing is
+// plain heap memory (`Vec<u64>`), Send + Sync by construction.
 unsafe impl Send for MappedSnapshot {}
 unsafe impl Sync for MappedSnapshot {}
 
@@ -101,10 +148,35 @@ impl MappedSnapshot {
     /// checksum, attribute tags, offset monotonicity, id ranges. Every
     /// failure (including all crafted-bytes corruption) is a typed
     /// [`StoreError`]; no code path panics on untrusted file content.
+    ///
+    /// A v2 *full* file is decoded once into an owned v1-layout buffer
+    /// (same validation stack, same views); a standalone v2 *delta* file
+    /// is rejected as [`StoreError::DeltaWithoutBase`].
     pub fn open(path: impl AsRef<Path>) -> Result<MappedSnapshot, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = fs::File::open(&path)?;
+        let mut file = fs::File::open(&path)?;
         let len = file.metadata()?.len();
+        if len < VERSION_PREFIX_BYTES as u64 {
+            // Too short to even name its format version.
+            return Err(StoreError::Truncated { section: "header" });
+        }
+        // Peek magic + version to route v2 files to the decoding path
+        // before committing to a mapping.
+        let mut prefix = [0u8; VERSION_PREFIX_BYTES];
+        file.read_exact(&mut prefix)?;
+        if prefix[0..8] == MAGIC && u32::from_le_bytes(array_at(&prefix, 8)) == FORMAT_VERSION_V2 {
+            drop(file);
+            let raw = fs::read(&path)?;
+            let image = decode_v2_image(&raw)?;
+            // The image is structurally sealed but not yet semantically
+            // validated — run the exact v1 matrix over it.
+            let (_, header) = CsrSanView::new_with_header(&image)?;
+            return Ok(MappedSnapshot {
+                backing: Backing::Owned(image),
+                header,
+                path,
+            });
+        }
         if len < HEADER_BYTES as u64 {
             // Too short to even hold a header — and a zero-length mmap is
             // EINVAL, so reject before the syscall.
@@ -152,19 +224,38 @@ impl MappedSnapshot {
         let (_, header) = CsrSanView::new_with_header(bytes)?;
         std::mem::forget(guard);
         Ok(MappedSnapshot {
-            ptr: ptr.cast_const().cast::<u8>(),
-            len,
+            backing: Backing::Mapped {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            },
             header,
             path,
         })
     }
 
-    /// The raw mapped bytes (header + columns + trailer).
+    /// Wraps an in-memory snapshot in the `MappedSnapshot` handle without
+    /// touching the filesystem: the snapshot is serialised into a sealed
+    /// v1-layout buffer, validated through the exact
+    /// [`CsrSanView::new`] matrix, and served from owned memory. This is
+    /// how [`SnapshotVault::map_day`](crate::store::SnapshotVault::map_day)
+    /// serves a reconstructed delta-chain day behind the same `Send +
+    /// Sync` handle the serving layer caches for plain v1 mappings;
+    /// `path` records which day file the snapshot stands in for.
+    pub fn from_owned(snap: &CsrSan, path: impl AsRef<Path>) -> Result<MappedSnapshot, StoreError> {
+        let image = AlignedBytes::from_bytes(&snap.to_store_bytes());
+        let (_, header) = CsrSanView::new_with_header(&image)?;
+        Ok(MappedSnapshot {
+            backing: Backing::Owned(image),
+            header,
+            path: path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The raw snapshot bytes in v1 layout (header + columns + trailer) —
+    /// the mapped file for v1 days, the owned decoded image for v2 days.
     #[inline]
     pub fn bytes(&self) -> &[u8] {
-        // SAFETY: ptr/len describe a live PROT_READ mapping owned by
-        // `self`; the borrow ties the slice to the mapping's lifetime.
-        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        self.backing.bytes()
     }
 
     /// A zero-copy snapshot view over the mapping. O(1): the bytes were
@@ -175,12 +266,14 @@ impl MappedSnapshot {
         CsrSanView::from_trusted(self.bytes(), &self.header)
     }
 
-    /// Length of the mapping in bytes (the on-disk snapshot size).
+    /// Length of the backing bytes: the on-disk file size for a mapped v1
+    /// snapshot, the decoded v1-layout image size for an owned (v2 or
+    /// delta-reconstructed) snapshot.
     pub fn mapped_bytes(&self) -> usize {
-        self.len
+        self.bytes().len()
     }
 
-    /// The file this snapshot was mapped from.
+    /// The file this snapshot was mapped (or decoded) from.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -188,10 +281,13 @@ impl MappedSnapshot {
 
 impl Drop for MappedSnapshot {
     fn drop(&mut self) {
-        // SAFETY: ptr/len are the exact values a successful mmap returned
-        // and every borrow of the mapping has ended (Drop takes &mut).
-        unsafe {
-            munmap(self.ptr.cast_mut().cast::<c_void>(), self.len);
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len are the exact values a successful mmap
+            // returned and every borrow of the mapping has ended (Drop
+            // takes &mut). The owned backing frees itself.
+            unsafe {
+                munmap(ptr.cast_mut().cast::<c_void>(), len);
+            }
         }
     }
 }

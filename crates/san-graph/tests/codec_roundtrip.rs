@@ -1,0 +1,149 @@
+//! Property lockdown for the v2 column codec: **encode → decode** is the
+//! identity over arbitrary `u32` sequences — including all-zero runs,
+//! `u32::MAX` extremes, monotone offset-style rows, and adversarial
+//! sawtooth deltas that maximise zigzag magnitude — the encoded size never
+//! exceeds the declared [`max_encoded_len`] bound, and every structural
+//! mutation of a valid stream decodes to a typed error, never a panic or
+//! a silently wrong value count.
+
+use proptest::prelude::*;
+use san_graph::codec::{decode_u32s, encode_u32s, max_encoded_len, BLOCK};
+use san_graph::store::StoreError;
+
+fn roundtrip(values: &[u32]) -> Result<Vec<u32>, StoreError> {
+    let mut bytes = Vec::new();
+    encode_u32s(values, &mut bytes);
+    let bound = max_encoded_len(values.len() as u64).expect("in-range count");
+    assert!(
+        (bytes.len() as u64) <= bound,
+        "{} encoded bytes exceed bound {bound} for {} values",
+        bytes.len(),
+        values.len()
+    );
+    decode_u32s(&bytes, values.len(), "test")
+}
+
+/// Value sequences that stress every codec regime: uniform randoms,
+/// frame-of-reference-friendly monotone rows, constant runs (zero deltas),
+/// extreme endpoints, and alternating min/max sawtooths (worst-case zigzag
+/// width). Lengths straddle the block boundary.
+fn arb_values() -> impl Strategy<Value = Vec<u32>> {
+    let len = prop_oneof![
+        Just(0usize),
+        1usize..8,
+        (BLOCK - 2)..(BLOCK + 3),
+        (2 * BLOCK - 1)..(2 * BLOCK + 2),
+    ];
+    len.prop_flat_map(|n| {
+        prop_oneof![
+            // Arbitrary values (includes 0 and u32::MAX by chance).
+            prop::collection::vec(any::<u32>(), n..=n),
+            // Monotone offsets with arbitrary gaps — the CSR row shape.
+            prop::collection::vec(0u32..1024, n..=n).prop_map(|gaps| {
+                let mut acc = 0u32;
+                gaps.into_iter()
+                    .map(|g| {
+                        acc = acc.saturating_add(g);
+                        acc
+                    })
+                    .collect()
+            }),
+            // Constant runs: every delta is zero.
+            (any::<u32>()).prop_map(move |v| vec![v; n]),
+            // Adversarial sawtooth: max-magnitude alternating deltas.
+            Just(
+                (0..n)
+                    .map(|i| if i % 2 == 0 { 0 } else { u32::MAX })
+                    .collect::<Vec<u32>>()
+            ),
+            // Endpoint-heavy: only 0 and u32::MAX, arbitrary order.
+            prop::collection::vec(any::<bool>(), n..=n).prop_map(|bits| bits
+                .into_iter()
+                .map(|b| if b { u32::MAX } else { 0 })
+                .collect()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity and the size bound holds.
+    #[test]
+    fn roundtrip_is_identity(values in arb_values()) {
+        let back = roundtrip(&values).expect("valid stream decodes");
+        prop_assert_eq!(back, values);
+    }
+
+    /// A decode asked for the wrong count fails typed: shorter counts see
+    /// trailing bytes, longer counts run out of stream — never a panic,
+    /// never a silently resized vector.
+    #[test]
+    fn wrong_count_is_rejected(values in arb_values(), delta in 1usize..4) {
+        prop_assume!(!values.is_empty());
+        let mut bytes = Vec::new();
+        encode_u32s(&values, &mut bytes);
+        let short = decode_u32s(&bytes, values.len() - delta.min(values.len()), "test");
+        if values.len() > delta {
+            prop_assert!(
+                matches!(short, Err(StoreError::BadCodec { .. })),
+                "short count must fail typed, got {short:?}"
+            );
+        }
+        let long = decode_u32s(&bytes, values.len() + delta, "test");
+        prop_assert!(
+            matches!(long, Err(StoreError::BadCodec { .. })),
+            "long count must fail typed, got {long:?}"
+        );
+    }
+
+    /// Truncating a valid stream anywhere decodes to a typed error.
+    #[test]
+    fn truncation_is_rejected(values in arb_values(), cut in any::<prop::sample::Index>()) {
+        prop_assume!(!values.is_empty());
+        let mut bytes = Vec::new();
+        encode_u32s(&values, &mut bytes);
+        let cut = cut.index(bytes.len());
+        let out = decode_u32s(&bytes[..cut], values.len(), "test");
+        prop_assert!(
+            matches!(out, Err(StoreError::BadCodec { .. })),
+            "truncation at {cut}/{} must fail typed, got {out:?}",
+            bytes.len()
+        );
+    }
+
+    /// Flipping a continuation bit (or any byte) never panics: the decode
+    /// either fails typed or yields exactly `count` values.
+    #[test]
+    fn corruption_never_panics(values in arb_values(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        prop_assume!(!values.is_empty());
+        let mut bytes = Vec::new();
+        encode_u32s(&values, &mut bytes);
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= 1 << bit;
+        match decode_u32s(&bytes, values.len(), "test") {
+            Ok(decoded) => prop_assert_eq!(decoded.len(), values.len()),
+            Err(StoreError::BadCodec { array, .. }) => prop_assert_eq!(array, "test"),
+            Err(other) => prop_assert!(false, "unexpected error family: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic extremes that must always hold, independent of the
+/// proptest sampling.
+#[test]
+fn fixed_extremes_roundtrip() {
+    let cases: &[Vec<u32>] = &[
+        vec![],
+        vec![0],
+        vec![u32::MAX],
+        vec![0; 3 * BLOCK],
+        vec![u32::MAX; BLOCK + 1],
+        (0..2 * BLOCK as u32).collect(),
+        (0..2 * BLOCK as u32).rev().collect(),
+    ];
+    for values in cases {
+        let back = roundtrip(values).expect("extreme case decodes");
+        assert_eq!(&back, values);
+    }
+}

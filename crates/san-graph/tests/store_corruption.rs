@@ -11,10 +11,21 @@
 //! [`CsrSanView::new`] in-memory view, and [`MappedSnapshot::open`] over
 //! an actual file — and each must reject with a typed error (the same
 //! variant family; never UB, never a panic on any path).
+//!
+//! The second half of the file repeats the exercise for the SANCSRBF v2
+//! format: truncation at every compressed-column boundary, corrupt codec
+//! headers and streams (behind re-sealed trailers), declared byte lengths
+//! outside the codec's possible range, unknown kind bytes, and standalone
+//! delta files (`DeltaWithoutBase`). The v2 "view path" is
+//! [`store::decode_v2_image`] + [`CsrSanView::new`], which is exactly how
+//! the mmap layer serves v2 days.
 
 #[cfg(all(unix, not(miri)))]
 use san_graph::mmap::MappedSnapshot;
-use san_graph::store::{self, StoreError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, NUM_ARRAYS};
+use san_graph::store::{
+    self, SnapshotVault, StoreError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, NUM_ARRAYS,
+    V2_DELTA_HEADER_BYTES, V2_FULL_HEADER_BYTES,
+};
 use san_graph::view::{AlignedBytes, CsrSanView};
 use san_graph::{AttrId, AttrType, CsrSan, SocialId, TimelineBuilder};
 
@@ -168,7 +179,9 @@ fn flipped_magic_byte() {
 #[test]
 fn unsupported_version() {
     let bytes = sample_csr().to_store_bytes();
-    for version in [0u32, store::FORMAT_VERSION + 1, 0xdead_beef] {
+    // Version 2 is a real format now, so "one past the current" means one
+    // past the whole supported set.
+    for version in [0u32, store::FORMAT_VERSION_V2 + 1, 0xdead_beef] {
         let mut bad = bytes.clone();
         bad[8..12].copy_from_slice(&version.to_le_bytes());
         for err in reject_all(&bad, &format!("version {version}")) {
@@ -434,6 +447,323 @@ fn view_rejects_misaligned_base_only() {
     ));
     // The eager loader is alignment-agnostic: same bytes still load.
     assert_eq!(read(misaligned).expect("eager load"), sample_csr());
+}
+
+// ---------------------------------------------------------------------------
+// SANCSRBF v2: the same matrix over compressed full days and delta days.
+// ---------------------------------------------------------------------------
+
+/// [`sample_csr`] with one more day of growth layered on after the shared
+/// prefix — the superset shape a real delta day records (monotone SAN
+/// growth: rows only ever gain entries).
+fn sample_csr_plus() -> CsrSan {
+    let mut tb = TimelineBuilder::new();
+    let u0 = tb.add_social_node();
+    let u1 = tb.add_social_node();
+    let u2 = tb.add_social_node();
+    let u3 = tb.add_social_node();
+    let a0 = tb.add_attr_node(AttrType::School);
+    let a1 = tb.add_attr_node(AttrType::Employer);
+    tb.add_social_link(u0, u1);
+    tb.add_social_link(u1, u0);
+    tb.add_social_link(u2, u0);
+    tb.add_social_link(u3, u2);
+    tb.add_attr_link(u0, a0);
+    tb.add_attr_link(u1, a0);
+    tb.add_attr_link(u2, a1);
+    // The extra day: a new user, new links into existing rows, a new
+    // attribute declaration.
+    let u4 = tb.add_social_node();
+    tb.add_social_link(u0, u2);
+    tb.add_social_link(u4, u1);
+    tb.add_attr_link(u3, a1);
+    tb.finish().1.freeze()
+}
+
+/// Rejection through the v2 "view" path: [`store::decode_v2_image`]
+/// decodes the compressed columns into an owned v1-layout image which
+/// [`CsrSanView::new`] then validates in full — either stage may reject,
+/// both with typed errors.
+fn v2_view_err(bytes: &[u8], ctx: &str) -> StoreError {
+    match store::decode_v2_image(bytes) {
+        Err(e) => e,
+        Ok(image) => match CsrSanView::new(&image) {
+            Ok(_) => panic!("{ctx}: v2 image view path must reject corrupt bytes"),
+            Err(e) => e,
+        },
+    }
+}
+
+/// The v2 analogue of [`reject_all`]: eager loader, decode-to-image view
+/// path, and (on unix) [`MappedSnapshot::open`], which routes v2 files
+/// through the same decoder transparently.
+fn reject_all_v2(bytes: &[u8], ctx: &str) -> Vec<StoreError> {
+    let mut errors = vec![
+        match read(bytes) {
+            Ok(_) => panic!("{ctx}: eager path must reject corrupt bytes"),
+            Err(e) => e,
+        },
+        v2_view_err(bytes, ctx),
+    ];
+    #[cfg(all(unix, not(miri)))]
+    errors.push(mapped_err(bytes, ctx));
+    errors
+}
+
+/// v2 descriptor `i`: `(element_count, byte_len)`, read straight from the
+/// documented header layout (descriptors start at byte 32).
+fn v2_descriptor(bytes: &[u8], i: usize) -> (u64, u64) {
+    let at = 32 + i * 16;
+    (
+        u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()),
+        u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()),
+    )
+}
+
+/// The v2 positive control, and the acceptance bar in miniature: a v2
+/// full day decodes **bit-identically** to the v1 serialisation of the
+/// same snapshot, on every read path, while spending fewer bytes.
+#[test]
+fn v2_full_roundtrips_bit_identical_on_every_path() {
+    for csr in [sample_csr(), san_graph::San::new().freeze()] {
+        let v1 = csr.to_store_bytes();
+        let v2 = csr.to_store_bytes_v2();
+        assert!(
+            v2.len() < v1.len(),
+            "compressed day must beat raw: {} vs {}",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(read(&v2).expect("eager v2 load"), csr);
+        let image = store::decode_v2_image(&v2).expect("decode image");
+        assert_eq!(
+            &image[..],
+            v1.as_slice(),
+            "image must be bit-identical to v1"
+        );
+        assert_eq!(
+            CsrSanView::new(&image).expect("image view").to_owned_csr(),
+            csr
+        );
+        #[cfg(all(unix, not(miri)))]
+        {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "san-v2-roundtrip-{}-{}.csr",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, &v2).expect("write v2 snapshot");
+            let mapped = MappedSnapshot::open(&path).expect("open v2 mapped");
+            // The handle serves the decoded v1-layout image.
+            assert_eq!(mapped.mapped_bytes(), v1.len());
+            assert_eq!(mapped.view().to_owned_csr(), csr);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Truncating a v2 file at (and inside) every header/column/trailer
+/// boundary is `Truncated` on every path, never a panic.
+#[test]
+fn v2_truncation_at_every_boundary() {
+    let csr = sample_csr();
+    let bytes = csr.to_store_bytes_v2();
+    let mut cuts: Vec<usize> = vec![
+        0,
+        1,
+        11,
+        12,
+        13,
+        V2_FULL_HEADER_BYTES - 1,
+        V2_FULL_HEADER_BYTES,
+    ];
+    // Column stream boundaries: the streams tile from the header end in
+    // declared order.
+    let mut offset = V2_FULL_HEADER_BYTES;
+    for i in 0..NUM_ARRAYS {
+        let (_, len) = v2_descriptor(&bytes, i);
+        offset += len as usize;
+        cuts.push(offset);
+        if len > 0 {
+            cuts.push(offset - 1);
+        }
+    }
+    cuts.push(bytes.len() - 1); // inside the trailer
+    for cut in cuts {
+        assert!(cut < bytes.len(), "cut {cut} inside file");
+        for err in reject_all_v2(&bytes[..cut], &format!("v2 cut {cut}")) {
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "v2 cut {cut}: expected Truncated, got {err}"
+            );
+        }
+    }
+    assert_eq!(read(&bytes).expect("full v2 stream"), csr);
+}
+
+/// Flipping any v2 trailer byte is `BadChecksum` on every path.
+#[test]
+fn v2_flipped_trailer_byte() {
+    let bytes = sample_csr().to_store_bytes_v2();
+    let len = bytes.len();
+    for i in (len - CHECKSUM_BYTES)..len {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x01;
+        for err in reject_all_v2(&bad, &format!("v2 trailer byte {i}")) {
+            assert!(
+                matches!(err, StoreError::BadChecksum { .. }),
+                "v2 trailer byte {i}: expected BadChecksum, got {err}"
+            );
+        }
+    }
+}
+
+/// An unknown kind byte — not full, not delta — is a typed codec error
+/// even behind a valid trailer.
+#[test]
+fn v2_unknown_kind_byte() {
+    let mut bad = sample_csr().to_store_bytes_v2();
+    bad[12] = 9;
+    reseal(&mut bad);
+    for err in reject_all_v2(&bad, "v2 kind byte") {
+        assert!(
+            matches!(err, StoreError::BadCodec { .. }),
+            "v2 kind byte: expected BadCodec, got {err}"
+        );
+    }
+}
+
+/// Declared column byte lengths outside the codec's possible range — more
+/// than 5 bytes/value, fewer than 1 byte/value, or a tag column that is
+/// not exactly 1 byte/tag — are rejected at header level, before any
+/// allocation or payload access.
+#[test]
+fn v2_declared_byte_length_violations() {
+    let bytes = sample_csr().to_store_bytes_v2();
+
+    // A u32 column claiming more bytes than any varint stream can occupy.
+    let mut bad = bytes.clone();
+    let (count, _) = v2_descriptor(&bad, 1);
+    let at = 32 + 16 + 8;
+    bad[at..at + 8].copy_from_slice(&(count * 5 + 1).to_le_bytes());
+    for err in reject_all_v2(&bad, "overlong column claim") {
+        assert!(
+            matches!(err, StoreError::BadCodec { .. }),
+            "overlong column claim: got {err}"
+        );
+    }
+
+    // A u32 column claiming fewer bytes than one varint per value.
+    let mut bad = bytes.clone();
+    let (count, _) = v2_descriptor(&bad, 0);
+    assert!(count >= 2);
+    let at = 32 + 8;
+    bad[at..at + 8].copy_from_slice(&(count - 1).to_le_bytes());
+    for err in reject_all_v2(&bad, "short column claim") {
+        assert!(
+            matches!(err, StoreError::BadCodec { .. }),
+            "short column claim: got {err}"
+        );
+    }
+
+    // The raw tag column must be exactly one byte per tag.
+    let mut bad = bytes.clone();
+    let (count, _) = v2_descriptor(&bad, NUM_ARRAYS - 1);
+    let at = 32 + (NUM_ARRAYS - 1) * 16 + 8;
+    bad[at..at + 8].copy_from_slice(&(count + 1).to_le_bytes());
+    for err in reject_all_v2(&bad, "tag byte claim") {
+        assert!(
+            matches!(err, StoreError::CountMismatch { .. }),
+            "tag byte claim: got {err}"
+        );
+    }
+}
+
+/// Corrupting a codec stream behind a re-sealed trailer — so the checksum
+/// cannot be what catches it — is still a typed rejection on every path:
+/// either the codec (mis-sized stream) or the downstream v1 semantic
+/// validators over the decoded values.
+#[test]
+fn v2_corrupt_codec_stream_behind_valid_trailer() {
+    let bytes = sample_csr().to_store_bytes_v2();
+    let mut offset = V2_FULL_HEADER_BYTES;
+    for i in 0..NUM_ARRAYS - 1 {
+        let (_, len) = v2_descriptor(&bytes, i);
+        if len == 0 {
+            continue;
+        }
+        let mut bad = bytes.clone();
+        // Toggle a continuation bit at the stream head: the varint grid
+        // shifts and the declared byte budget no longer parses cleanly.
+        bad[offset] ^= 0x80;
+        reseal(&mut bad);
+        for err in reject_all_v2(&bad, &format!("v2 column {i} stream")) {
+            assert!(
+                matches!(
+                    err,
+                    StoreError::BadCodec { .. }
+                        | StoreError::NonMonotoneOffsets { .. }
+                        | StoreError::OffsetMismatch { .. }
+                        | StoreError::CountMismatch { .. }
+                        | StoreError::IdOutOfRange { .. }
+                        | StoreError::BadAttrType { .. }
+                ),
+                "v2 column {i}: got {err}"
+            );
+        }
+        offset += len as usize;
+    }
+}
+
+/// A delta day file is not a snapshot by itself: every direct read path
+/// reports `DeltaWithoutBase` (naming the base day a vault would need),
+/// while the owning vault reconstructs the chain fine — and a corrupted
+/// delta payload surfaces typed through that chain load too.
+#[test]
+fn standalone_delta_file_is_delta_without_base() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "san-corrupt-vault-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let base = sample_csr();
+    let next = sample_csr_plus();
+    let mut vault = SnapshotVault::create(&dir).expect("create vault");
+    vault.save_day_v2(0, &base).expect("save base day");
+    vault
+        .save_day_delta(1, 0, &base, &next)
+        .expect("save delta day");
+    // The vault resolves the chain…
+    assert_eq!(*vault.load_day(1).expect("chain load"), next);
+    // …but the raw delta file alone is rejected by every direct path.
+    let delta_bytes = std::fs::read(vault.day_path(1)).expect("read delta file");
+    for err in reject_all_v2(&delta_bytes, "standalone delta") {
+        assert!(
+            matches!(err, StoreError::DeltaWithoutBase { base_day: 0 }),
+            "standalone delta: expected DeltaWithoutBase, got {err}"
+        );
+    }
+    // A continuation-bit flip in the delta payload (trailer re-sealed)
+    // must fail typed through the vault's chain loader.
+    let mut bad = delta_bytes.clone();
+    bad[V2_DELTA_HEADER_BYTES] ^= 0x80;
+    reseal(&mut bad);
+    std::fs::write(vault.day_path(1), &bad).expect("rewrite delta file");
+    let err = vault.load_day(1).expect_err("corrupt delta must not load");
+    assert!(
+        matches!(
+            err,
+            StoreError::BadCodec { .. }
+                | StoreError::CountMismatch { .. }
+                | StoreError::IdOutOfRange { .. }
+        ),
+        "corrupt delta: got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The one positive control: a loaded snapshot answers queries exactly

@@ -12,7 +12,8 @@ use crate::vocab::label_attributes;
 use san_core::model::{SanModel, SanModelParams};
 use san_graph::crawler::{CrawlSnapshot, Crawler};
 use san_graph::degree::nodes_by_total_degree;
-use san_graph::{San, SanTimeline, SocialId};
+use san_graph::store::{SnapshotVault, StoreError, StreamingVaultWriter};
+use san_graph::{San, SanEvent, SanTimeline, SocialId};
 use san_stats::SplitRng;
 
 /// Simulator parameters.
@@ -117,6 +118,53 @@ impl GooglePlus {
             labels,
             crawl_seed,
         }
+    }
+
+    /// Streaming form of [`generate`](GooglePlus::generate): grows the
+    /// exact same ground truth (bit-identical for the same `seed`) but
+    /// hands each day's events to `sink(day, events)` as they complete
+    /// instead of accumulating a [`SanTimeline`] — peak memory is the live
+    /// network plus one day of events, which is what makes million-node
+    /// synthesis feasible. No visibility/label/crawl bookkeeping is done;
+    /// scale runs that need those should sample them from the returned
+    /// ground truth.
+    pub fn generate_streaming<F: FnMut(u32, &[SanEvent])>(&self, seed: u64, sink: F) -> San {
+        let model = SanModel::new(self.params.engine.clone()).expect("validated in new");
+        model.generate_with(seed, sink)
+    }
+
+    /// Synthesizes the ground truth straight into `vault` in bounded
+    /// memory: each day's events stream into a
+    /// [`StreamingVaultWriter`] persisting every `step`-th day (plus the
+    /// final day) as SANCSRBF v2, with at most `full_every - 1`
+    /// consecutive delta days between full days. At no point are more
+    /// than two snapshots resident. Returns the final ground-truth
+    /// network and the persisted days.
+    ///
+    /// # Panics
+    /// Panics if `step == 0` or `full_every` is outside
+    /// `1..=`[`MAX_DELTA_CHAIN`](san_graph::store::MAX_DELTA_CHAIN).
+    pub fn synthesize_into_vault(
+        &self,
+        seed: u64,
+        vault: &mut SnapshotVault,
+        step: u32,
+        full_every: u32,
+    ) -> Result<(San, Vec<u32>), StoreError> {
+        let mut writer = StreamingVaultWriter::new(vault, step, full_every);
+        let mut failed = None;
+        let truth = self.generate_streaming(seed, |_, events| {
+            if failed.is_none() {
+                if let Err(e) = writer.apply_day(events) {
+                    failed = Some(e);
+                }
+            }
+        });
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        let saved = writer.finish()?;
+        Ok((truth, saved))
     }
 }
 
@@ -244,6 +292,45 @@ mod tests {
         assert_eq!(a.truth.num_social_links(), b.truth.num_social_links());
         assert_eq!(a.public, b.public);
         assert_eq!(a.crawl_seed, b.crawl_seed);
+    }
+
+    #[test]
+    fn streaming_generation_matches_batch() {
+        let gp = GooglePlus::at_scale(5);
+        let data = gp.generate(4);
+        let mut events = Vec::new();
+        let truth = gp.generate_streaming(4, |day, evs| {
+            assert!(evs.iter().all(|e| e.day() == day));
+            events.extend_from_slice(evs);
+        });
+        assert_eq!(events, data.timeline.events());
+        assert_eq!(truth.num_social_nodes(), data.truth.num_social_nodes());
+        assert_eq!(truth.num_social_links(), data.truth.num_social_links());
+        assert_eq!(truth.num_attr_links(), data.truth.num_attr_links());
+    }
+
+    #[test]
+    fn synthesize_into_vault_matches_timeline_snapshots() {
+        let dir = std::env::temp_dir().join(format!("san-sim-vault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut vault = SnapshotVault::create(&dir).unwrap();
+
+        let gp = GooglePlus::at_scale(4);
+        let (truth, saved) = gp.synthesize_into_vault(9, &mut vault, 10, 4).unwrap();
+        let data = gp.generate(9);
+        assert_eq!(truth.num_social_links(), data.truth.num_social_links());
+
+        // Persisted grid: every 10th day plus the forced final day 98.
+        let expect: Vec<u32> = (0..=98).filter(|d| d % 10 == 0).chain([98]).collect();
+        assert_eq!(saved, expect);
+        // Each persisted day reloads to the replayed snapshot, across the
+        // full/delta mix.
+        for &day in &[0u32, 30, 50, 98] {
+            let loaded = vault.load_day(day).unwrap();
+            assert_eq!(*loaded, data.timeline.snapshot_csr(day), "day {day}");
+        }
+        assert_eq!(*vault.load_day(98).unwrap(), data.truth.freeze());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,15 +8,92 @@
 //! iteration count, and prints min/mean/max per-iteration times.
 //!
 //! Honors `CRITERION_QUICK=1` to cut sample counts for CI smoke runs.
+//!
+//! Beyond the criterion surface, the harness keeps an in-process results
+//! registry: every benchmark's median per-iteration time (ns) is recorded
+//! under `suite → metric`, arbitrary measurements can be added with
+//! [`record_value`] (byte sizes, throughputs), and [`write_json`] dumps
+//! the whole registry as a stable, sorted JSON document — the `BENCH_*.json`
+//! files at the repo root are produced this way.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hint;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimiser from deleting benchmark
 /// bodies.
 pub fn black_box<T>(value: T) -> T {
     hint::black_box(value)
+}
+
+/// The process-wide results registry: suite → metric → value.
+fn registry() -> &'static Mutex<BTreeMap<String, BTreeMap<String, f64>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, BTreeMap<String, f64>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records a measurement into the results registry under
+/// `suite → metric`. Benchmark medians are recorded automatically (in
+/// nanoseconds); call this directly for non-timing measurements such as
+/// byte sizes or throughputs. Non-finite values are ignored (they have no
+/// JSON representation); re-recording a metric overwrites it.
+pub fn record_value(suite: &str, metric: &str, value: f64) {
+    if !value.is_finite() {
+        return;
+    }
+    registry()
+        .lock()
+        .expect("results registry poisoned")
+        .entry(suite.to_string())
+        .or_default()
+        .insert(metric.to_string(), value);
+}
+
+/// Minimal JSON string escaping (the registry keys are benchmark labels —
+/// plain ASCII in practice, but quotes and backslashes must not break the
+/// document).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every recorded measurement as a pretty-printed, key-sorted JSON
+/// document `{ "suite": { "metric": value } }` — deterministic output, so
+/// committed `BENCH_*.json` files diff cleanly between recordings.
+pub fn write_json(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let reg = registry().lock().expect("results registry poisoned");
+    let mut out = String::from("{\n");
+    let mut first_suite = true;
+    for (suite, metrics) in reg.iter() {
+        if !first_suite {
+            out.push_str(",\n");
+        }
+        first_suite = false;
+        out.push_str(&format!("  \"{}\": {{\n", escape_json(suite)));
+        let mut first_metric = true;
+        for (metric, value) in metrics {
+            if !first_metric {
+                out.push_str(",\n");
+            }
+            first_metric = false;
+            // Round to one decimal: sub-0.1ns / sub-0.1-byte precision is
+            // noise, and the fixed format keeps diffs readable.
+            out.push_str(&format!("    \"{}\": {:.1}", escape_json(metric), value));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    std::fs::write(path, out)
 }
 
 /// A benchmark identifier made of a function name and a parameter.
@@ -73,6 +150,21 @@ impl Bencher {
             }
             self.results.push(start.elapsed());
         }
+    }
+
+    /// Median per-iteration time in nanoseconds (`None` before any
+    /// samples) — what the results registry records per benchmark.
+    fn median_nanos(&self) -> Option<f64> {
+        if self.results.is_empty() {
+            return None;
+        }
+        let mut times: Vec<f64> = self
+            .results
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Some(times[times.len() / 2] * 1e9)
     }
 
     fn report(&self, label: &str) {
@@ -140,7 +232,7 @@ impl BenchmarkGroup<'_> {
             iters_per_sample: 1,
         };
         body(&mut bencher);
-        bencher.report(&format!("{}/{}", self.name, id));
+        self.finish_one(&id.to_string(), &bencher);
         self
     }
 
@@ -155,8 +247,18 @@ impl BenchmarkGroup<'_> {
             iters_per_sample: 1,
         };
         body(&mut bencher, input);
-        bencher.report(&format!("{}/{}", self.name, id));
+        self.finish_one(&id.to_string(), &bencher);
         self
+    }
+
+    /// Prints the report line and records the median into the results
+    /// registry (suite = group name, metric = benchmark id, unit = ns).
+    fn finish_one(&self, id: &str, bencher: &Bencher) {
+        bencher.report(&format!("{}/{id}", self.name));
+        if let Some(ns) = bencher.median_nanos() {
+            let metric = if id.is_empty() { "time" } else { id };
+            record_value(&self.name, metric, ns);
+        }
     }
 
     /// Ends the group (cosmetic separator).
@@ -258,6 +360,48 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn registry_records_and_writes_sorted_json() {
+        record_value("suite/b", "metric", 12.34);
+        record_value("suite/a", "z_last", 2.0);
+        record_value("suite/a", "a_first", 1.0);
+        record_value("suite/a", "a_first", 1.5); // overwrite wins
+        record_value("suite/a", "dropped", f64::NAN); // ignored
+        record_value("suite/\"q\"", "esc", 3.0);
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-registry-{}.json",
+            std::process::id()
+        ));
+        write_json(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(json.contains("\"suite/b\""));
+        assert!(json.contains("\"metric\": 12.3"));
+        assert!(json.contains("\"a_first\": 1.5"));
+        assert!(!json.contains("dropped"));
+        assert!(json.contains("\\\"q\\\""));
+        // Suites and metrics appear in sorted order.
+        let a = json.find("suite/a").unwrap();
+        let b = json.find("suite/b").unwrap();
+        assert!(a < b);
+        assert!(json.find("a_first").unwrap() < json.find("z_last").unwrap());
+        // Structurally balanced (the crate is dependency-free, so no JSON
+        // parser here; the san-bench suite parses these files for real).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn bench_medians_land_in_registry() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("shim/registry-test");
+        group.bench_function("spin", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.finish();
+        let reg = registry().lock().unwrap();
+        let ns = reg["shim/registry-test"]["spin"];
+        assert!(ns > 0.0, "median {ns} must be positive");
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! The registry is unreachable from the build environment, so this crate
 //! reimplements the slice of `proptest`'s API the workspace uses: the
-//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
-//! `prop::collection::vec`, `any::<T>()`, the `proptest!` macro (with
-//! `#![proptest_config(...)]`), and the `prop_assert*` family.
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! `any::<T>()`, the unweighted `prop_oneof!` union, the `proptest!`
+//! macro (with `#![proptest_config(...)]`), and the `prop_assert*`
+//! family.
 //!
 //! Semantics differ from real proptest in one deliberate way: there is no
 //! shrinking. Failures panic immediately with the case number and the
@@ -123,6 +125,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a second strategy from each generated value and draws from
+    /// it (dependent generation: e.g. a length, then a vector of exactly
+    /// that length).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Output of [`Strategy::prop_map`].
@@ -138,6 +152,66 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// One boxed arm of a [`Union`]: a generator drawing a `T` from the RNG.
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// An unweighted union of strategies over one value type; each draw picks
+/// an arm uniformly. Built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a nonempty arm list.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one strategy as a union arm (the uniform element type the
+    /// `prop_oneof!` macro builds its `vec![...]` from).
+    pub fn arm<S>(strategy: S) -> UnionArm<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(move |rng| strategy.generate(rng))
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[arm])(rng)
+    }
+}
+
+/// Builds an unweighted [`Union`]: each case draws from one of the listed
+/// strategies, chosen uniformly. (Real proptest's `weight => strategy`
+/// arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::arm($strategy)),+])
+    };
 }
 
 /// A strategy producing one constant value.
@@ -330,13 +404,41 @@ pub mod prop {
             }
         }
     }
+
+    /// Sampling helpers (`prop::sample::Index`).
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An index into a collection whose length is only known inside
+        /// the test body: draw one with `any::<Index>()`, then project it
+        /// with [`Index::index`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Maps the drawn value onto `0..len`.
+            ///
+            /// # Panics
+            /// Panics if `len == 0` (an index into nothing).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index into an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
 }
 
 /// Prelude mirroring `proptest::prelude::*` for the supported subset.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
-        ProptestConfig, Strategy, TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, Just, ProptestConfig, Strategy, TestRng,
     };
 }
 
