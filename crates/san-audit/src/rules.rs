@@ -378,10 +378,12 @@ pub fn store_error_coverage(ws: &Workspace) -> Vec<Violation> {
 
 /// Files whose byte-slice indexing handles *untrusted* input (snapshot
 /// decode paths).
-const UNTRUSTED_FILES: [&str; 3] = [
+const UNTRUSTED_FILES: [&str; 5] = [
     "crates/san-graph/src/codec.rs",
     "crates/san-graph/src/store.rs",
     "crates/san-graph/src/view.rs",
+    "crates/san-graph/src/wire.rs",
+    "crates/san-net/src/proto.rs",
 ];
 
 /// Rule 5: direct indexing of `bytes`/`buf` in the decode paths must

@@ -20,6 +20,7 @@
 //! `EXPERIMENTS.md` records both sides.
 
 pub mod exp;
+pub mod load;
 
 use san_graph::crawler::CrawlSnapshot;
 use san_sim::{GooglePlus, GooglePlusData};

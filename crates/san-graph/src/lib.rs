@@ -104,6 +104,7 @@ pub mod subsample;
 pub mod traverse;
 pub mod unionfind;
 pub mod view;
+pub mod wire;
 
 pub use builder::SanBuilder;
 pub use csr::CsrSan;
@@ -118,6 +119,7 @@ pub use san::San;
 pub use shard::{CsrShard, ShardedCsrSan};
 pub use store::{SnapshotVault, StoreError};
 pub use view::{AlignedBytes, CsrSanView};
+pub use wire::{WireReader, WireTruncated, WireWriter};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -134,4 +136,5 @@ pub mod prelude {
     pub use crate::shard::{CsrShard, ShardedCsrSan};
     pub use crate::store::{SnapshotVault, StoreError};
     pub use crate::view::{AlignedBytes, CsrSanView};
+    pub use crate::wire::{WireReader, WireTruncated, WireWriter};
 }

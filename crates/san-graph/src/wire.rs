@@ -1,0 +1,239 @@
+//! Little-endian frame codec helpers shared by every wire format in the
+//! workspace.
+//!
+//! The snapshot store ([`crate::store`]) established the house framing
+//! style: fixed-width little-endian integers, explicit section names on
+//! every truncation error, and *bounds before bytes* — a reader never
+//! trusts a declared length until the underlying buffer has been checked
+//! to actually hold it. `san-net`'s request/response frames follow the
+//! same style over TCP; this module is the small codec kernel both sides
+//! of that protocol (and future framed formats) build on, so the
+//! byte-twiddling lives in exactly one audited place.
+//!
+//! [`WireWriter`] appends fixed-width values to a growable buffer;
+//! [`WireReader`] consumes them from a borrowed slice, returning a typed
+//! [`WireTruncated`] (carrying the section name that ran dry) instead of
+//! panicking on short input. Neither ever reads past the slice it was
+//! given.
+
+/// A read ran off the end of the buffer while decoding `section`.
+///
+/// This is deliberately a bare struct, not an enum: truncation is the
+/// *only* failure a fixed-width codec can hit. Callers wrap it into
+/// their own richer error type (e.g. `NetError::Truncated`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTruncated {
+    /// Name of the field or section that could not be fully read.
+    pub section: &'static str,
+}
+
+impl std::fmt::Display for WireTruncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated while reading {}", self.section)
+    }
+}
+
+impl std::error::Error for WireTruncated {}
+
+/// Append-only little-endian frame builder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// An empty writer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> WireWriter {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer into the finished frame.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-style little-endian reader over a borrowed slice.
+///
+/// Every `take_*` either returns the value and advances, or returns
+/// [`WireTruncated`] naming the section — the cursor never moves past
+/// the end and never panics on short input.
+#[derive(Debug, Clone, Copy)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> WireReader<'a> {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still unread.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `len` raw bytes, or reports which `section` was truncated.
+    pub fn take_bytes(
+        &mut self,
+        len: usize,
+        section: &'static str,
+    ) -> Result<&'a [u8], WireTruncated> {
+        let end = self.pos.checked_add(len).ok_or(WireTruncated { section })?;
+        if end > self.bytes.len() {
+            return Err(WireTruncated { section });
+        }
+        // BOUNDS: `end = pos + len` checked against `bytes.len()` (with
+        // overflow-checked addition) immediately above; `pos ≤ end`.
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Takes a fixed-width array, or reports which `section` was
+    /// truncated.
+    pub fn take_array<const N: usize>(
+        &mut self,
+        section: &'static str,
+    ) -> Result<[u8; N], WireTruncated> {
+        let slice = self.take_bytes(N, section)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    pub fn take_u8(&mut self, section: &'static str) -> Result<u8, WireTruncated> {
+        Ok(self.take_array::<1>(section)?[0])
+    }
+
+    /// Takes a little-endian `u16`.
+    pub fn take_u16(&mut self, section: &'static str) -> Result<u16, WireTruncated> {
+        Ok(u16::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Takes a little-endian `u32`.
+    pub fn take_u32(&mut self, section: &'static str) -> Result<u32, WireTruncated> {
+        Ok(u32::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Takes a little-endian `u64`.
+    pub fn take_u64(&mut self, section: &'static str) -> Result<u64, WireTruncated> {
+        Ok(u64::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Takes an `f64` from its IEEE-754 bit pattern, little-endian.
+    pub fn take_f64(&mut self, section: &'static str) -> Result<f64, WireTruncated> {
+        Ok(f64::from_bits(self.take_u64(section)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_width() {
+        let mut w = WireWriter::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bytes(b"tail");
+        let frame = w.finish();
+        assert_eq!(frame.len(), 1 + 2 + 4 + 8 + 8 + 4);
+
+        let mut r = WireReader::new(&frame);
+        assert_eq!(r.take_u8("a").unwrap(), 0xAB);
+        assert_eq!(r.take_u16("b").unwrap(), 0xBEEF);
+        assert_eq!(r.take_u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64("d").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.take_f64("e").unwrap(), std::f64::consts::PI);
+        assert_eq!(r.take_bytes(4, "f").unwrap(), b"tail");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.consumed(), frame.len());
+    }
+
+    #[test]
+    fn truncation_names_the_section_and_does_not_advance() {
+        let bytes = [1u8, 2, 3];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.take_u16("head").unwrap(), 0x0201);
+        let err = r.take_u32("payload len").unwrap_err();
+        assert_eq!(err.section, "payload len");
+        // The failed read must not consume the remaining byte.
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.take_u8("tail").unwrap(), 3);
+    }
+
+    #[test]
+    fn huge_length_requests_fail_without_wrapping() {
+        let bytes = [0u8; 8];
+        let mut r = WireReader::new(&bytes);
+        assert!(r.take_bytes(usize::MAX, "giant").is_err());
+        assert!(r.take_bytes(usize::MAX - 4, "giant").is_err());
+        assert_eq!(r.remaining(), 8);
+    }
+
+    #[test]
+    fn little_endian_layout_matches_store_style() {
+        let mut w = WireWriter::new();
+        w.put_u32(0x0403_0201);
+        assert_eq!(w.finish(), vec![0x01, 0x02, 0x03, 0x04]);
+    }
+}

@@ -1,0 +1,42 @@
+//! [`NetClient`]: a minimal blocking client — one connection, one
+//! in-flight request — used by the load generators in `san-bench` and
+//! the loopback test suites.
+
+use crate::proto::{NetError, Query, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client over one TCP connection.
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects (Nagle off — the protocol is request/response).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream })
+    }
+
+    /// Bounds how long [`query`](NetClient::query) may wait on the
+    /// server (safety net for tests; `None` waits indefinitely).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its typed response. A server
+    /// that closed without answering (drained away mid-connection)
+    /// surfaces as [`NetError::Truncated`] on the response header.
+    pub fn query(&mut self, day: u32, query: Query) -> Result<Response, NetError> {
+        Request { day, query }.write_to(&mut self.stream)?;
+        match Response::read_from(&mut self.stream)? {
+            Some(response) => Ok(response),
+            None => Err(NetError::Truncated {
+                section: "response header",
+            }),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Serving-front-end meters: what the TCP layer did and how long
+//! requests took, shared lock-free by the acceptor and every worker.
+
+use san_graph::meter::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ORDERING: every counter below is a statistically-read meter — no
+// reader makes a control decision requiring cross-counter consistency,
+// and no data is published through them — so Relaxed loads/stores are
+// exact enough everywhere in this module.
+
+/// Counters + request-latency histogram for a `NetServer`.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    accepted_conns: AtomicU64,
+    rejected_conns: AtomicU64,
+    requests: AtomicU64,
+    served: AtomicU64,
+    busy: AtomicU64,
+    no_snapshot: AtomicU64,
+    node_out_of_range: AtomicU64,
+    store_failed: AtomicU64,
+    decode_errors: AtomicU64,
+    request_latency: LatencyHistogram,
+}
+
+macro_rules! meter {
+    ($record:ident, $get:ident, $field:ident, $doc:literal) => {
+        #[doc = concat!("Increments ", $doc, ".")]
+        pub(crate) fn $record(&self) {
+            // ORDERING: Relaxed — pure meter, see module header.
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[doc = concat!("Reads ", $doc, ".")]
+        pub fn $get(&self) -> u64 {
+            // ORDERING: Relaxed — pure meter, see module header.
+            self.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl NetMetrics {
+    /// Fresh, all-zero meters.
+    pub fn new() -> NetMetrics {
+        NetMetrics::default()
+    }
+
+    meter!(
+        record_accepted_conn,
+        accepted_conns,
+        accepted_conns,
+        "connections the acceptor handed to the pool"
+    );
+    meter!(
+        record_rejected_conn,
+        rejected_conns,
+        rejected_conns,
+        "connections refused at accept (queue full or draining)"
+    );
+    meter!(record_request, requests, requests, "request frames decoded");
+    meter!(record_served, served, served, "requests answered `Ok`");
+    meter!(
+        record_busy,
+        busy,
+        busy,
+        "requests rejected `Busy` by admission control"
+    );
+    meter!(
+        record_no_snapshot,
+        no_snapshot,
+        no_snapshot,
+        "requests for days before the first persisted snapshot"
+    );
+    meter!(
+        record_node_out_of_range,
+        node_out_of_range,
+        node_out_of_range,
+        "requests naming nodes outside the served snapshot"
+    );
+    meter!(
+        record_store_failed,
+        store_failed,
+        store_failed,
+        "requests that hit a store-side map/validate failure"
+    );
+    meter!(
+        record_decode_error,
+        decode_errors,
+        decode_errors,
+        "malformed request frames (connection closed after)"
+    );
+
+    /// Records one request's wall-clock service time (decode → response
+    /// written), whatever the outcome.
+    pub(crate) fn record_request_latency(&self, elapsed: Duration) {
+        self.request_latency.record(elapsed);
+    }
+
+    /// The request-latency histogram (p50/p99/p999 via
+    /// [`LatencyHistogram::quantile_nanos`]).
+    pub fn request_latency(&self) -> &LatencyHistogram {
+        &self.request_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_count() {
+        let m = NetMetrics::new();
+        assert_eq!(m.requests(), 0);
+        m.record_request();
+        m.record_request();
+        m.record_busy();
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.busy(), 1);
+        assert_eq!(m.served(), 0);
+        m.record_request_latency(Duration::from_micros(3));
+        assert_eq!(m.request_latency().count(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! `loom-lite` model checks of the accept-loop shutdown handshake: the
+//! exact production [`ConnQueue`](crate::pool::ConnQueue) and
+//! [`InflightGate`](crate::pool::InflightGate) code (dual-mode
+//! `loom_lite::sync` primitives) explored across **every** 2–3-thread
+//! schedule.
+//!
+//! Each scenario asserts, in every explored interleaving:
+//!
+//! * **no stranded worker** — a consumer blocked in `pop` always wakes
+//!   on `stop` and exits with `None` (a schedule where it stays parked
+//!   would be reported as a model deadlock);
+//! * **no double-drop / no loss of a connection slot** — every pushed
+//!   token ends in *exactly one* of {popped by a worker, rejected at
+//!   push, drained by `stop`};
+//! * **backpressure counter consistency** — the in-flight gate never
+//!   admits past its cap, concurrency observed inside the critical
+//!   region never exceeds the cap, and every slot is returned (the
+//!   counter is zero once all threads join).
+
+// Redundant with the gated `mod` declaration in lib.rs, but makes this
+// file self-describing as test-only code (san-audit classifies files
+// with a test-gating inner attribute as test code).
+#![cfg(test)]
+
+use crate::pool::{ConnQueue, InflightGate};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Two producers race one consumer and a mid-stream `stop` on a
+/// capacity-1 queue: every token lands exactly once, whatever the
+/// schedule.
+#[test]
+fn every_connection_slot_lands_exactly_once() {
+    // Plain std atomics: cross-iteration statistics, not modelled state.
+    let saw_reject = Arc::new(AtomicU64::new(0));
+    let saw_drain = Arc::new(AtomicU64::new(0));
+    let (reject_stat, drain_stat) = (Arc::clone(&saw_reject), Arc::clone(&saw_drain));
+    let report = loom_lite::model(move || {
+        let queue = Arc::new(ConnQueue::new(1));
+        let producers: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|token| {
+                let queue = Arc::clone(&queue);
+                loom_lite::thread::spawn(move || queue.push(token).err())
+            })
+            .collect();
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            loom_lite::thread::spawn(move || {
+                let mut popped = Vec::new();
+                while let Some(token) = queue.pop() {
+                    popped.push(token);
+                }
+                popped
+            })
+        };
+        let rejected: Vec<u64> = producers
+            .into_iter()
+            .filter_map(|p| p.join().expect("producer"))
+            .collect();
+        let drained = queue.stop();
+        let popped = consumer.join().expect("consumer");
+
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&rejected);
+        all.extend(&drained);
+        all.extend(&popped);
+        all.sort_unstable();
+        // Exactly-once accounting: nothing lost, nothing duplicated.
+        assert_eq!(all, vec![1, 2]);
+        assert!(queue.is_empty());
+        reject_stat.fetch_add(rejected.len() as u64, Ordering::Relaxed);
+        drain_stat.fetch_add(drained.len() as u64, Ordering::Relaxed);
+    });
+    assert!(report.iterations > 1, "model explored only one schedule");
+    // Across the full schedule space both overload outcomes must be
+    // reachable: a push rejected by the full queue, and a token left
+    // for stop() to drain.
+    assert!(saw_reject.load(Ordering::Relaxed) > 0);
+    assert!(saw_drain.load(Ordering::Relaxed) > 0);
+}
+
+/// A consumer parked in `pop` races the stopper: no schedule strands
+/// it (loom-lite reports a deadlock if any does), and a token pushed
+/// concurrently with `stop` is still served or drained — never lost.
+#[test]
+fn stop_never_strands_a_parked_worker() {
+    let report = loom_lite::model(|| {
+        let queue = Arc::new(ConnQueue::new(2));
+        let worker = {
+            let queue = Arc::clone(&queue);
+            loom_lite::thread::spawn(move || {
+                let mut popped = 0u64;
+                while queue.pop().is_some() {
+                    popped += 1;
+                }
+                popped
+            })
+        };
+        let producer = {
+            let queue = Arc::clone(&queue);
+            loom_lite::thread::spawn(move || queue.push(7).is_ok())
+        };
+        let stopper = {
+            let queue = Arc::clone(&queue);
+            loom_lite::thread::spawn(move || queue.stop().len() as u64)
+        };
+        let accepted = producer.join().expect("producer");
+        let drained = stopper.join().expect("stopper");
+        let popped = worker.join().expect("worker");
+        // The worker always exits (join returned), and the token's
+        // fate is exactly one of {rejected, drained, popped}.
+        assert_eq!(u64::from(accepted), drained + popped);
+    });
+    assert!(report.iterations > 1, "model explored only one schedule");
+}
+
+/// Two threads hammer a cap-1 gate: observed concurrency never exceeds
+/// the cap, the admission beyond it fails fast, and every slot is
+/// returned.
+#[test]
+fn inflight_gate_never_exceeds_cap_and_returns_every_slot() {
+    let saw_busy = Arc::new(AtomicU64::new(0));
+    let busy_stat = Arc::clone(&saw_busy);
+    let report = loom_lite::model(move || {
+        let gate = Arc::new(InflightGate::new(1));
+        let active = Arc::new(loom_lite::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let active = Arc::clone(&active);
+                loom_lite::thread::spawn(move || {
+                    let Some(permit) = gate.try_enter() else {
+                        return 0u64;
+                    };
+                    // ORDERING: Relaxed — model-explored instrumentation
+                    // counter; loom-lite explores under SeqCst anyway.
+                    let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+                    assert!(now <= 1, "gate admitted past its cap");
+                    active
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n - 1))
+                        .ok();
+                    drop(permit);
+                    1
+                })
+            })
+            .collect();
+        let admitted: u64 = handles.into_iter().map(|h| h.join().expect("thread")).sum();
+        assert!(admitted >= 1, "some schedule admitted nobody");
+        busy_stat.fetch_add(u64::from(admitted < 2), Ordering::Relaxed);
+        // Backpressure counter consistency: every admitted slot was
+        // returned once both threads joined.
+        assert_eq!(gate.in_flight(), 0);
+    });
+    assert!(report.iterations > 1, "model explored only one schedule");
+    // At least one schedule must have hit the cap (a permit still held
+    // when the second thread tried).
+    assert!(saw_busy.load(Ordering::Relaxed) > 0);
+}

@@ -1,0 +1,246 @@
+//! Worker-pool plumbing: the bounded connection queue the acceptor
+//! feeds and the in-flight admission gate workers pass requests
+//! through.
+//!
+//! Both primitives are built on `loom-lite`'s dual-mode sync types, so
+//! the exact code the server runs in production is what
+//! `model_tests.rs` exhaustively schedules: no stranded worker on
+//! shutdown, every queued connection ends in exactly one of
+//! {popped, rejected, drained}, and the gate never admits past its cap.
+
+use loom_lite::sync::atomic::{AtomicU64, Ordering};
+use loom_lite::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::VecDeque;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Queue state stays coherent under poisoning (each critical section
+    // leaves items/stopped consistent), so a panicking sibling doesn't
+    // cascade into every worker.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    stopped: bool,
+}
+
+/// Bounded MPMC hand-off from the acceptor to the workers.
+///
+/// * [`push`](ConnQueue::push) **never blocks**: a full or stopped
+///   queue returns the item to the caller, which answers the peer with
+///   a typed `Busy`/`ShuttingDown` instead of letting connections pile
+///   up unboundedly (the "overload → typed response, never a hang"
+///   contract starts here).
+/// * [`pop`](ConnQueue::pop) blocks while the queue is empty and live,
+///   and returns `None` once it is stopped **and** drained — a worker's
+///   natural exit signal.
+/// * [`stop`](ConnQueue::stop) flips the stop flag, wakes every blocked
+///   consumer, and hands the un-popped remainder back to the caller so
+///   each pending connection can be answered before the socket closes.
+pub struct ConnQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> ConnQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> ConnQueue<T> {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or
+    /// stopped. Never blocks.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = lock(&self.state);
+        if state.stopped || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and
+    /// live. `None` means stopped-and-drained: the consumer should
+    /// exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.stopped {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Stops the queue: future pushes are rejected, every blocked
+    /// consumer wakes (and exits once the backlog is gone), and the
+    /// not-yet-popped remainder is returned for a typed farewell.
+    pub fn stop(&self) -> Vec<T> {
+        let mut state = lock(&self.state);
+        state.stopped = true;
+        let drained = state.items.drain(..).collect();
+        drop(state);
+        self.ready.notify_all();
+        drained
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`stop`](ConnQueue::stop) has run.
+    pub fn is_stopped(&self) -> bool {
+        lock(&self.state).stopped
+    }
+}
+
+/// Request-level admission gate: at most `cap` requests execute at
+/// once; excess admissions fail fast so the caller answers `Busy`.
+pub struct InflightGate {
+    inflight: AtomicU64,
+    cap: u64,
+}
+
+impl InflightGate {
+    /// A gate admitting at most `cap` concurrent requests (`cap == 0`
+    /// rejects everything — useful for drain/test modes).
+    pub fn new(cap: u64) -> InflightGate {
+        InflightGate {
+            inflight: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    /// Tries to admit one request. The permit releases its slot on
+    /// drop; `None` means the gate is at capacity *right now*.
+    pub fn try_enter(&self) -> Option<InflightPermit<'_>> {
+        // ORDERING: Relaxed suffices — the counter is a pure admission
+        // quota, not a publication fence: no data is transferred through
+        // it, and the CAS in fetch_update makes each increment exact
+        // (never past `cap`) regardless of ordering.
+        self.inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                if n < self.cap {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .ok()
+            .map(|_| InflightPermit { gate: self })
+    }
+
+    /// Requests currently admitted.
+    pub fn in_flight(&self) -> u64 {
+        // ORDERING: Relaxed — monitoring read of a quota counter; see
+        // `try_enter`.
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// The admission cap.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+}
+
+/// An admitted request's slot; dropping it frees the slot.
+pub struct InflightPermit<'a> {
+    gate: &'a InflightGate,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        // ORDERING: Relaxed — the matching decrement of `try_enter`'s
+        // quota increment; no data is published through the counter.
+        // fetch_update (not fetch_add of a wrapped negative) keeps the
+        // release exact under the model too.
+        let _ = self
+            .gate
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_and_capacity() {
+        let q = ConnQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stop_drains_and_unblocks() {
+        let q = ConnQueue::new(4);
+        assert!(q.push(7).is_ok());
+        assert!(q.push(8).is_ok());
+        let drained = q.stop();
+        assert_eq!(drained, vec![7, 8]);
+        assert!(q.is_stopped());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(9), Err(9));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = ConnQueue::new(0);
+        assert!(q.push(1).is_ok());
+        assert_eq!(q.push(2), Err(2));
+    }
+
+    #[test]
+    fn gate_admits_to_cap_and_slots_free_on_drop() {
+        let gate = InflightGate::new(2);
+        let a = gate.try_enter().unwrap();
+        let b = gate.try_enter().unwrap();
+        assert!(gate.try_enter().is_none());
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        let c = gate.try_enter().unwrap();
+        assert!(gate.try_enter().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_cap_gate_rejects_everything() {
+        let gate = InflightGate::new(0);
+        assert!(gate.try_enter().is_none());
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Wire-protocol corruption matrix, mirroring the snapshot store's
+//! `store_corruption.rs`: every crafted mutation of a valid frame —
+//! truncation at and inside every boundary, bad magic, bad version,
+//! oversized length prefixes, unknown query ids and statuses,
+//! day-out-of-range, malformed params/payloads — must be rejected with
+//! a **typed [`NetError`]**, never a panic, on *both* decode paths
+//! (in-memory [`Request::decode`]/[`Response::decode`] and the
+//! stream-reading `read_from`).
+
+use san_net::proto::{
+    ErrorCode, NetError, Query, QueryResult, Request, Response, MAX_DAY, MAX_NEIGHBOR_PAGE,
+    MAX_PARAMS_BYTES, MAX_PAYLOAD_BYTES, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES,
+};
+use std::io::Cursor;
+
+/// One representative request per query kind — together they exercise
+/// every params encoding.
+fn sample_requests() -> Vec<Request> {
+    let queries = [
+        Query::Counts,
+        Query::Degrees { u: 3 },
+        Query::OutNeighbors {
+            u: 1,
+            offset: 2,
+            limit: 64,
+        },
+        Query::HasLink { src: 0, dst: 9 },
+        Query::CommonNeighbors { u: 4, v: 5 },
+        Query::Reciprocity,
+        Query::LocalClustering { u: 2 },
+    ];
+    queries
+        .into_iter()
+        .map(|query| Request { day: 11, query })
+        .collect()
+}
+
+/// One representative response per result kind, plus a typed error
+/// response — together they exercise every payload encoding.
+fn sample_responses() -> Vec<Response> {
+    let results = [
+        QueryResult::Counts {
+            social_nodes: 10,
+            attr_nodes: 3,
+            social_links: 40,
+            attr_links: 7,
+        },
+        QueryResult::Degrees {
+            out: 4,
+            inc: 2,
+            attr: 1,
+        },
+        QueryResult::Neighbors {
+            total: 5,
+            ids: vec![1, 2, 3],
+        },
+        QueryResult::HasLink(true),
+        QueryResult::CommonNeighbors(6),
+        QueryResult::Reciprocity(0.625),
+        QueryResult::LocalClustering(0.5),
+    ];
+    let mut responses: Vec<Response> = results
+        .into_iter()
+        .map(|result| Response::Ok {
+            day_served: 9,
+            result,
+        })
+        .collect();
+    responses.push(Response::err(3, ErrorCode::Busy));
+    responses
+}
+
+fn req_err(bytes: &[u8]) -> NetError {
+    Request::decode(bytes).expect_err("crafted request frame must be rejected")
+}
+
+fn resp_err(bytes: &[u8]) -> NetError {
+    Response::decode(bytes).expect_err("crafted response frame must be rejected")
+}
+
+/// The same crafted bytes through the stream path.
+fn stream_req(bytes: &[u8]) -> Result<Option<Request>, NetError> {
+    Request::read_from(&mut Cursor::new(bytes.to_vec()))
+}
+
+fn stream_resp(bytes: &[u8]) -> Result<Option<Response>, NetError> {
+    Response::read_from(&mut Cursor::new(bytes.to_vec()))
+}
+
+fn with_u16_at(frame: &[u8], offset: usize, v: u16) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    out[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+fn with_u32_at(frame: &[u8], offset: usize, v: u32) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    out[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: the samples round-trip on both paths.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn samples_roundtrip_on_both_paths() {
+    for request in sample_requests() {
+        let frame = request.encode();
+        assert_eq!(Request::decode(&frame).unwrap(), (request, frame.len()));
+        assert_eq!(stream_req(&frame).unwrap(), Some(request));
+    }
+    for response in sample_responses() {
+        let frame = response.encode();
+        assert_eq!(
+            Response::decode(&frame).unwrap(),
+            (response.clone(), frame.len())
+        );
+        assert_eq!(stream_resp(&frame).unwrap(), Some(response));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation at and inside every frame boundary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_truncated_at_every_boundary_is_typed() {
+    for request in sample_requests() {
+        let frame = request.encode();
+        for cut in 0..frame.len() {
+            // In-memory path: every proper prefix is a typed truncation.
+            assert!(
+                matches!(req_err(&frame[..cut]), NetError::Truncated { .. }),
+                "cut {cut}/{} of {:?}",
+                frame.len(),
+                request.query,
+            );
+            // Stream path: zero bytes is a clean close; anything else
+            // mid-frame is a typed truncation.
+            match stream_req(&frame[..cut]) {
+                Ok(None) => assert_eq!(cut, 0, "clean close only before the first byte"),
+                Err(NetError::Truncated { .. }) => assert!(cut > 0),
+                other => panic!("cut {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn response_truncated_at_every_boundary_is_typed() {
+    for response in sample_responses() {
+        let frame = response.encode();
+        for cut in 0..frame.len() {
+            assert!(
+                matches!(resp_err(&frame[..cut]), NetError::Truncated { .. }),
+                "cut {cut}/{}",
+                frame.len(),
+            );
+            match stream_resp(&frame[..cut]) {
+                Ok(None) => assert_eq!(cut, 0),
+                Err(NetError::Truncated { .. }) => assert!(cut > 0),
+                other => panic!("cut {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magic and version.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_magic_is_rejected_with_the_found_bytes() {
+    for request in sample_requests() {
+        let frame = request.encode();
+        for byte in 0..4 {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0xFF;
+            match req_err(&bad) {
+                NetError::BadMagic { found } => assert_eq!(found.to_vec(), bad[..4].to_vec()),
+                other => panic!("expected BadMagic, got {other:?}"),
+            }
+            assert!(matches!(stream_req(&bad), Err(NetError::BadMagic { .. })));
+        }
+    }
+    let frame = sample_responses()[0].encode();
+    let mut bad = frame.clone();
+    bad[0] = b'X';
+    assert!(matches!(resp_err(&bad), NetError::BadMagic { .. }));
+    assert!(matches!(stream_resp(&bad), Err(NetError::BadMagic { .. })));
+}
+
+#[test]
+fn wrong_version_is_rejected_with_the_found_version() {
+    let frame = sample_requests()[1].encode();
+    for version in [0u16, 2, 0x7FFF, u16::MAX] {
+        let bad = with_u16_at(&frame, 4, version);
+        match req_err(&bad) {
+            NetError::UnsupportedVersion { found } => assert_eq!(found, version),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+    let frame = sample_responses()[0].encode();
+    let bad = with_u16_at(&frame, 4, 2);
+    assert!(matches!(
+        resp_err(&bad),
+        NetError::UnsupportedVersion { found: 2 }
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Unknown ids, statuses, and out-of-range days.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_query_id_is_rejected() {
+    let frame = sample_requests()[0].encode();
+    for id in [7u16, 42, 0x1000, u16::MAX] {
+        let bad = with_u16_at(&frame, 6, id);
+        match req_err(&bad) {
+            NetError::UnknownQuery { id: found } => assert_eq!(found, id),
+            other => panic!("expected UnknownQuery, got {other:?}"),
+        }
+        assert!(matches!(
+            stream_req(&bad),
+            Err(NetError::UnknownQuery { .. })
+        ));
+    }
+}
+
+#[test]
+fn unknown_response_status_is_rejected() {
+    let frame = sample_responses()[0].encode();
+    for code in [7u16, 99, u16::MAX] {
+        let bad = with_u16_at(&frame, 6, code);
+        match resp_err(&bad) {
+            NetError::UnknownStatus { code: found } => assert_eq!(found, code),
+            other => panic!("expected UnknownStatus, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ok_response_with_unknown_query_id_is_rejected() {
+    let frame = sample_responses()[0].encode();
+    let bad = with_u16_at(&frame, 8, 9);
+    assert!(matches!(resp_err(&bad), NetError::UnknownQuery { id: 9 }));
+}
+
+#[test]
+fn day_out_of_range_is_rejected() {
+    let frame = sample_requests()[3].encode();
+    for day in [MAX_DAY + 1, MAX_DAY * 2, u32::MAX] {
+        let bad = with_u32_at(&frame, 8, day);
+        match req_err(&bad) {
+            NetError::DayOutOfRange { day: found } => assert_eq!(found, day),
+            other => panic!("expected DayOutOfRange, got {other:?}"),
+        }
+    }
+    // The boundary day itself is legal.
+    let ok = with_u32_at(&frame, 8, MAX_DAY);
+    assert_eq!(Request::decode(&ok).unwrap().0.day, MAX_DAY);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile length prefixes: rejected before any buffer is sized.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_params_length_is_frame_too_large() {
+    let frame = sample_requests()[0].encode();
+    for declared in [MAX_PARAMS_BYTES + 1, 1 << 20, u32::MAX] {
+        let bad = with_u32_at(&frame, 12, declared);
+        match req_err(&bad) {
+            NetError::FrameTooLarge { declared: d, max } => {
+                assert_eq!(d, declared);
+                assert_eq!(max, MAX_PARAMS_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Stream path: the u32::MAX prefix must be rejected from the
+        // 16 header bytes alone — a 4 GiB allocation attempt would OOM
+        // long before EOF proved the frame short.
+        assert!(matches!(
+            stream_req(&bad[..REQUEST_HEADER_BYTES]),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}
+
+#[test]
+fn oversized_payload_length_is_frame_too_large() {
+    let frame = sample_responses()[0].encode();
+    for declared in [MAX_PAYLOAD_BYTES + 1, u32::MAX] {
+        let bad = with_u32_at(&frame, 16, declared);
+        match resp_err(&bad) {
+            NetError::FrameTooLarge { declared: d, max } => {
+                assert_eq!(d, declared);
+                assert_eq!(max, MAX_PAYLOAD_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        assert!(matches!(
+            stream_resp(&bad[..RESPONSE_HEADER_BYTES]),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Params/payload shape violations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn params_length_not_matching_the_query_is_rejected() {
+    // Counts declares 4 params bytes it must not have (frame extended
+    // so the bytes exist — the length *mismatch* is the crime).
+    let mut bad = with_u32_at(&sample_requests()[0].encode(), 12, 4);
+    bad.extend_from_slice(&[0; 4]);
+    assert!(matches!(req_err(&bad), NetError::BadParams { .. }));
+
+    // Degrees declares 0 of its 4 params bytes.
+    let bad = with_u32_at(&sample_requests()[1].encode(), 12, 0);
+    assert!(matches!(req_err(&bad), NetError::BadParams { .. }));
+
+    // OutNeighbors declares 8 of its 12.
+    let bad = with_u32_at(&sample_requests()[2].encode(), 12, 8);
+    assert!(matches!(req_err(&bad), NetError::BadParams { .. }));
+}
+
+#[test]
+fn neighbor_page_limit_beyond_the_cap_is_rejected() {
+    let request = Request {
+        day: 0,
+        query: Query::OutNeighbors {
+            u: 0,
+            offset: 0,
+            limit: MAX_NEIGHBOR_PAGE,
+        },
+    };
+    let frame = request.encode();
+    // The cap itself is legal…
+    assert!(Request::decode(&frame).is_ok());
+    // …one past it is not (limit is the last params u32).
+    let bad = with_u32_at(&frame, frame.len() - 4, MAX_NEIGHBOR_PAGE + 1);
+    assert!(matches!(
+        req_err(&bad),
+        NetError::BadParams {
+            query: "out_neighbors",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn reserved_word_must_be_zero() {
+    let frame = sample_responses()[0].encode();
+    for reserved in [1u16, 0x8000, u16::MAX] {
+        let bad = with_u16_at(&frame, 10, reserved);
+        match resp_err(&bad) {
+            NetError::ReservedNonZero { found } => assert_eq!(found, reserved),
+            other => panic!("expected ReservedNonZero, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn error_response_with_payload_is_rejected() {
+    let frame = Response::err(1, ErrorCode::Busy).encode();
+    let mut bad = with_u32_at(&frame, 16, 8);
+    bad.extend_from_slice(&[0; 8]);
+    assert!(matches!(resp_err(&bad), NetError::BadParams { .. }));
+}
+
+#[test]
+fn payload_length_not_matching_the_query_is_rejected() {
+    // A counts payload of 31 bytes (truncated payload but honest
+    // length prefix).
+    let frame = sample_responses()[0].encode();
+    let mut bad = with_u32_at(&frame, 16, 31);
+    bad.truncate(RESPONSE_HEADER_BYTES + 31);
+    assert!(matches!(resp_err(&bad), NetError::BadParams { .. }));
+
+    // A has_link payload of 2 bytes.
+    let frame = sample_responses()[3].encode();
+    let mut bad = with_u32_at(&frame, 16, 2);
+    bad.push(0);
+    assert!(matches!(resp_err(&bad), NetError::BadParams { .. }));
+}
+
+#[test]
+fn has_link_payload_byte_must_be_boolean() {
+    let frame = sample_responses()[3].encode();
+    for byte in [2u8, 7, 0xFF] {
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() = byte;
+        assert!(matches!(
+            resp_err(&bad),
+            NetError::BadParams {
+                query: "has_link",
+                ..
+            }
+        ));
+    }
+}
+
+#[test]
+fn neighbor_count_violations_are_rejected() {
+    let frame = Response::Ok {
+        day_served: 1,
+        result: QueryResult::Neighbors {
+            total: 4,
+            ids: vec![1, 2],
+        },
+    }
+    .encode();
+    // Declared id count beyond the page cap (payload bytes unchanged):
+    // the count bound trips before any Vec is sized from it.
+    let bad = with_u32_at(&frame, RESPONSE_HEADER_BYTES + 4, MAX_NEIGHBOR_PAGE + 1);
+    assert!(matches!(resp_err(&bad), NetError::FrameTooLarge { .. }));
+    // Declared id count disagreeing with the payload length.
+    let bad = with_u32_at(&frame, RESPONSE_HEADER_BYTES + 4, 3);
+    assert!(matches!(resp_err(&bad), NetError::BadParams { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Framing discipline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trailing_bytes_belong_to_the_next_frame() {
+    let request = sample_requests()[2];
+    let mut stream_bytes = request.encode();
+    let consumed = stream_bytes.len();
+    stream_bytes.extend_from_slice(&[0xAA; 37]);
+    let (decoded, used) = Request::decode(&stream_bytes).unwrap();
+    assert_eq!((decoded, used), (request, consumed));
+
+    let response = sample_responses()[2].clone();
+    let mut stream_bytes = response.encode();
+    let consumed = stream_bytes.len();
+    stream_bytes.extend_from_slice(&[0x55; 11]);
+    let (decoded, used) = Response::decode(&stream_bytes).unwrap();
+    assert_eq!((decoded, used), (response, consumed));
+}
+
+#[test]
+fn back_to_back_frames_read_cleanly_from_one_stream() {
+    let requests = sample_requests();
+    let mut bytes = Vec::new();
+    for request in &requests {
+        bytes.extend_from_slice(&request.encode());
+    }
+    let mut cursor = Cursor::new(bytes);
+    for request in &requests {
+        assert_eq!(Request::read_from(&mut cursor).unwrap(), Some(*request));
+    }
+    assert_eq!(Request::read_from(&mut cursor).unwrap(), None);
+}

@@ -1,0 +1,149 @@
+//! Property lockdown for the `SANW` frame codec: **encode → decode** is
+//! the identity for request and response frames over adversarial
+//! params/payloads (hostile node ids, extreme days, page-cap-sized
+//! neighbour lists, f64 metric values), every encoded frame respects
+//! the protocol's max-frame-size bounds, and the stream path agrees
+//! with the in-memory path byte for byte. Case counts honour the
+//! `PROPTEST_CASES` env cap (CI/Miri shrink it).
+
+use proptest::prelude::*;
+use san_net::proto::{
+    Query, QueryResult, Request, Response, MAX_DAY, MAX_NEIGHBOR_PAGE, MAX_PAYLOAD_BYTES,
+    MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES,
+};
+use std::io::Cursor;
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        Just(Query::Counts),
+        Just(Query::Reciprocity),
+        any::<u32>().prop_map(|u| Query::Degrees { u }),
+        any::<u32>().prop_map(|u| Query::LocalClustering { u }),
+        (any::<u32>(), any::<u32>()).prop_map(|(src, dst)| Query::HasLink { src, dst }),
+        (any::<u32>(), any::<u32>()).prop_map(|(u, v)| Query::CommonNeighbors { u, v }),
+        (any::<u32>(), any::<u32>(), 0u32..=MAX_NEIGHBOR_PAGE)
+            .prop_map(|(u, offset, limit)| { Query::OutNeighbors { u, offset, limit } }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u32..=MAX_DAY, arb_query()).prop_map(|(day, query)| Request { day, query })
+}
+
+fn arb_result() -> impl Strategy<Value = QueryResult> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(social_nodes, attr_nodes, social_links, attr_links)| QueryResult::Counts {
+                social_nodes,
+                attr_nodes,
+                social_links,
+                attr_links,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(out, inc, attr)| QueryResult::Degrees { out, inc, attr }),
+        (
+            any::<u32>(),
+            prop::collection::vec(any::<u32>(), 0..=64usize)
+        )
+            .prop_map(|(total, ids)| QueryResult::Neighbors { total, ids }),
+        any::<bool>().prop_map(QueryResult::HasLink),
+        any::<u64>().prop_map(QueryResult::CommonNeighbors),
+        any::<f64>().prop_map(QueryResult::Reciprocity),
+        any::<f64>().prop_map(QueryResult::LocalClustering),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (any::<u32>(), arb_result())
+        .prop_map(|(day_served, result)| Response::Ok { day_served, result })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn request_roundtrips_and_respects_the_frame_bound(request in arb_request()) {
+        let frame = request.encode();
+        prop_assert!(frame.len() <= MAX_REQUEST_FRAME_BYTES);
+        prop_assert!(frame.len() >= REQUEST_HEADER_BYTES);
+
+        // In-memory path consumes exactly the frame.
+        let (decoded, consumed) = Request::decode(&frame).unwrap();
+        prop_assert_eq!((decoded, consumed), (request, frame.len()));
+
+        // Stream path agrees.
+        let mut cursor = Cursor::new(frame);
+        prop_assert_eq!(Request::read_from(&mut cursor).unwrap(), Some(request));
+        prop_assert_eq!(Request::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn response_roundtrips_and_respects_the_frame_bound(response in arb_response()) {
+        let frame = response.encode();
+        prop_assert!(frame.len() <= MAX_RESPONSE_FRAME_BYTES);
+        prop_assert!(frame.len() >= RESPONSE_HEADER_BYTES);
+
+        let (decoded, consumed) = Response::decode(&frame).unwrap();
+        prop_assert_eq!(decoded, response.clone());
+        prop_assert_eq!(consumed, frame.len());
+
+        let mut cursor = Cursor::new(frame);
+        prop_assert_eq!(Response::read_from(&mut cursor).unwrap(), Some(response));
+        prop_assert_eq!(Response::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn mixed_request_streams_reframe_exactly(requests in prop::collection::vec(arb_request(), 1..12usize)) {
+        // Concatenated frames — the bytes a server's socket actually
+        // sees — re-split into exactly the original sequence.
+        let mut bytes = Vec::new();
+        for request in &requests {
+            bytes.extend_from_slice(&request.encode());
+        }
+        let mut offset = 0;
+        for request in &requests {
+            let (decoded, consumed) = Request::decode(&bytes[offset..]).unwrap();
+            prop_assert_eq!(decoded, *request);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, bytes.len());
+    }
+}
+
+/// The worst-case frames actually meet their declared bounds exactly —
+/// the bounds are tight, not just safe.
+#[test]
+fn max_frame_bounds_are_tight() {
+    let page: Vec<u32> = (0..MAX_NEIGHBOR_PAGE).collect();
+    let response = Response::Ok {
+        day_served: MAX_DAY,
+        result: QueryResult::Neighbors {
+            total: u32::MAX,
+            ids: page,
+        },
+    };
+    let frame = response.encode();
+    assert_eq!(frame.len(), MAX_RESPONSE_FRAME_BYTES);
+    assert_eq!(
+        frame.len() - RESPONSE_HEADER_BYTES,
+        MAX_PAYLOAD_BYTES as usize
+    );
+    let (decoded, consumed) = Response::decode(&frame).unwrap();
+    assert_eq!(consumed, frame.len());
+    assert_eq!(decoded, response);
+
+    // The largest v1 request is an out_neighbors query (12 params
+    // bytes) — well inside the future-proofed request bound.
+    let request = Request {
+        day: MAX_DAY,
+        query: Query::OutNeighbors {
+            u: u32::MAX,
+            offset: u32::MAX,
+            limit: MAX_NEIGHBOR_PAGE,
+        },
+    };
+    let frame = request.encode();
+    assert_eq!(frame.len(), REQUEST_HEADER_BYTES + 12);
+    assert!(frame.len() <= MAX_REQUEST_FRAME_BYTES);
+}

@@ -104,6 +104,15 @@ impl ShardedLru {
         &self.shards[self.shard_index(day)]
     }
 
+    /// Presence probe: true when `day` is resident, without bumping its
+    /// recency (an admission-control peek must not make a day look hot).
+    pub(crate) fn contains(&self, day: u32) -> bool {
+        lock_shard(self.shard(day))
+            .entries
+            .iter()
+            .any(|e| e.day == day)
+    }
+
     /// Looks a day up, bumping its recency on hit.
     pub(crate) fn get(&self, day: u32) -> Option<Arc<MappedSnapshot>> {
         // Shard state stays coherent under poisoning (a panicking thread

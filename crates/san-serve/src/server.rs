@@ -122,6 +122,7 @@ pub struct SnapshotServer {
     cache: ShardedLru,
     flights: FlightTable,
     metrics: ServeMetrics,
+    config: ServeConfig,
 }
 
 impl SnapshotServer {
@@ -139,11 +140,29 @@ impl SnapshotServer {
     /// Fronts an already-open vault with a cache.
     pub fn from_vault(vault: SnapshotVault, config: ServeConfig) -> SnapshotServer {
         SnapshotServer {
-            vault,
             cache: ShardedLru::new(config.cache_shards, config.max_resident_bytes),
+            vault,
             flights: FlightTable::new(),
             metrics: ServeMetrics::new(),
+            config,
         }
+    }
+
+    /// The sizing knobs this server was opened with. Front-ends (e.g.
+    /// `san-net`) key admission control on
+    /// [`ServeConfig::max_resident_bytes`] without re-plumbing the
+    /// number through their own configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// True when `day` (a *persisted* day, e.g. from
+    /// [`SnapshotVault::nearest_at_or_before`]) is currently resident in
+    /// the cache. A pure probe: it bumps no LRU recency and records no
+    /// metric, so admission-control checks don't distort the cache's
+    /// view of what is actually hot.
+    pub fn is_cached(&self, day: u32) -> bool {
+        self.cache.contains(day)
     }
 
     /// The vault being served.

@@ -40,7 +40,11 @@
 //! (`san-serve`) is the concurrent serving layer — a `SnapshotServer`
 //! with a sharded LRU of mapped days, metered IO
 //! ([`graph::meter`]), and a thread-pool driver for mixed-day query
-//! streams.
+//! streams. [`net`] (`san-net`) puts that server on the wire: a
+//! length-prefixed binary protocol (`SANW`) over TCP, a thread-per-core
+//! worker pool with three admission gates that shed overload as typed
+//! `Busy` responses, and closed/open-loop load generators in
+//! `san-bench` (`BENCH_NET.json` records the loopback p50/p99/p999).
 //!
 //! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
 //! the experiment harness that regenerates every figure and table (its
@@ -50,6 +54,7 @@ pub use san_apps as apps;
 pub use san_core as model;
 pub use san_graph as graph;
 pub use san_metrics as metrics;
+pub use san_net as net;
 pub use san_serve as serve;
 pub use san_sim as sim;
 pub use san_stats as stats;
