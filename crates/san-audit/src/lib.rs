@@ -53,11 +53,12 @@ pub const BOUNDS_WINDOW: usize = 6;
 /// Crates whose library code is held to the panic-freedom policy: the
 /// snapshot data plane. (Model/stats/bench crates exit noisily by
 /// design; the serving path must not.)
-pub const PANIC_SCOPED_CRATES: [&str; 4] = [
+pub const PANIC_SCOPED_CRATES: [&str; 5] = [
     "crates/san-graph/src/",
     "crates/san-serve/src/",
     "crates/san-metrics/src/",
     "crates/san-net/src/",
+    "crates/san-obs/src/",
 ];
 
 /// `StoreError` variants legitimately outside the corruption matrix,

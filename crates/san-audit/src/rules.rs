@@ -377,12 +377,13 @@ pub fn store_error_coverage(ws: &Workspace) -> Vec<Violation> {
 }
 
 /// Files whose byte-slice indexing handles *untrusted* input (snapshot
-/// decode paths).
-const UNTRUSTED_FILES: [&str; 5] = [
+/// decode paths and socket-facing parsers).
+const UNTRUSTED_FILES: [&str; 6] = [
     "crates/san-graph/src/codec.rs",
     "crates/san-graph/src/store.rs",
     "crates/san-graph/src/view.rs",
     "crates/san-graph/src/wire.rs",
+    "crates/san-net/src/admin.rs",
     "crates/san-net/src/proto.rs",
 ];
 

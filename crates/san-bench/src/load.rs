@@ -300,6 +300,9 @@ mod tests {
                 Query::CommonNeighbors { .. } => 4,
                 Query::Reciprocity => 5,
                 Query::LocalClustering { .. } => 6,
+                // The load mix is graph traffic only; scrapes are driven
+                // by the observability harness, never drawn here.
+                Query::Stats => panic!("load stream drew a stats query"),
             };
             kinds[k] = true;
         }

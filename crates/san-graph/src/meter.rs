@@ -31,7 +31,7 @@ fn saturating_fetch_add(counter: &AtomicU64, delta: u64) {
 
 /// Number of power-of-two latency buckets: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds, so the histogram spans 1 ns to ~9 min.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
 
 /// A fixed-size, lock-free latency histogram with power-of-two nanosecond
 /// buckets.
@@ -128,6 +128,81 @@ impl LatencyHistogram {
     pub fn median_nanos(&self) -> u64 {
         self.quantile_nanos(0.5)
     }
+
+    /// A copy of the per-bucket sample counts (bucket `i` covers
+    /// `[2^i, 2^(i+1))` nanoseconds).
+    ///
+    /// Each bucket is loaded once; concurrent `record()` calls may land
+    /// between loads, so the copy is a per-bucket-exact, cross-bucket
+    /// approximate view — the same guarantee `quantile_nanos` works from.
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        // ORDERING: relaxed per-bucket loads — each bucket is an
+        // independent monotonic counter; no cross-bucket protocol exists
+        // to order against (see the record() invariant note).
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// A non-atomic copy of the whole histogram for consistent export.
+    ///
+    /// The snapshot's `count()` is defined as the sum of the copied
+    /// buckets — not a separate load of the live count — so exporters
+    /// that emit cumulative buckets plus a total (Prometheus `+Inf`)
+    /// always ship an internally consistent triple even while recorders
+    /// race the copy. `sum_nanos` is sampled after the buckets and may
+    /// include samples the bucket copy missed; the skew is bounded by
+    /// the samples recorded during the scan.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.buckets();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            // ORDERING: relaxed — independent monotonic accumulator,
+            // same single-counter-snapshot argument as sum recording.
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) copy of a [`LatencyHistogram`] taken by
+/// [`LatencyHistogram::snapshot`]: internally consistent — `count()` is
+/// exactly the sum of `buckets()` — and safe to hold across an export
+/// pass while the live histogram keeps recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Per-bucket sample counts; bucket `i` covers `[2^i, 2^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total samples in this snapshot (always `== buckets().sum()`).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Summed nanoseconds at snapshot time (saturating accumulator; may
+    /// lead `count` by the samples recorded during the bucket scan).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// Inclusive upper bound of bucket `i` in nanoseconds: samples in
+    /// bucket `i` are all `<= 2^(i+1) - 1` ns (the last bucket also
+    /// absorbs clamped overflows, so exporters should publish it as
+    /// unbounded).
+    pub fn bucket_upper_nanos(i: usize) -> u64 {
+        if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
 }
 
 impl fmt::Debug for LatencyHistogram {
@@ -137,6 +212,7 @@ impl fmt::Debug for LatencyHistogram {
             .field("mean_nanos", &self.mean_nanos())
             .field("p50_nanos", &self.quantile_nanos(0.5))
             .field("p99_nanos", &self.quantile_nanos(0.99))
+            .field("p999_nanos", &self.quantile_nanos(0.999))
             .finish()
     }
 }
@@ -383,6 +459,83 @@ mod tests {
         assert_eq!(m.reads(), 1);
         assert_eq!(m.write_latency().count(), 2);
         assert_eq!(m.read_latency().count(), 1);
+    }
+
+    /// `Debug` reports the tail the benches report: p999 alongside p99.
+    #[test]
+    fn debug_includes_p999() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("p99_nanos"), "{dbg}");
+        assert!(dbg.contains("p999_nanos"), "{dbg}");
+    }
+
+    /// `buckets()` mirrors where `record()` put each sample.
+    #[test]
+    fn buckets_accessor_matches_recorded_samples() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(6)); // bucket 2: [4, 8)
+        h.record(Duration::from_nanos(7)); // bucket 2
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[2], 2);
+        assert_eq!(b.iter().sum::<u64>(), 3);
+    }
+
+    /// A snapshot is internally consistent by construction: its count is
+    /// the sum of its buckets, and its `+Inf`-style total never drifts
+    /// from the bucket mass even with recorders racing the copy.
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_recording() {
+        let h = LatencyHistogram::new();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    // ORDERING: relaxed — test-local stop flag, no data
+                    // is published through it.
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        h.record(Duration::from_nanos(700));
+                        h.record(Duration::from_micros(40));
+                    }
+                });
+            }
+            let mut last_count = 0u64;
+            for _ in 0..200 {
+                let snap = h.snapshot();
+                assert_eq!(
+                    snap.count(),
+                    snap.buckets().iter().sum::<u64>(),
+                    "snapshot count must equal its own bucket sum"
+                );
+                // Counts from successive snapshots are monotone. (The
+                // live count may transiently trail the bucket sum —
+                // record() bumps the bucket first — so only snapshots
+                // are compared against snapshots here.)
+                assert!(snap.count() >= last_count);
+                last_count = snap.count();
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        // Quiesced: snapshot and live views agree exactly, and repeated
+        // snapshots are identical.
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap, h.snapshot());
+        assert_eq!(snap.buckets(), &h.buckets());
+    }
+
+    /// Bucket upper bounds are `2^(i+1) - 1`, with the last bucket
+    /// unbounded (it absorbs clamped `Duration::MAX` samples).
+    #[test]
+    fn snapshot_bucket_upper_bounds() {
+        assert_eq!(HistogramSnapshot::bucket_upper_nanos(0), 1);
+        assert_eq!(HistogramSnapshot::bucket_upper_nanos(1), 3);
+        assert_eq!(HistogramSnapshot::bucket_upper_nanos(9), 1023);
+        assert_eq!(HistogramSnapshot::bucket_upper_nanos(BUCKETS - 1), u64::MAX);
+        assert_eq!(HistogramSnapshot::bucket_upper_nanos(BUCKETS + 5), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Admin HTTP listener: `GET /metrics` (Prometheus text exposition)
+//! and `GET /slowlog` (the trace ring's slow-query dump) over a
+//! deliberately minimal HTTP/1.0 — enough for `curl` and a Prometheus
+//! scraper, nothing more.
+//!
+//! Like the wire protocol, the request parser sits on an
+//! **untrusted-bytes boundary**: anything can connect to the admin
+//! port. The same discipline applies — the header read is capped at
+//! [`MAX_HEAD_BYTES`] and bounded by a deadline before any parsing, a
+//! malformed request gets a typed status line (`400`/`404`/`405`) and a
+//! closed connection, and nothing here panics on wire input.
+//!
+//! Connections are served sequentially on the one admin thread: the
+//! endpoints are point-in-time dumps for an operator or a scraper, not
+//! a data plane, and a single thread keeps the listener from ever
+//! competing with the worker pool for cores. The per-connection
+//! deadline bounds how long a slow client can hold the thread.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Hard cap on the bytes read while hunting for the end of the request
+/// head (`\r\n\r\n`). Real scrape requests are well under 200 bytes.
+pub(crate) const MAX_HEAD_BYTES: usize = 4096;
+
+/// How long one admin connection may take end to end.
+const CONN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// What the admin endpoints need from the server: the stop flag and
+/// the two dump bodies. `server::Shared` implements it; tests stub it.
+pub(crate) trait AdminState {
+    /// True once shutdown began (the accept loop exits).
+    fn stopping(&self) -> bool;
+    /// The `/metrics` body: Prometheus text exposition (v0.0.4).
+    fn metrics_text(&self) -> String;
+    /// The `/slowlog` body: the slow-query log dump.
+    fn slowlog_text(&self) -> String;
+}
+
+/// Serves admin connections until [`AdminState::stopping`] turns true
+/// (the shutdown handshake wakes the blocking accept with a loopback
+/// no-op connection, mirroring the main acceptor).
+pub(crate) fn admin_loop<S: AdminState>(state: &S, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        serve_conn(state, stream);
+    }
+}
+
+/// Reads one request head, answers it, closes the connection.
+fn serve_conn<S: AdminState>(state: &S, stream: TcpStream) {
+    let deadline = Instant::now() + CONN_DEADLINE;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+        || stream.set_write_timeout(Some(CONN_DEADLINE)).is_err()
+    {
+        return;
+    }
+    let Some(head) = read_head(&stream, deadline) else {
+        // Dribbled past the deadline, oversized, or died mid-head: no
+        // parseable request, nothing to answer.
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let (status, content_type, body) = route(&head, state);
+    respond(&stream, status, content_type, &body);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads until the `\r\n\r\n` head terminator, the size cap, or the
+/// deadline. Returns `None` when no complete head arrived in time.
+fn read_head(mut stream: &TcpStream, deadline: Instant) -> Option<Vec<u8>> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return Some(head);
+        }
+        if head.len() >= MAX_HEAD_BYTES || Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            // BOUNDS: `read` reports at most `chunk.len()` bytes, so the
+            // `..n` slice is in range.
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if crate::server::is_timeout(&e) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Maps a request head to `(status line, content type, body)`.
+fn route<S: AdminState>(head: &[u8], state: &S) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    // The content type Prometheus scrapers expect for the text format.
+    const EXPOSITION: &str = "text/plain; version=0.0.4";
+    let Ok(text) = std::str::from_utf8(head) else {
+        return ("400 Bad Request", TEXT, "bad request\n".to_string());
+    };
+    let mut request_line = text.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (
+        request_line.next().unwrap_or(""),
+        request_line.next().unwrap_or(""),
+    );
+    if method.is_empty() || path.is_empty() {
+        return ("400 Bad Request", TEXT, "bad request\n".to_string());
+    }
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            TEXT,
+            "only GET is supported\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => ("200 OK", EXPOSITION, state.metrics_text()),
+        "/slowlog" => ("200 OK", TEXT, state.slowlog_text()),
+        _ => (
+            "404 Not Found",
+            TEXT,
+            "try /metrics or /slowlog\n".to_string(),
+        ),
+    }
+}
+
+/// Writes one HTTP/1.0 response, best effort (an admin client that
+/// vanished mid-write costs nothing).
+fn respond(mut stream: &TcpStream, status: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(header.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub;
+
+    impl AdminState for Stub {
+        fn stopping(&self) -> bool {
+            false
+        }
+        fn metrics_text(&self) -> String {
+            "# TYPE t counter\nt 1\n".to_string()
+        }
+        fn slowlog_text(&self) -> String {
+            "slowlog capacity=1 recorded=0 dropped=0\n".to_string()
+        }
+    }
+
+    #[test]
+    fn routing_covers_both_endpoints_and_rejects_the_rest() {
+        let (status, ct, body) = route(b"GET /metrics HTTP/1.0\r\n\r\n", &Stub);
+        assert_eq!(status, "200 OK");
+        assert!(ct.contains("version=0.0.4"));
+        assert!(body.contains("# TYPE"));
+
+        let (status, _, body) = route(b"GET /slowlog HTTP/1.1\r\nHost: x\r\n\r\n", &Stub);
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("slowlog"));
+
+        let (status, _, _) = route(b"GET /nope HTTP/1.0\r\n\r\n", &Stub);
+        assert_eq!(status, "404 Not Found");
+
+        let (status, _, _) = route(b"POST /metrics HTTP/1.0\r\n\r\n", &Stub);
+        assert_eq!(status, "405 Method Not Allowed");
+
+        let (status, _, _) = route(b"\r\n\r\n", &Stub);
+        assert_eq!(status, "400 Bad Request");
+
+        let (status, _, _) = route(&[0xFF, 0xFE, b'\r', b'\n'], &Stub);
+        assert_eq!(status, "400 Bad Request");
+    }
+}

@@ -11,7 +11,7 @@
 //! workers. The paired load generators (closed- and open-loop) live in
 //! `san-bench`; their p50/p99/p999 land in `BENCH_NET.json`.
 //!
-//! ## Wire format (`SANW`, version 1)
+//! ## Wire format (`SANW`, version 2)
 //!
 //! Little-endian throughout, in the house framing style of the
 //! `SANCSRBF` snapshot store: fixed headers, explicit length prefixes,
@@ -21,7 +21,7 @@
 //! offset  size  field
 //! ──────  ────  ─────────────────────────────────────────────
 //!      0     4  magic          "SANW"
-//!      4     2  version        u16, must equal 1
+//!      4     2  version        u16, must equal 2
 //!      6     2  query id       u16 (see below)
 //!      8     4  day            u32, ≤ MAX_DAY (2²⁰)
 //!     12     4  params_len     u32, ≤ MAX_PARAMS_BYTES (64)
@@ -34,12 +34,16 @@
 //! offset  size  field
 //! ──────  ────  ─────────────────────────────────────────────
 //!      0     4  magic          "SANW"
-//!      4     2  version        u16, must equal 1
+//!      4     2  version        u16, must equal 2
 //!      6     2  status         0 = ok, else ErrorCode
 //!      8     2  query id       u16 (echo of the request)
 //!     10     2  reserved       must be 0 (future use)
 //!     12     4  day_served     u32 (0 on error)
-//!     16     4  payload_len    u32, ≤ MAX_PAYLOAD_BYTES (16 392);
+//!     16     4  payload_len    u32, ≤ MAX_PAYLOAD_BYTES (16 392) —
+//!                              except query id 7, which is allowed
+//!                              4 + MAX_STATS_BYTES (the query id sits
+//!                              at a lower offset, so the per-query
+//!                              bound is known before the length);
 //!                              must be 0 on error
 //!     20     …  payload        exactly payload_len bytes
 //! ```
@@ -58,6 +62,9 @@
 //!  4  common_neighbors  u, v: 2 × u32              u64
 //!  5  reciprocity       —                          f64 bits
 //!  6  local_clustering  u: u32                     f64 bits
+//!  7  stats (v2)        — (day ignored)            len: u32 ≤ MAX_STATS_BYTES
+//!                                                  (2²⁰), len UTF-8 bytes of
+//!                                                  Prometheus exposition
 //! ```
 //!
 //! Error codes: 1 `Busy`, 2 `NoSnapshot`, 3 `NodeOutOfRange`,
@@ -67,14 +74,26 @@
 //!
 //! The version word is a single monotone `u16`; **any** change to frame
 //! layout, query/params/payload encodings, or error-code meanings bumps
-//! it. There is no negotiation at v1: both peers send their version and
-//! reject anything unequal with a typed
+//! it. v1 → v2 added the `stats` query — exactly the policy's "new
+//! query ids bump the version", since an unknown id is a decode error,
+//! not a negotiable capability. There is still no negotiation: both
+//! peers send their version and reject anything unequal with a typed
 //! [`UnsupportedVersion`](proto::NetError::UnsupportedVersion) — a
 //! deliberate choice while client and server ship from one workspace. A
 //! future version can use the response's reserved word (rejected unless
 //! zero today, so old peers can never misread it) to advertise a
-//! version range. New *queries* also bump the version: an unknown id is
-//! a decode error, not a negotiable capability.
+//! version range.
+//!
+//! ## Observability
+//!
+//! The server wires the `san-obs` stack together: a
+//! [`MetricRegistry`](san_obs::MetricRegistry) spanning all three
+//! layers (vault, serve, net — each source base-labelled
+//! `layer="…"`), per-request traces feeding the slow-query ring, and
+//! two scrape surfaces serving one consistent snapshot each: the admin
+//! HTTP listener ([`NetConfig::admin`](server::NetConfig)) with
+//! `GET /metrics` + `GET /slowlog`, and the in-protocol `stats` query
+//! for SANW clients.
 //!
 //! ## Why no checksum?
 //!
@@ -95,6 +114,8 @@
 //! `Busy`; shutdown drains via the stop-flag + queue-stop handshake the
 //! `loom-lite` model suite checks exhaustively.
 
+#[cfg(unix)]
+mod admin;
 pub mod client;
 pub mod exec;
 pub mod metrics;

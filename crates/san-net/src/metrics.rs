@@ -21,6 +21,8 @@ pub struct NetMetrics {
     no_snapshot: AtomicU64,
     node_out_of_range: AtomicU64,
     store_failed: AtomicU64,
+    bad_request: AtomicU64,
+    shutting_down: AtomicU64,
     decode_errors: AtomicU64,
     request_latency: LatencyHistogram,
 }
@@ -59,7 +61,15 @@ impl NetMetrics {
         rejected_conns,
         "connections refused at accept (queue full or draining)"
     );
-    meter!(record_request, requests, requests, "request frames decoded");
+    meter!(
+        record_request,
+        requests,
+        requests,
+        "request frames attempted (decoded or malformed); every one \
+         lands in exactly one outcome counter, so `served + busy + \
+         no_snapshot + node_out_of_range + store_failed + bad_request + \
+         shutting_down == requests` once the server quiesces"
+    );
     meter!(record_served, served, served, "requests answered `Ok`");
     meter!(
         record_busy,
@@ -86,6 +96,18 @@ impl NetMetrics {
         "requests that hit a store-side map/validate failure"
     );
     meter!(
+        record_bad_request,
+        bad_request,
+        bad_request,
+        "requests answered `BadRequest` (malformed frame)"
+    );
+    meter!(
+        record_shutting_down,
+        shutting_down,
+        shutting_down,
+        "requests answered `ShuttingDown` (arrived during drain)"
+    );
+    meter!(
         record_decode_error,
         decode_errors,
         decode_errors,
@@ -105,9 +127,148 @@ impl NetMetrics {
     }
 }
 
+/// Emits the front-end meters under the stable `san.net.*` dotted
+/// names: connection counters labelled by `state`, the request counter,
+/// one `san.net.responses{outcome=…}` series per typed outcome (their
+/// sum equals `san.net.requests` at quiescence), decode errors, and the
+/// full request-latency bucket dump.
+impl san_obs::Observe for NetMetrics {
+    fn observe(&self, sink: &mut dyn san_obs::MetricSink) {
+        const CONNS_HELP: &str = "Connections by accept outcome";
+        sink.counter(
+            "san.net.conns",
+            CONNS_HELP,
+            &[("state", "accepted")],
+            self.accepted_conns(),
+        );
+        sink.counter(
+            "san.net.conns",
+            CONNS_HELP,
+            &[("state", "rejected")],
+            self.rejected_conns(),
+        );
+        sink.counter(
+            "san.net.requests",
+            "Request frames attempted (decoded or malformed)",
+            &[],
+            self.requests(),
+        );
+        const RESP_HELP: &str = "Responses by typed outcome";
+        for (outcome, value) in [
+            ("served", self.served()),
+            ("busy", self.busy()),
+            ("no_snapshot", self.no_snapshot()),
+            ("node_out_of_range", self.node_out_of_range()),
+            ("store_failed", self.store_failed()),
+            ("bad_request", self.bad_request()),
+            ("shutting_down", self.shutting_down()),
+        ] {
+            sink.counter(
+                "san.net.responses",
+                RESP_HELP,
+                &[("outcome", outcome)],
+                value,
+            );
+        }
+        sink.counter(
+            "san.net.decode_errors",
+            "Malformed request frames (connection closed after)",
+            &[],
+            self.decode_errors(),
+        );
+        sink.histogram(
+            "san.net.request_latency",
+            "Request service time, decode to response written",
+            &[],
+            &self.request_latency.snapshot(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use san_obs::{HistogramSnapshot, MetricSink, Observe};
+
+    #[test]
+    fn every_outcome_counter_feeds_the_accounting_equation() {
+        let m = NetMetrics::new();
+        m.record_bad_request();
+        m.record_shutting_down();
+        m.record_shutting_down();
+        assert_eq!(m.bad_request(), 1);
+        assert_eq!(m.shutting_down(), 2);
+        // One record_request per attempted frame, one outcome each.
+        for _ in 0..3 {
+            m.record_request();
+        }
+        m.record_served();
+        let outcomes = m.served()
+            + m.busy()
+            + m.no_snapshot()
+            + m.node_out_of_range()
+            + m.store_failed()
+            + m.bad_request()
+            + m.shutting_down();
+        assert_eq!(outcomes, 4); // 1 served + 1 bad_request + 2 shutting_down
+    }
+
+    #[test]
+    fn observe_emits_the_stable_dotted_names() {
+        #[derive(Default)]
+        struct Names(Vec<(String, Vec<(String, String)>)>);
+        impl MetricSink for Names {
+            fn counter(&mut self, name: &str, _h: &str, labels: &[(&str, &str)], _v: u64) {
+                self.0.push((
+                    name.to_string(),
+                    labels
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                ));
+            }
+            fn gauge(&mut self, name: &str, _h: &str, _l: &[(&str, &str)], _v: f64) {
+                self.0.push((name.to_string(), Vec::new()));
+            }
+            fn histogram(
+                &mut self,
+                name: &str,
+                _h: &str,
+                _l: &[(&str, &str)],
+                _s: &HistogramSnapshot,
+            ) {
+                self.0.push((format!("hist:{name}"), Vec::new()));
+            }
+        }
+        let m = NetMetrics::new();
+        m.record_request();
+        let mut sink = Names::default();
+        m.observe(&mut sink);
+        let names: Vec<&str> = sink.0.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"san.net.conns"));
+        assert!(names.contains(&"san.net.requests"));
+        assert!(names.contains(&"san.net.decode_errors"));
+        assert!(names.contains(&"hist:san.net.request_latency"));
+        // One responses series per typed outcome.
+        let outcomes: Vec<&str> = sink
+            .0
+            .iter()
+            .filter(|(n, _)| n == "san.net.responses")
+            .flat_map(|(_, labels)| labels.iter().map(|(_, v)| v.as_str()))
+            .collect();
+        assert_eq!(
+            outcomes,
+            [
+                "served",
+                "busy",
+                "no_snapshot",
+                "node_out_of_range",
+                "store_failed",
+                "bad_request",
+                "shutting_down"
+            ]
+        );
+    }
 
     #[test]
     fn counters_start_zero_and_count() {

@@ -25,8 +25,10 @@ use std::io::{self, Read, Write};
 pub const NET_MAGIC: [u8; 4] = *b"SANW";
 
 /// Protocol version carried by every frame. Single-valued: peers reject
-/// anything else (see the crate docs' versioning policy).
-pub const NET_VERSION: u16 = 1;
+/// anything else (see the crate docs' versioning policy). v2 added the
+/// `stats` query (id 7) and its text payload — a new query id is a new
+/// version, per policy.
+pub const NET_VERSION: u16 = 2;
 
 /// Fixed request header size (magic → params length), bytes.
 pub const REQUEST_HEADER_BYTES: usize = 16;
@@ -34,7 +36,7 @@ pub const REQUEST_HEADER_BYTES: usize = 16;
 /// Fixed response header size (magic → payload length), bytes.
 pub const RESPONSE_HEADER_BYTES: usize = 20;
 
-/// Hard bound on a request's declared `params_len`. The largest v1
+/// Hard bound on a request's declared `params_len`. The largest v2
 /// params block is 12 bytes; the headroom is for future versions, and
 /// the bound is what keeps a hostile length prefix from sizing a
 /// buffer.
@@ -44,15 +46,35 @@ pub const MAX_PARAMS_BYTES: u32 = 64;
 /// or a [`QueryResult::Neighbors`] may carry.
 pub const MAX_NEIGHBOR_PAGE: u32 = 4096;
 
-/// Hard bound on a response's declared `payload_len`: the full-page
-/// neighbour payload (`8 + 4 ×` [`MAX_NEIGHBOR_PAGE`]).
+/// Hard bound on a non-stats response's declared `payload_len`: the
+/// full-page neighbour payload (`8 + 4 ×` [`MAX_NEIGHBOR_PAGE`]). The
+/// `stats` query (id 7) alone is allowed the larger
+/// [`MAX_STATS_BYTES`]-based bound — the response header carries the
+/// query id *before* the payload length, so the per-query bound is
+/// known by the time the length is validated.
 pub const MAX_PAYLOAD_BYTES: u32 = 8 + 4 * MAX_NEIGHBOR_PAGE;
+
+/// Hard bound on the UTF-8 text a [`QueryResult::Stats`] payload may
+/// carry (the metrics exposition grows with registered series, not with
+/// client input; 1 MiB is generous headroom). The stats payload itself
+/// is `4 + len` bytes (`u32` length prefix + text).
+pub const MAX_STATS_BYTES: u32 = 1 << 20;
+
+/// Response-payload bound for `query_id` (see [`MAX_PAYLOAD_BYTES`]
+/// and [`MAX_STATS_BYTES`]).
+fn max_payload_for(query_id: u16) -> u32 {
+    if query_id == 7 {
+        4 + MAX_STATS_BYTES
+    } else {
+        MAX_PAYLOAD_BYTES
+    }
+}
 
 /// Largest possible encoded request frame.
 pub const MAX_REQUEST_FRAME_BYTES: usize = REQUEST_HEADER_BYTES + MAX_PARAMS_BYTES as usize;
 
-/// Largest possible encoded response frame.
-pub const MAX_RESPONSE_FRAME_BYTES: usize = RESPONSE_HEADER_BYTES + MAX_PAYLOAD_BYTES as usize;
+/// Largest possible encoded response frame (a full stats payload).
+pub const MAX_RESPONSE_FRAME_BYTES: usize = RESPONSE_HEADER_BYTES + 4 + MAX_STATS_BYTES as usize;
 
 /// Highest day a request may name. Timelines are day-indexed from 0 and
 /// the paper's crawl spans months, so 2²⁰ days (~2870 years) is pure
@@ -215,6 +237,10 @@ pub enum Query {
         /// The social node.
         u: u32,
     },
+    /// The server's metrics snapshot as Prometheus text exposition —
+    /// id 7 (v2), no params. The `day` field is ignored; `day_served`
+    /// echoes 0.
+    Stats,
 }
 
 impl Query {
@@ -228,6 +254,7 @@ impl Query {
             Query::CommonNeighbors { .. } => 4,
             Query::Reciprocity => 5,
             Query::LocalClustering { .. } => 6,
+            Query::Stats => 7,
         }
     }
 
@@ -240,7 +267,7 @@ impl Query {
     /// id.
     fn params_len_for(id: u16) -> Option<u32> {
         match id {
-            0 | 5 => Some(0),
+            0 | 5 | 7 => Some(0),
             1 | 6 => Some(4),
             3 | 4 => Some(8),
             2 => Some(12),
@@ -258,6 +285,7 @@ fn query_name(id: u16) -> &'static str {
         4 => "common_neighbors",
         5 => "reciprocity",
         6 => "local_clustering",
+        7 => "stats",
         _ => "unknown",
     }
 }
@@ -362,7 +390,7 @@ impl Request {
         w.put_u16(self.query.id());
         w.put_u32(self.day);
         match self.query {
-            Query::Counts | Query::Reciprocity => w.put_u32(0),
+            Query::Counts | Query::Reciprocity | Query::Stats => w.put_u32(0),
             Query::Degrees { u } | Query::LocalClustering { u } => {
                 w.put_u32(4);
                 w.put_u32(u);
@@ -445,6 +473,7 @@ fn parse_params(query_id: u16, params: &[u8]) -> Result<Query, NetError> {
     let query = match query_id {
         0 => Query::Counts,
         5 => Query::Reciprocity,
+        7 => Query::Stats,
         1 => Query::Degrees {
             u: r.take_u32("degrees params")?,
         },
@@ -515,6 +544,10 @@ pub enum QueryResult {
     Reciprocity(f64),
     /// Local clustering coefficient.
     LocalClustering(f64),
+    /// Metrics snapshot as Prometheus text exposition (v2). Wire form:
+    /// `u32` byte length (`≤` [`MAX_STATS_BYTES`]) then that many UTF-8
+    /// bytes.
+    Stats(String),
 }
 
 impl QueryResult {
@@ -528,6 +561,7 @@ impl QueryResult {
             QueryResult::CommonNeighbors(_) => 4,
             QueryResult::Reciprocity(_) => 5,
             QueryResult::LocalClustering(_) => 6,
+            QueryResult::Stats(_) => 7,
         }
     }
 
@@ -559,6 +593,10 @@ impl QueryResult {
             QueryResult::HasLink(present) => w.put_u8(u8::from(*present)),
             QueryResult::CommonNeighbors(n) => w.put_u64(*n),
             QueryResult::Reciprocity(v) | QueryResult::LocalClustering(v) => w.put_f64(*v),
+            QueryResult::Stats(text) => {
+                w.put_u32(text.len() as u32);
+                w.put_bytes(text.as_bytes());
+            }
         }
     }
 }
@@ -636,6 +674,26 @@ fn parse_payload(query_id: u16, payload: &[u8]) -> Result<QueryResult, NetError>
             exact(8)?;
             QueryResult::LocalClustering(r.take_f64("local_clustering payload")?)
         }
+        7 => {
+            let len = r.take_u32("stats payload")?;
+            if len > MAX_STATS_BYTES {
+                return Err(NetError::FrameTooLarge {
+                    declared: len,
+                    max: MAX_STATS_BYTES,
+                });
+            }
+            exact(4 + len as usize)?;
+            let bytes = r.take_bytes(len as usize, "stats payload")?;
+            match std::str::from_utf8(bytes) {
+                Ok(text) => QueryResult::Stats(text.to_string()),
+                Err(_) => {
+                    return Err(NetError::BadParams {
+                        query: "stats",
+                        reason: "payload is not valid UTF-8",
+                    })
+                }
+            }
+        }
         id => return Err(NetError::UnknownQuery { id }),
     };
     Ok(result)
@@ -696,10 +754,13 @@ fn parse_response_header(r: &mut WireReader<'_>) -> Result<ResponseHeader, NetEr
     }
     let day_served = r.take_u32("response day")?;
     let payload_len = r.take_u32("response payload length")?;
-    if payload_len > MAX_PAYLOAD_BYTES {
+    // Per-query bound: the query id (validated above, and at a lower
+    // offset) picks the bound the declared length is checked against.
+    let max = max_payload_for(query_id);
+    if payload_len > max {
         return Err(NetError::FrameTooLarge {
             declared: payload_len,
-            max: MAX_PAYLOAD_BYTES,
+            max,
         });
     }
     if status != 0 && payload_len != 0 {
@@ -850,7 +911,7 @@ mod tests {
         }
         .encode();
         assert_eq!(&frame[..4], b"SANW");
-        assert_eq!(frame[4..6], [1, 0]); // version 1 LE
+        assert_eq!(frame[4..6], [2, 0]); // version 2 LE
         assert_eq!(frame[6..8], [1, 0]); // query id 1
         assert_eq!(frame[8..12], [7, 0, 0, 0]); // day
         assert_eq!(frame[12..16], [4, 0, 0, 0]); // params_len
@@ -862,7 +923,7 @@ mod tests {
     fn error_response_layout_is_byte_exact() {
         let frame = Response::err(3, ErrorCode::Busy).encode();
         assert_eq!(&frame[..4], b"SANW");
-        assert_eq!(frame[4..6], [1, 0]); // version
+        assert_eq!(frame[4..6], [2, 0]); // version
         assert_eq!(frame[6..8], [1, 0]); // status = Busy
         assert_eq!(frame[8..10], [3, 0]); // query id echo
         assert_eq!(frame[10..12], [0, 0]); // reserved
@@ -899,5 +960,57 @@ mod tests {
         let mut cursor = io::Cursor::new(buf);
         assert_eq!(Response::read_from(&mut cursor).unwrap(), Some(resp));
         assert_eq!(Response::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn stats_frames_round_trip_with_exact_layout() {
+        let frame = Request {
+            day: 0,
+            query: Query::Stats,
+        }
+        .encode();
+        assert_eq!(frame[6..8], [7, 0]); // query id 7
+        assert_eq!(frame[12..16], [0, 0, 0, 0]); // no params
+        assert_eq!(frame.len(), REQUEST_HEADER_BYTES);
+        assert_eq!(Request::decode(&frame).unwrap().0.query, Query::Stats);
+
+        let text = "# TYPE san_net_requests counter\nsan_net_requests 3\n";
+        let resp = Response::Ok {
+            day_served: 0,
+            result: QueryResult::Stats(text.to_string()),
+        };
+        let frame = resp.encode();
+        // Payload: u32 length prefix then the UTF-8 bytes.
+        assert_eq!(
+            frame[RESPONSE_HEADER_BYTES..RESPONSE_HEADER_BYTES + 4],
+            (text.len() as u32).to_le_bytes()
+        );
+        assert_eq!(&frame[RESPONSE_HEADER_BYTES + 4..], text.as_bytes());
+        assert_eq!(Response::decode(&frame).unwrap(), (resp, frame.len()));
+    }
+
+    #[test]
+    fn stats_payload_rejects_bad_utf8_and_oversized_lengths() {
+        let frame = Response::Ok {
+            day_served: 0,
+            result: QueryResult::Stats("ok".to_string()),
+        }
+        .encode();
+        // Flip a payload byte to an invalid UTF-8 lead byte.
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() = 0xFF;
+        assert!(matches!(
+            Response::decode(&bad),
+            Err(NetError::BadParams { query: "stats", .. })
+        ));
+        // A declared text length beyond MAX_STATS_BYTES is rejected
+        // from the length prefix alone.
+        let mut bad = frame;
+        bad[RESPONSE_HEADER_BYTES..RESPONSE_HEADER_BYTES + 4]
+            .copy_from_slice(&(MAX_STATS_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            Response::decode(&bad),
+            Err(NetError::FrameTooLarge { max, .. }) if max == MAX_STATS_BYTES
+        ));
     }
 }

@@ -31,15 +31,23 @@
 //! (`model_tests.rs`) checks never strands a worker or double-serves a
 //! queued connection.
 
+use crate::admin::{admin_loop, AdminState};
 use crate::exec::execute;
 use crate::metrics::NetMetrics;
 use crate::pool::{ConnQueue, InflightGate};
-use crate::proto::{ErrorCode, NetError, Request, Response, REQUEST_HEADER_BYTES};
-use san_serve::SnapshotServer;
+use crate::proto::{
+    ErrorCode, NetError, Query, QueryResult, Request, Response, MAX_STATS_BYTES,
+    REQUEST_HEADER_BYTES,
+};
+use san_obs::{
+    encode_prometheus, render_slowlog, FetchClass, MetricRegistry, MetricSink, Observe,
+    RequestTrace, Stage, TraceRing,
+};
+use san_serve::{FetchKind, SnapshotServer};
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -63,6 +71,17 @@ pub struct NetConfig {
     /// How long a started frame may take to arrive in full before the
     /// connection is dropped (slow-trickle defence). Default: 2 s.
     pub frame_deadline: Duration,
+    /// Address for the admin HTTP listener (`GET /metrics`,
+    /// `GET /slowlog`); `None` disables it. Use port 0 for an ephemeral
+    /// port — see [`NetServer::admin_addr`]. Default: `None`.
+    pub admin: Option<SocketAddr>,
+    /// Per-request tracing into the slow-query ring. Off, requests skip
+    /// every trace clock read (the bench compares both modes). Default:
+    /// on.
+    pub trace: bool,
+    /// Slots in the slow-query ring — how many recent traces
+    /// `/slowlog` can dump (clamped to ≥ 1). Default: 64.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for NetConfig {
@@ -74,12 +93,19 @@ impl Default for NetConfig {
             max_inflight: 2 * cores as u64,
             poll_interval: Duration::from_millis(25),
             frame_deadline: Duration::from_secs(2),
+            admin: None,
+            trace: true,
+            slowlog_capacity: 64,
         }
     }
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
+/// How many slow-query entries one `/slowlog` dump renders.
+const SLOWLOG_DUMP: usize = 32;
+
+/// State shared by the acceptor, the workers, the admin listener, and
+/// the handle.
+pub(crate) struct Shared {
     snaps: SnapshotServer,
     queue: ConnQueue<TcpStream>,
     gate: InflightGate,
@@ -87,6 +113,13 @@ struct Shared {
     stop: AtomicBool,
     poll_interval: Duration,
     frame_deadline: Duration,
+    /// All three layers' meters, registered once at startup; scraped by
+    /// `/metrics`, the SANW `stats` query, and `NetServer::registry`.
+    registry: MetricRegistry,
+    /// The slow-query ring finished traces land in.
+    ring: TraceRing,
+    /// Whether workers carry a [`RequestTrace`] per request.
+    trace: bool,
 }
 
 impl Shared {
@@ -97,6 +130,78 @@ impl Shared {
         // poll-interval tick.
         self.stop.load(Ordering::Relaxed)
     }
+
+    /// One consistent metrics snapshot as Prometheus text exposition,
+    /// clamped to the wire bound — the single source `/metrics` and the
+    /// SANW `stats` query both serve.
+    fn stats_text(&self) -> String {
+        clamp_stats(encode_prometheus(&self.registry))
+    }
+}
+
+impl AdminState for Shared {
+    fn stopping(&self) -> bool {
+        Shared::stopping(self)
+    }
+
+    fn metrics_text(&self) -> String {
+        self.stats_text()
+    }
+
+    fn slowlog_text(&self) -> String {
+        render_slowlog(&self.ring, SLOWLOG_DUMP)
+    }
+}
+
+/// Truncates an exposition document to [`MAX_STATS_BYTES`] at a char
+/// boundary (the registry would need thousands of series to get near
+/// the bound; the clamp keeps the encoder total even then).
+fn clamp_stats(mut text: String) -> String {
+    let max = MAX_STATS_BYTES as usize;
+    if text.len() > max {
+        let mut cut = max;
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+    }
+    text
+}
+
+/// [`Observe`] adapters holding the server weakly: registered sources
+/// must be `Arc<dyn Observe>`, but the meters live inside [`Shared`]
+/// (which owns the registry — `Arc::new_cyclic` breaks the cycle, and
+/// the `Weak` keeps drop order a non-issue).
+struct VaultObs(Weak<Shared>);
+
+impl Observe for VaultObs {
+    fn observe(&self, sink: &mut dyn MetricSink) {
+        if let Some(shared) = self.0.upgrade() {
+            shared.snaps.vault().metrics().observe(sink);
+        }
+    }
+}
+
+/// See [`VaultObs`].
+struct ServeObs(Weak<Shared>);
+
+impl Observe for ServeObs {
+    fn observe(&self, sink: &mut dyn MetricSink) {
+        if let Some(shared) = self.0.upgrade() {
+            shared.snaps.metrics().observe(sink);
+        }
+    }
+}
+
+/// See [`VaultObs`].
+struct NetObs(Weak<Shared>);
+
+impl Observe for NetObs {
+    fn observe(&self, sink: &mut dyn MetricSink) {
+        if let Some(shared) = self.0.upgrade() {
+            shared.metrics.observe(sink);
+        }
+    }
 }
 
 /// The running TCP front-end. Dropping the handle shuts the server
@@ -105,14 +210,17 @@ impl Shared {
 pub struct NetServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port — see
     /// [`addr`](NetServer::addr)) and starts serving `snaps` with
-    /// `config`'s pool sizing.
+    /// `config`'s pool sizing. When [`NetConfig::admin`] is set, also
+    /// binds the admin HTTP listener there.
     pub fn serve(
         snaps: SnapshotServer,
         addr: impl ToSocketAddrs,
@@ -120,14 +228,31 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            snaps,
-            queue: ConnQueue::new(config.accept_backlog),
-            gate: InflightGate::new(config.max_inflight),
-            metrics: NetMetrics::new(),
-            stop: AtomicBool::new(false),
-            poll_interval: config.poll_interval.max(Duration::from_millis(1)),
-            frame_deadline: config.frame_deadline.max(Duration::from_millis(10)),
+        let admin_listener = match config.admin {
+            Some(admin) => Some(TcpListener::bind(admin)?),
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+        let shared = Arc::new_cyclic(|weak: &Weak<Shared>| {
+            let mut registry = MetricRegistry::builder();
+            registry.register(&[("layer", "vault")], Arc::new(VaultObs(weak.clone())));
+            registry.register(&[("layer", "serve")], Arc::new(ServeObs(weak.clone())));
+            registry.register(&[("layer", "net")], Arc::new(NetObs(weak.clone())));
+            Shared {
+                snaps,
+                queue: ConnQueue::new(config.accept_backlog),
+                gate: InflightGate::new(config.max_inflight),
+                metrics: NetMetrics::new(),
+                stop: AtomicBool::new(false),
+                poll_interval: config.poll_interval.max(Duration::from_millis(1)),
+                frame_deadline: config.frame_deadline.max(Duration::from_millis(10)),
+                registry: registry.build(),
+                ring: TraceRing::new(config.slowlog_capacity),
+                trace: config.trace,
+            }
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -139,10 +264,16 @@ impl NetServer {
             let shared = Arc::clone(&shared);
             thread::spawn(move || acceptor_loop(&shared, listener))
         };
+        let admin = admin_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || admin_loop(&*shared, listener))
+        });
         Ok(NetServer {
             shared,
             addr,
+            admin_addr,
             acceptor: Some(acceptor),
+            admin,
             workers,
         })
     }
@@ -163,6 +294,29 @@ impl NetServer {
         &self.shared.snaps
     }
 
+    /// The admin HTTP listener's bound address, when one was configured
+    /// (the resolved ephemeral port when bound to port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The metric registry covering all three layers (vault, serve,
+    /// net) — what `/metrics` and the SANW `stats` query scrape.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.shared.registry
+    }
+
+    /// The slow-query ring (what `/slowlog` dumps).
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.shared.ring
+    }
+
+    /// One metrics snapshot as Prometheus text exposition — the exact
+    /// document `/metrics` serves.
+    pub fn stats_text(&self) -> String {
+        self.shared.stats_text()
+    }
+
     /// Graceful shutdown: stop accepting, answer queued connections
     /// `ShuttingDown`, let in-flight requests finish, join every
     /// thread. Never hangs: idle workers notice within one poll
@@ -175,9 +329,12 @@ impl NetServer {
         // ORDERING: Relaxed — see `Shared::stopping`; `queue.stop()`
         // below is the synchronised part of the handshake.
         self.shared.stop.store(true, Ordering::Relaxed);
-        // Wake the acceptor out of its blocking accept with a no-op
-        // loopback connection; it re-checks the flag and exits.
+        // Wake the acceptors out of their blocking accepts with no-op
+        // loopback connections; they re-check the flag and exit.
         let _ = TcpStream::connect(self.addr);
+        if let Some(admin_addr) = self.admin_addr {
+            let _ = TcpStream::connect(admin_addr);
+        }
         for stream in self.shared.queue.stop() {
             refuse(stream, ErrorCode::ShuttingDown);
         }
@@ -186,6 +343,9 @@ impl NetServer {
         }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(admin) = self.admin.take() {
+            let _ = admin.join();
         }
     }
 }
@@ -257,20 +417,41 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Err(e) if is_timeout(&e) => continue,
             Err(_) => break,
         }
+        // A frame is arriving: start its trace before the first byte is
+        // consumed, so the decode stage includes the socket read.
+        let mut trace = shared
+            .trace
+            .then(|| RequestTrace::begin(shared.ring.next_request_id()));
         match read_request(shared, &stream) {
             Ok(Some(request)) => {
-                let response = serve_one(shared, request);
-                if response.write_to(&mut &stream).is_err() {
+                if let Some(t) = trace.as_mut() {
+                    t.decoded(request.day, request.query.id());
+                    t.stage(Stage::Decode);
+                }
+                let response = serve_one(shared, request, trace.as_mut());
+                let wrote = response.write_to(&mut &stream);
+                if let Some(mut t) = trace {
+                    t.stage(Stage::Encode);
+                    shared.ring.record(&t.finish(outcome_of(&response)));
+                }
+                if wrote.is_err() {
                     break;
                 }
             }
             Ok(None) => break, // clean close raced the peek
             Err(NetError::Io(_)) => break,
             Err(_) => {
-                // Malformed frame: the stream can no longer be framed,
-                // so answer once (best-effort) and close.
+                // Malformed frame: count the attempt and its typed
+                // outcome; the stream can no longer be framed, so answer
+                // once (best-effort) and close.
+                shared.metrics.record_request();
                 shared.metrics.record_decode_error();
+                shared.metrics.record_bad_request();
                 let _ = Response::err(0, ErrorCode::BadRequest).write_to(&mut &stream);
+                if let Some(mut t) = trace {
+                    t.stage(Stage::Decode);
+                    shared.ring.record(&t.finish(ErrorCode::BadRequest as u8));
+                }
                 break;
             }
         }
@@ -278,7 +459,16 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn is_timeout(e: &io::Error) -> bool {
+/// The wire outcome byte a finished trace records: 0 for served, else
+/// the error code.
+fn outcome_of(response: &Response) -> u8 {
+    match response.error_code() {
+        None => 0,
+        Some(code) => code as u8,
+    }
+}
+
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
@@ -344,27 +534,57 @@ fn read_request(shared: &Shared, stream: &TcpStream) -> Result<Option<Request>, 
 
 /// Decode → admit → execute → encode for one request. Every path
 /// returns a typed response; the latency histogram sees all of them.
-fn serve_one(shared: &Shared, request: Request) -> Response {
+fn serve_one(shared: &Shared, request: Request, trace: Option<&mut RequestTrace>) -> Response {
     let started = Instant::now();
     shared.metrics.record_request();
-    let response = admit_and_execute(shared, request);
+    let response = admit_and_execute(shared, request, trace);
     shared.metrics.record_request_latency(started.elapsed());
     response
 }
 
-fn admit_and_execute(shared: &Shared, request: Request) -> Response {
+/// Attributes the time since the trace's last mark to `stage`, when a
+/// trace is being carried.
+fn mark(trace: &mut Option<&mut RequestTrace>, stage: Stage) {
+    if let Some(t) = trace.as_deref_mut() {
+        t.stage(stage);
+    }
+}
+
+fn admit_and_execute(
+    shared: &Shared,
+    request: Request,
+    mut trace: Option<&mut RequestTrace>,
+) -> Response {
     let query_id = request.query.id();
     if shared.stopping() {
+        shared.metrics.record_shutting_down();
+        mark(&mut trace, Stage::Admission);
         return Response::err(query_id, ErrorCode::ShuttingDown);
+    }
+    // A stats query answers from the registry ahead of the in-flight
+    // gate: the scrape needs no snapshot and must stay observable while
+    // the server is shedding `Busy` — overload is exactly when the
+    // metrics matter.
+    if matches!(request.query, Query::Stats) {
+        mark(&mut trace, Stage::Admission);
+        let text = shared.stats_text();
+        shared.metrics.record_served();
+        mark(&mut trace, Stage::Execute);
+        return Response::Ok {
+            day_served: 0,
+            result: QueryResult::Stats(text),
+        };
     }
     // Gate 2: in-flight cap. The permit spans snapshot fetch +
     // execution.
     let Some(_permit) = shared.gate.try_enter() else {
         shared.metrics.record_busy();
+        mark(&mut trace, Stage::Admission);
         return Response::err(query_id, ErrorCode::Busy);
     };
     let Some(day) = shared.snaps.vault().nearest_at_or_before(request.day) else {
         shared.metrics.record_no_snapshot();
+        mark(&mut trace, Stage::Admission);
         return Response::err(query_id, ErrorCode::NoSnapshot);
     };
     // Gate 3: resident-byte budget. A cold day while the cache is at
@@ -374,27 +594,42 @@ fn admit_and_execute(shared: &Shared, request: Request) -> Response {
         && shared.snaps.resident_bytes() >= shared.snaps.config().max_resident_bytes
     {
         shared.metrics.record_busy();
+        mark(&mut trace, Stage::Admission);
         return Response::err(query_id, ErrorCode::Busy);
     }
-    match shared.snaps.get_exact(day) {
+    mark(&mut trace, Stage::Admission);
+    match shared.snaps.get_exact_kind(day) {
         Err(_) => {
             shared.metrics.record_store_failed();
+            mark(&mut trace, Stage::Fetch);
             Response::err(query_id, ErrorCode::StoreFailed)
         }
-        Ok(handle) => match execute(request.query, &handle.view()) {
-            Ok(result) => {
-                shared.metrics.record_served();
-                Response::Ok {
-                    day_served: handle.day(),
-                    result,
+        Ok((handle, kind)) => {
+            if let Some(t) = trace.as_deref_mut() {
+                t.fetched(match kind {
+                    FetchKind::Hit => FetchClass::Hit,
+                    FetchKind::ColdMap => FetchClass::ColdMap,
+                    FetchKind::DedupWait => FetchClass::DedupWait,
+                });
+            }
+            mark(&mut trace, Stage::Fetch);
+            let result = execute(request.query, &handle.view());
+            mark(&mut trace, Stage::Execute);
+            match result {
+                Ok(result) => {
+                    shared.metrics.record_served();
+                    Response::Ok {
+                        day_served: handle.day(),
+                        result,
+                    }
+                }
+                Err(code) => {
+                    if code == ErrorCode::NodeOutOfRange {
+                        shared.metrics.record_node_out_of_range();
+                    }
+                    Response::err(query_id, code)
                 }
             }
-            Err(code) => {
-                if code == ErrorCode::NodeOutOfRange {
-                    shared.metrics.record_node_out_of_range();
-                }
-                Response::err(query_id, code)
-            }
-        },
+        }
     }
 }

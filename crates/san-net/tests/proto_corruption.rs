@@ -9,7 +9,8 @@
 
 use san_net::proto::{
     ErrorCode, NetError, Query, QueryResult, Request, Response, MAX_DAY, MAX_NEIGHBOR_PAGE,
-    MAX_PARAMS_BYTES, MAX_PAYLOAD_BYTES, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES,
+    MAX_PARAMS_BYTES, MAX_PAYLOAD_BYTES, MAX_STATS_BYTES, REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
 };
 use std::io::Cursor;
 
@@ -28,6 +29,7 @@ fn sample_requests() -> Vec<Request> {
         Query::CommonNeighbors { u: 4, v: 5 },
         Query::Reciprocity,
         Query::LocalClustering { u: 2 },
+        Query::Stats,
     ];
     queries
         .into_iter()
@@ -58,6 +60,7 @@ fn sample_responses() -> Vec<Response> {
         QueryResult::CommonNeighbors(6),
         QueryResult::Reciprocity(0.625),
         QueryResult::LocalClustering(0.5),
+        QueryResult::Stats("# TYPE san_net_requests counter\nsan_net_requests 5\n".to_string()),
     ];
     let mut responses: Vec<Response> = results
         .into_iter()
@@ -194,7 +197,8 @@ fn bad_magic_is_rejected_with_the_found_bytes() {
 #[test]
 fn wrong_version_is_rejected_with_the_found_version() {
     let frame = sample_requests()[1].encode();
-    for version in [0u16, 2, 0x7FFF, u16::MAX] {
+    // v1 frames are rejected by a v2 peer — the policy's hard cutover.
+    for version in [0u16, 1, 3, 0x7FFF, u16::MAX] {
         let bad = with_u16_at(&frame, 4, version);
         match req_err(&bad) {
             NetError::UnsupportedVersion { found } => assert_eq!(found, version),
@@ -202,10 +206,10 @@ fn wrong_version_is_rejected_with_the_found_version() {
         }
     }
     let frame = sample_responses()[0].encode();
-    let bad = with_u16_at(&frame, 4, 2);
+    let bad = with_u16_at(&frame, 4, 1);
     assert!(matches!(
         resp_err(&bad),
-        NetError::UnsupportedVersion { found: 2 }
+        NetError::UnsupportedVersion { found: 1 }
     ));
 }
 
@@ -216,7 +220,8 @@ fn wrong_version_is_rejected_with_the_found_version() {
 #[test]
 fn unknown_query_id_is_rejected() {
     let frame = sample_requests()[0].encode();
-    for id in [7u16, 42, 0x1000, u16::MAX] {
+    // 7 became `stats` in v2; the first unknown id is now 8.
+    for id in [8u16, 42, 0x1000, u16::MAX] {
         let bad = with_u16_at(&frame, 6, id);
         match req_err(&bad) {
             NetError::UnknownQuery { id: found } => assert_eq!(found, id),
@@ -306,6 +311,75 @@ fn oversized_payload_length_is_frame_too_large() {
             Err(NetError::FrameTooLarge { .. })
         ));
     }
+}
+
+/// Only query id 7 gets the larger stats payload bound; the bound is
+/// still enforced, and still from the header alone on the stream path.
+#[test]
+fn stats_payload_bound_is_per_query() {
+    let stats_frame = sample_responses()
+        .into_iter()
+        .find(|r| {
+            matches!(
+                r,
+                Response::Ok {
+                    result: QueryResult::Stats(_),
+                    ..
+                }
+            )
+        })
+        .expect("stats sample")
+        .encode();
+    // A stats payload length over MAX_PAYLOAD_BYTES (but within the
+    // stats bound) passes the header check — the truncated frame then
+    // dies as a payload truncation, proving the header accepted it.
+    let declared_ok = MAX_PAYLOAD_BYTES + 1;
+    let bad = with_u32_at(&stats_frame, 16, declared_ok);
+    assert!(matches!(
+        resp_err(&bad),
+        NetError::Truncated {
+            section: "response payload"
+        }
+    ));
+    // Over the stats bound: rejected at the header, before any buffer.
+    for declared in [4 + MAX_STATS_BYTES + 1, u32::MAX] {
+        let bad = with_u32_at(&stats_frame, 16, declared);
+        match resp_err(&bad) {
+            NetError::FrameTooLarge { declared: d, max } => {
+                assert_eq!(d, declared);
+                assert_eq!(max, 4 + MAX_STATS_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        assert!(matches!(
+            stream_resp(&bad[..RESPONSE_HEADER_BYTES]),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}
+
+/// The stats text-length prefix must agree with the payload length and
+/// the bytes must be UTF-8.
+#[test]
+fn stats_payload_shape_violations_are_rejected() {
+    let frame = Response::Ok {
+        day_served: 0,
+        result: QueryResult::Stats("abc".to_string()),
+    }
+    .encode();
+    // Text length prefix disagreeing with the payload length.
+    let bad = with_u32_at(&frame, RESPONSE_HEADER_BYTES, 2);
+    assert!(matches!(
+        resp_err(&bad),
+        NetError::BadParams { query: "stats", .. }
+    ));
+    // Invalid UTF-8 in the text bytes.
+    let mut bad = frame;
+    *bad.last_mut().unwrap() = 0xC0;
+    assert!(matches!(
+        resp_err(&bad),
+        NetError::BadParams { query: "stats", .. }
+    ));
 }
 
 // ---------------------------------------------------------------------------

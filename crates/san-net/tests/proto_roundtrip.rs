@@ -9,14 +9,31 @@
 use proptest::prelude::*;
 use san_net::proto::{
     Query, QueryResult, Request, Response, MAX_DAY, MAX_NEIGHBOR_PAGE, MAX_PAYLOAD_BYTES,
-    MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES, REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES,
+    MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES, MAX_STATS_BYTES, REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
 };
 use std::io::Cursor;
+
+/// Strings for stats payloads, built from a byte vector mapped through
+/// a palette that covers ASCII, multi-byte UTF-8, and exposition
+/// syntax (the vendored proptest has no string strategies).
+fn arb_stats_text() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 16] = [
+        'a', 'Z', '0', '_', ':', '.', ' ', '\n', '#', '{', '}', '"', '\\', '=', 'µ', '→',
+    ];
+    prop::collection::vec(any::<u8>(), 0..200usize).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| PALETTE[usize::from(b) % PALETTE.len()])
+            .collect()
+    })
+}
 
 fn arb_query() -> impl Strategy<Value = Query> {
     prop_oneof![
         Just(Query::Counts),
         Just(Query::Reciprocity),
+        Just(Query::Stats),
         any::<u32>().prop_map(|u| Query::Degrees { u }),
         any::<u32>().prop_map(|u| Query::LocalClustering { u }),
         (any::<u32>(), any::<u32>()).prop_map(|(src, dst)| Query::HasLink { src, dst }),
@@ -51,6 +68,7 @@ fn arb_result() -> impl Strategy<Value = QueryResult> {
         any::<u64>().prop_map(QueryResult::CommonNeighbors),
         any::<f64>().prop_map(QueryResult::Reciprocity),
         any::<f64>().prop_map(QueryResult::LocalClustering),
+        arb_stats_text().prop_map(QueryResult::Stats),
     ]
 }
 
@@ -115,6 +133,7 @@ proptest! {
 /// the bounds are tight, not just safe.
 #[test]
 fn max_frame_bounds_are_tight() {
+    // The largest non-stats payload: a full neighbour page.
     let page: Vec<u32> = (0..MAX_NEIGHBOR_PAGE).collect();
     let response = Response::Ok {
         day_served: MAX_DAY,
@@ -124,16 +143,28 @@ fn max_frame_bounds_are_tight() {
         },
     };
     let frame = response.encode();
-    assert_eq!(frame.len(), MAX_RESPONSE_FRAME_BYTES);
     assert_eq!(
         frame.len() - RESPONSE_HEADER_BYTES,
         MAX_PAYLOAD_BYTES as usize
     );
+    assert!(frame.len() <= MAX_RESPONSE_FRAME_BYTES);
     let (decoded, consumed) = Response::decode(&frame).unwrap();
     assert_eq!(consumed, frame.len());
     assert_eq!(decoded, response);
 
-    // The largest v1 request is an out_neighbors query (12 params
+    // The largest frame of all: a bound-sized stats payload.
+    let text = "x".repeat(MAX_STATS_BYTES as usize);
+    let response = Response::Ok {
+        day_served: 0,
+        result: QueryResult::Stats(text),
+    };
+    let frame = response.encode();
+    assert_eq!(frame.len(), MAX_RESPONSE_FRAME_BYTES);
+    let (decoded, consumed) = Response::decode(&frame).unwrap();
+    assert_eq!(consumed, frame.len());
+    assert_eq!(decoded, response);
+
+    // The largest v2 request is an out_neighbors query (12 params
     // bytes) — well inside the future-proofed request bound.
     let request = Request {
         day: MAX_DAY,

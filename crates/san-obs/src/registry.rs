@@ -1,0 +1,308 @@
+//! The metric registry: `Observe` sources registered once, scraped
+//! lock-free forever after.
+
+use san_graph::meter::HistogramSnapshot;
+use std::sync::Arc;
+
+/// Where an [`Observe`] implementation emits its metrics.
+///
+/// One call per metric series; `labels` are `(name, value)` pairs owned
+/// by the caller for the duration of the call. Names are **stable dotted
+/// paths** (`san.serve.cache.hits`): the dots are the cross-layer naming
+/// scheme, and each exporter maps them to its own grammar (the
+/// Prometheus encoder rewrites `.` to `_`).
+pub trait MetricSink {
+    /// A monotonically increasing counter (saturating at `u64::MAX`).
+    fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64);
+
+    /// A point-in-time value that may move both ways.
+    fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64);
+
+    /// A full latency distribution: the consistent bucket dump taken by
+    /// [`LatencyHistogram::snapshot`](san_graph::meter::LatencyHistogram::snapshot).
+    fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    );
+}
+
+/// A source of metrics: walks its meters and emits every series into the
+/// sink. Implementations read the meters' existing lock-free getters —
+/// observing never blocks recording.
+///
+/// This crate implements it for
+/// [`VaultMetrics`](san_graph::meter::VaultMetrics) and (on Unix)
+/// [`ServeMetrics`](san_serve::ServeMetrics); `san-net` implements it
+/// for its `NetMetrics` next to the type.
+pub trait Observe {
+    /// Emits every metric series this source owns into `sink`.
+    fn observe(&self, sink: &mut dyn MetricSink);
+}
+
+struct Source {
+    /// Base label pairs stamped on every series this source emits.
+    labels: Vec<(String, String)>,
+    source: Arc<dyn Observe + Send + Sync>,
+}
+
+/// Accumulates sources, then freezes into a [`MetricRegistry`].
+#[derive(Default)]
+pub struct MetricRegistryBuilder {
+    sources: Vec<Source>,
+}
+
+impl MetricRegistryBuilder {
+    /// An empty builder.
+    pub fn new() -> MetricRegistryBuilder {
+        MetricRegistryBuilder::default()
+    }
+
+    /// Adds a source; `labels` are stamped onto every series it emits
+    /// (before the series' own labels, which win on name collision at
+    /// the exporter).
+    pub fn register(
+        &mut self,
+        labels: &[(&str, &str)],
+        source: Arc<dyn Observe + Send + Sync>,
+    ) -> &mut MetricRegistryBuilder {
+        self.sources.push(Source {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            source,
+        });
+        self
+    }
+
+    /// Freezes the source list. After this, scraping is lock-free: the
+    /// registry is immutable and every read goes through the sources'
+    /// own atomics.
+    pub fn build(self) -> MetricRegistry {
+        MetricRegistry {
+            sources: self.sources.into_boxed_slice(),
+        }
+    }
+}
+
+/// An immutable, shareable set of metric sources.
+///
+/// Built once at startup, then scraped concurrently by any number of
+/// threads with no lock: [`observe`](MetricRegistry::observe) walks the
+/// frozen slice and each source reads its relaxed atomic meters. A
+/// scrape is one consistent *pass* — each histogram is a self-consistent
+/// snapshot, counters are point reads — which is the strongest guarantee
+/// the underlying meters themselves offer.
+pub struct MetricRegistry {
+    sources: Box<[Source]>,
+}
+
+impl MetricRegistry {
+    /// Starts building a registry.
+    pub fn builder() -> MetricRegistryBuilder {
+        MetricRegistryBuilder::new()
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Emits every series of every source into `sink`, each source's
+    /// base labels merged in front of the series' own labels.
+    pub fn observe(&self, sink: &mut dyn MetricSink) {
+        for source in self.sources.iter() {
+            if source.labels.is_empty() {
+                source.source.observe(sink);
+            } else {
+                let mut labeled = BaseLabelSink {
+                    base: &source.labels,
+                    inner: sink,
+                };
+                source.source.observe(&mut labeled);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("sources", &self.sources.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sink adapter that prepends a source's base labels to every series.
+struct BaseLabelSink<'a> {
+    base: &'a [(String, String)],
+    inner: &'a mut dyn MetricSink,
+}
+
+/// Base labels first, series labels after (exporters resolve name
+/// collisions first-wins, so base labels dominate).
+fn merged<'s>(
+    base: &'s [(String, String)],
+    labels: &[(&'s str, &'s str)],
+) -> Vec<(&'s str, &'s str)> {
+    let mut out = Vec::with_capacity(base.len() + labels.len());
+    out.extend(base.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+    out.extend_from_slice(labels);
+    out
+}
+
+impl MetricSink for BaseLabelSink<'_> {
+    fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let all = merged(self.base, labels);
+        self.inner.counter(name, help, &all, value);
+    }
+
+    fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let all = merged(self.base, labels);
+        self.inner.gauge(name, help, &all, value);
+    }
+
+    fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        let all = merged(self.base, labels);
+        self.inner.histogram(name, help, &all, snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use san_graph::meter::LatencyHistogram;
+
+    /// One recorded emission: metric name, label pairs, rendered value.
+    pub(crate) type Row = (String, Vec<(String, String)>, String);
+
+    /// A sink that records what it saw, for asserting emission order and
+    /// label merging.
+    #[derive(Default)]
+    pub(crate) struct RecordingSink {
+        pub rows: Vec<Row>,
+    }
+
+    impl MetricSink for RecordingSink {
+        fn counter(&mut self, name: &str, _help: &str, labels: &[(&str, &str)], value: u64) {
+            self.rows.push((
+                name.to_string(),
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value.to_string(),
+            ));
+        }
+
+        fn gauge(&mut self, name: &str, _help: &str, labels: &[(&str, &str)], value: f64) {
+            self.rows.push((
+                name.to_string(),
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value.to_string(),
+            ));
+        }
+
+        fn histogram(
+            &mut self,
+            name: &str,
+            _help: &str,
+            labels: &[(&str, &str)],
+            snapshot: &HistogramSnapshot,
+        ) {
+            self.rows.push((
+                name.to_string(),
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                format!("hist:{}", snapshot.count()),
+            ));
+        }
+    }
+
+    struct OneCounter(u64);
+
+    impl Observe for OneCounter {
+        fn observe(&self, sink: &mut dyn MetricSink) {
+            sink.counter("test.one", "a test counter", &[("kind", "unit")], self.0);
+        }
+    }
+
+    struct OneHistogram(LatencyHistogram);
+
+    impl Observe for OneHistogram {
+        fn observe(&self, sink: &mut dyn MetricSink) {
+            sink.histogram("test.lat", "a test histogram", &[], &self.0.snapshot());
+        }
+    }
+
+    #[test]
+    fn registry_merges_base_labels_in_front() {
+        let mut b = MetricRegistry::builder();
+        b.register(&[("layer", "net")], Arc::new(OneCounter(7)));
+        b.register(&[], Arc::new(OneCounter(9)));
+        let reg = b.build();
+        assert_eq!(reg.len(), 2);
+        let mut sink = RecordingSink::default();
+        reg.observe(&mut sink);
+        assert_eq!(sink.rows.len(), 2);
+        assert_eq!(sink.rows[0].0, "test.one");
+        assert_eq!(
+            sink.rows[0].1,
+            vec![
+                ("layer".to_string(), "net".to_string()),
+                ("kind".to_string(), "unit".to_string())
+            ]
+        );
+        assert_eq!(sink.rows[0].2, "7");
+        assert_eq!(sink.rows[1].1.len(), 1, "no base labels when none set");
+        assert_eq!(sink.rows[1].2, "9");
+    }
+
+    #[test]
+    fn histograms_flow_through_as_snapshots() {
+        let h = LatencyHistogram::new();
+        h.record(std::time::Duration::from_micros(3));
+        h.record(std::time::Duration::from_micros(5));
+        let mut b = MetricRegistry::builder();
+        b.register(&[("layer", "vault")], Arc::new(OneHistogram(h)));
+        let reg = b.build();
+        let mut sink = RecordingSink::default();
+        reg.observe(&mut sink);
+        assert_eq!(sink.rows[0].2, "hist:2");
+        assert_eq!(
+            sink.rows[0].1,
+            vec![("layer".to_string(), "vault".to_string())]
+        );
+    }
+
+    #[test]
+    fn empty_registry_is_fine() {
+        let reg = MetricRegistry::builder().build();
+        assert!(reg.is_empty());
+        let mut sink = RecordingSink::default();
+        reg.observe(&mut sink);
+        assert!(sink.rows.is_empty());
+    }
+
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = assert_send_sync::<MetricRegistry>();
+}

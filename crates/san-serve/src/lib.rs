@@ -79,4 +79,4 @@ pub mod server;
 #[cfg(unix)]
 pub use metrics::ServeMetrics;
 #[cfg(unix)]
-pub use server::{QueryOutcome, ServeConfig, SnapshotHandle, SnapshotServer};
+pub use server::{FetchKind, QueryOutcome, ServeConfig, SnapshotHandle, SnapshotServer};

@@ -63,6 +63,20 @@ impl SnapshotHandle {
     }
 }
 
+/// How a fetch resolved its snapshot — the cost class a caller actually
+/// paid, for per-request trace attribution (`san-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Resident in the cache: one LRU probe, no IO.
+    Hit,
+    /// This caller led a cold miss: it paid the full map + validate.
+    ColdMap,
+    /// This caller blocked on another thread's in-flight map and shared
+    /// its result (covers waits that resolved to a mapping *or* looped
+    /// into a late cache hit after an aborted leader).
+    DedupWait,
+}
+
 /// How one query of a [`SnapshotServer::for_each_query`] stream ended.
 #[derive(Debug)]
 pub enum QueryOutcome<R> {
@@ -199,13 +213,21 @@ impl SnapshotServer {
             self.metrics.record_no_snapshot();
             return Ok(None);
         };
-        self.fetch(persisted).map(Some)
+        self.fetch(persisted).map(|(handle, _)| Some(handle))
     }
 
     /// Serves exactly `day`, failing with
     /// [`StoreError::DayNotPersisted`] when the vault has no snapshot for
     /// that precise day.
     pub fn get_exact(&self, day: u32) -> Result<SnapshotHandle, StoreError> {
+        self.get_exact_kind(day).map(|(handle, _)| handle)
+    }
+
+    /// Like [`get_exact`](SnapshotServer::get_exact), but also reports
+    /// the [`FetchKind`] cost class the fetch paid — the hook `san-net`
+    /// uses to attribute per-request fetch time to hit / cold-map /
+    /// dedup-wait in its slow-query log.
+    pub fn get_exact_kind(&self, day: u32) -> Result<(SnapshotHandle, FetchKind), StoreError> {
         if self.vault.nearest_at_or_before(day) != Some(day) {
             return Err(StoreError::DayNotPersisted { day });
         }
@@ -217,14 +239,30 @@ impl SnapshotServer {
     /// `hits`, `misses`, or `dedup_waits`; an aborted leader (a sibling
     /// panicked mid-map) sends waiters back around the loop, where one
     /// of them claims the vacated latch.
-    fn fetch(&self, persisted: u32) -> Result<SnapshotHandle, StoreError> {
+    ///
+    /// The returned [`FetchKind`] classifies what this caller paid:
+    /// a leader that mapped reports `ColdMap`; any path that blocked on
+    /// another flight reports `DedupWait` (the wait dominates even when
+    /// the loop then resolves via the cache); everything else is `Hit`.
+    fn fetch(&self, persisted: u32) -> Result<(SnapshotHandle, FetchKind), StoreError> {
+        let mut ever_waited = false;
+        let kind_of = |waited: bool| {
+            if waited {
+                FetchKind::DedupWait
+            } else {
+                FetchKind::Hit
+            }
+        };
         loop {
             if let Some(snap) = self.cache.get(persisted) {
                 self.metrics.record_hit();
-                return Ok(SnapshotHandle {
-                    day: persisted,
-                    snap,
-                });
+                return Ok((
+                    SnapshotHandle {
+                        day: persisted,
+                        snap,
+                    },
+                    kind_of(ever_waited),
+                ));
             }
             let waited = Instant::now();
             match self.flights.join(persisted) {
@@ -238,10 +276,13 @@ impl SnapshotServer {
                     if let Some(snap) = self.cache.get(persisted) {
                         self.metrics.record_hit();
                         leader.publish(FlightOutcome::Mapped(Arc::clone(&snap)));
-                        return Ok(SnapshotHandle {
-                            day: persisted,
-                            snap,
-                        });
+                        return Ok((
+                            SnapshotHandle {
+                                day: persisted,
+                                snap,
+                            },
+                            kind_of(ever_waited),
+                        ));
                     }
                     self.metrics.record_miss();
                     let started = Instant::now();
@@ -264,20 +305,27 @@ impl SnapshotServer {
                         self.metrics.record_duplicate_insert();
                     }
                     leader.publish(FlightOutcome::Mapped(Arc::clone(&snap)));
-                    return Ok(SnapshotHandle {
-                        day: persisted,
-                        snap,
-                    });
+                    return Ok((
+                        SnapshotHandle {
+                            day: persisted,
+                            snap,
+                        },
+                        FetchKind::ColdMap,
+                    ));
                 }
                 Flight::Waiter(outcome) => {
                     self.metrics.record_dedup_wait(waited.elapsed());
+                    ever_waited = true;
                     match outcome {
                         FlightOutcome::Mapped(snap) => {
                             self.metrics.record_dedup_hit();
-                            return Ok(SnapshotHandle {
-                                day: persisted,
-                                snap,
-                            });
+                            return Ok((
+                                SnapshotHandle {
+                                    day: persisted,
+                                    snap,
+                                },
+                                FetchKind::DedupWait,
+                            ));
                         }
                         FlightOutcome::Failed(error) => return Err((*error).clone()),
                         FlightOutcome::Aborted => continue,

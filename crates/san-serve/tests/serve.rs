@@ -443,3 +443,38 @@ fn corrupt_file_surfaces_as_typed_query_failure() {
         }
     ));
 }
+
+/// `get_exact_kind` classifies what each fetch paid: the first touch of
+/// a persisted day is a cold map, every touch after it a hit, and a herd
+/// racing a cold day splits into exactly one `ColdMap` leader with the
+/// rest reporting `DedupWait`.
+#[test]
+fn get_exact_kind_classifies_fetch_cost() {
+    use san_serve::FetchKind;
+    let (tmp, _tl, saved) = served_vault("fetch-kind", 10, 5);
+    let server = SnapshotServer::open(&tmp.0, ServeConfig::default()).expect("open");
+    let day = saved[1];
+    let (_h, kind) = server.get_exact_kind(day).expect("cold fetch");
+    assert_eq!(kind, FetchKind::ColdMap);
+    let (_h, kind) = server.get_exact_kind(day).expect("warm fetch");
+    assert_eq!(kind, FetchKind::Hit);
+    // A herd on a fresh cold day: one leader, the others hit or waited.
+    let cold = saved[2];
+    let kinds = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| {
+                let (_h, kind) = server.get_exact_kind(cold).expect("herd fetch");
+                kinds.lock().unwrap().push(kind);
+            });
+        }
+    });
+    let kinds = kinds.into_inner().unwrap();
+    let cold_maps = kinds.iter().filter(|k| **k == FetchKind::ColdMap).count();
+    assert_eq!(cold_maps, 1, "exactly one thread pays the map: {kinds:?}");
+    // Unknown days stay typed errors, kind or no kind.
+    assert!(matches!(
+        server.get_exact_kind(day + 1),
+        Err(StoreError::DayNotPersisted { .. })
+    ));
+}

@@ -46,6 +46,17 @@
 //! `Busy` responses, and closed/open-loop load generators in
 //! `san-bench` (`BENCH_NET.json` records the loopback p50/p99/p999).
 //!
+//! The serving stack is observable end to end via [`obs`] (`san-obs`):
+//! a lock-free [`obs::MetricRegistry`] unifies the vault, serve, and
+//! net layers' meters under stable dotted names; a hand-written
+//! Prometheus text-exposition encoder feeds both the server's admin
+//! HTTP listener (`GET /metrics`, `GET /slowlog`) and the in-protocol
+//! SANW `stats` query; and per-request traces with per-stage nanosecond
+//! attribution land in a lock-free slow-query ring
+//! (`examples/observability.rs` walks the whole loop;
+//! `BENCH_OBS.json` records the scrape-encode latency and the
+//! traced-vs-untraced overhead).
+//!
 //! See `examples/` for end-to-end walkthroughs and `crates/san-bench` for
 //! the experiment harness that regenerates every figure and table (its
 //! `bench_graph` suite measures the San-vs-CsrSan read-path difference).
@@ -55,6 +66,7 @@ pub use san_core as model;
 pub use san_graph as graph;
 pub use san_metrics as metrics;
 pub use san_net as net;
+pub use san_obs as obs;
 pub use san_serve as serve;
 pub use san_sim as sim;
 pub use san_stats as stats;
